@@ -1,0 +1,52 @@
+// Ablation for §3.2's motivation: there is no consensus on whether TCP
+// connection arrivals are Poisson or self-similar, so SYN-dog is
+// deliberately non-parametric. We regenerate the UNC workload under four
+// arrival models with the same mean rate and verify the detector's
+// behaviour — no false alarms, same detection floor — is unchanged.
+#include <cstdio>
+
+#include "common/experiment.hpp"
+#include "syndog/util/strings.hpp"
+#include "syndog/util/table.hpp"
+
+using namespace syndog;
+
+int main() {
+  bench::print_header(
+      "Ablation -- connection arrival model (paper §3.2: non-parametric "
+      "by design)",
+      "Poisson vs MMPP vs Pareto-ON/OFF (self-similar) vs Weibull renewal");
+
+  const core::SynDogParams params = core::SynDogParams::paper_defaults();
+  util::TextTable table({"arrival model", "false alarms (no attack)",
+                         "fi=45: prob", "delay [t0]", "fi=80: prob",
+                         "delay [t0]"});
+  for (const trace::ArrivalKind kind :
+       {trace::ArrivalKind::kPoisson, trace::ArrivalKind::kMmpp,
+        trace::ArrivalKind::kParetoOnOff, trace::ArrivalKind::kWeibull}) {
+    trace::SiteSpec spec = trace::site_spec(trace::SiteId::kUnc);
+    spec.arrival_kind = kind;
+
+    bench::EnsembleConfig cfg;
+    cfg.trials = 15;
+    cfg.seed = 1000;
+    const bench::DetectionRow clean =
+        bench::detection_ensemble(spec, 0.0, params, cfg);
+    const bench::DetectionRow r45 =
+        bench::detection_ensemble(spec, 45.0, params, cfg);
+    const bench::DetectionRow r80 =
+        bench::detection_ensemble(spec, 80.0, params, cfg);
+    table.add_row({std::string(trace::to_string(kind)),
+                   std::to_string(clean.false_alarm_periods),
+                   util::format_double(r45.detection_probability, 2),
+                   util::format_double(r45.mean_delay_periods, 2),
+                   util::format_double(r80.detection_probability, 2),
+                   util::format_double(r80.mean_delay_periods, 2)});
+  }
+  std::printf("%s", table.to_string().c_str());
+  std::printf(
+      "\nexpected: every row detects with probability 1.0 at comparable\n"
+      "delay and zero false alarms -- the detector never sees the arrival\n"
+      "law, only the SYN-SYN/ACK imbalance.\n");
+  return 0;
+}

@@ -1,0 +1,52 @@
+// Ablation for §4.2's claim: "the flooding traffic pattern or its
+// transient behavior (bursty or not) does not affect the detection
+// sensitivity. The detection sensitivity depends only on the total volume
+// of flooding traffic."
+//
+// Same mean rate, three emission shapes (constant Poisson, ON/OFF bursts,
+// linear ramp): detection probability should match; delay may differ
+// slightly for the ramp because its volume arrives late.
+#include <cstdio>
+
+#include "common/experiment.hpp"
+#include "syndog/util/strings.hpp"
+#include "syndog/util/table.hpp"
+
+using namespace syndog;
+
+int main() {
+  bench::print_header(
+      "Ablation -- flood emission shape (paper §4.2: volume is all that "
+      "matters)",
+      "constant vs bursty vs ramp at equal mean rate");
+
+  const trace::SiteSpec spec = trace::site_spec(trace::SiteId::kUnc);
+  const core::SynDogParams params = core::SynDogParams::paper_defaults();
+
+  util::TextTable table({"shape", "fi (SYN/s)", "detect prob",
+                         "mean delay [t0]", "false alarms"});
+  for (const double fi : {45.0, 60.0, 120.0}) {
+    for (const attack::FloodShape shape :
+         {attack::FloodShape::kConstant, attack::FloodShape::kOnOff,
+          attack::FloodShape::kRamp}) {
+      bench::EnsembleConfig cfg;
+      cfg.trials = 15;
+      cfg.seed = 1000;
+      cfg.shape = shape;
+      const bench::DetectionRow r =
+          bench::detection_ensemble(spec, fi, params, cfg);
+      table.add_row({std::string(attack::to_string(shape)),
+                     util::format_double(fi, 0),
+                     util::format_double(r.detection_probability, 2),
+                     util::format_double(r.mean_delay_periods, 2),
+                     std::to_string(r.false_alarm_periods)});
+    }
+  }
+  std::printf("%s", table.to_string().c_str());
+  std::printf(
+      "\nexpected: detection probability identical across shapes at each\n"
+      "rate; the ramp's delay is larger (its cumulative volume arrives\n"
+      "later), which is exactly the volume-not-pattern dependence the\n"
+      "paper describes.\n");
+  return 0;
+}

@@ -1,0 +1,111 @@
+// Ablation for §3.1's claim: "our algorithm is insensitive to this
+// choice" of the observation period t0 (= 20 s in the paper).
+//
+// What is actually invariant in t0: the normalized drift per period
+// (both Delta and K scale linearly with t0, so Xn does not change), and
+// therefore the detection delay measured in *periods* and the
+// sensitivity floor f_min = (a-c)K/t0 = (a-c) * (SYN/ACK rate). What
+// scales with t0 is the wall-clock delay (same number of periods, longer
+// periods) — the "sniffing resolution vs stability" trade-off the paper
+// names. We sweep t0 and verify all three statements plus the absence of
+// false alarms at every setting.
+#include <cstdio>
+
+#include "common/experiment.hpp"
+#include "syndog/trace/periods.hpp"
+#include "syndog/util/strings.hpp"
+#include "syndog/util/table.hpp"
+
+using namespace syndog;
+
+namespace {
+
+/// detection_ensemble with a custom observation period. The trace is
+/// rebucketed at `t0`; K-bar scales linearly with t0, so Xn's drift per
+/// period scales too and the same (a, N) keep working.
+bench::DetectionRow run_with_period(const trace::SiteSpec& spec, double fi,
+                                    util::SimTime t0, int trials,
+                                    std::uint64_t seed) {
+  core::SynDogParams params = core::SynDogParams::paper_defaults();
+  params.observation_period = t0;
+
+  bench::DetectionRow row;
+  row.fi = fi;
+  row.trials = trials;
+  double delay_sum = 0.0;
+  int detected = 0;
+  for (int t = 0; t < trials; ++t) {
+    const trace::ConnectionTrace background = trace::generate_site_trace(
+        spec, seed + static_cast<std::uint64_t>(t));
+    trace::PeriodSeries ps = trace::extract_periods(background, t0);
+
+    util::Rng rng = util::Rng::child(seed ^ 0xa77ac4,
+                                     static_cast<std::uint64_t>(t));
+    attack::FloodSpec flood;
+    flood.rate = fi;
+    flood.start =
+        util::SimTime::from_seconds(rng.uniform(3 * 60.0, 9 * 60.0));
+    auto times = attack::generate_flood_times(flood, rng);
+    ps.add_outbound_syns(trace::bucket_times(times, t0, ps.size()));
+
+    const auto reports =
+        core::run_over_series(params, ps.out_syn, ps.in_syn_ack);
+    const std::int64_t onset = flood.start / t0;
+    const std::int64_t fend =
+        std::min<std::int64_t>((flood.start + flood.duration) / t0,
+                               static_cast<std::int64_t>(ps.size()) - 1);
+    for (std::int64_t n = 0; n < onset; ++n) {
+      if (reports[static_cast<std::size_t>(n)].alarm) {
+        ++row.false_alarm_periods;
+      }
+    }
+    for (std::int64_t n = onset; n <= fend; ++n) {
+      if (reports[static_cast<std::size_t>(n)].alarm) {
+        ++detected;
+        delay_sum += static_cast<double>(n - onset) * t0.to_seconds();
+        break;
+      }
+    }
+  }
+  row.detection_probability = static_cast<double>(detected) / trials;
+  row.mean_delay_periods = detected == 0 ? 0.0 : delay_sum / detected;
+  return row;  // mean_delay_periods carries *seconds* here
+}
+
+}  // namespace
+
+int main() {
+  bench::print_header(
+      "Ablation -- observation period t0 (paper §3.1: insensitive)",
+      "Xn and the per-period drift are t0-invariant, so delay in periods "
+      "and f_min do not depend on t0; wall-clock delay = periods * t0");
+
+  const trace::SiteSpec spec = trace::site_spec(trace::SiteId::kUnc);
+  util::TextTable table({"t0 (s)", "fi=60: prob", "delay [t0]",
+                         "delay (s)", "fi=120: prob", "delay [t0]",
+                         "delay (s)", "false alarms"});
+  for (const std::int64_t t0_s : {5, 10, 20, 40, 60}) {
+    const util::SimTime t0 = util::SimTime::seconds(t0_s);
+    const bench::DetectionRow r60 = run_with_period(spec, 60.0, t0, 15, 1);
+    const bench::DetectionRow r120 = run_with_period(spec, 120.0, t0, 15, 1);
+    table.add_row(
+        {std::to_string(t0_s),
+         util::format_double(r60.detection_probability, 2),
+         util::format_double(
+             r60.mean_delay_periods / static_cast<double>(t0_s), 1),
+         util::format_double(r60.mean_delay_periods, 1),
+         util::format_double(r120.detection_probability, 2),
+         util::format_double(
+             r120.mean_delay_periods / static_cast<double>(t0_s), 1),
+         util::format_double(r120.mean_delay_periods, 1),
+         std::to_string(r60.false_alarm_periods +
+                        r120.false_alarm_periods)});
+  }
+  std::printf("%s", table.to_string().c_str());
+  std::printf(
+      "\nexpected: probability 1.0 and zero false alarms at every t0; the\n"
+      "delay in periods is ~constant across t0 (the t0-invariance the\n"
+      "paper claims), so wall-clock delay grows linearly with t0 -- pick\n"
+      "t0 as small as counting overhead allows, 20 s being comfortable.\n");
+  return 0;
+}

@@ -1,0 +1,131 @@
+// Ablation over the design parameters (a, N, alpha) the paper fixes at
+// a=0.35, N=1.05 (via h=2a and a 3-period design delay), alpha for the K
+// estimate.
+//
+//  * sweeping a trades the detection floor against false-alarm margin;
+//  * sweeping N trades delay against the (exponentially growing, Eq. 5)
+//    false-alarm spacing;
+//  * sweeping alpha shows the K estimator is forgiving (the paper leaves
+//    it unspecified).
+#include <cstdio>
+
+#include "common/experiment.hpp"
+#include "syndog/detect/arl.hpp"
+#include "syndog/stats/series.hpp"
+#include "syndog/util/strings.hpp"
+#include "syndog/util/table.hpp"
+
+using namespace syndog;
+
+namespace {
+
+/// Worst normal-mode statistic over an ensemble of clean traces: the
+/// margin to N determines how close a setting is to false-alarming.
+double worst_clean_spike(const trace::SiteSpec& spec,
+                         const core::SynDogParams& params, int seeds) {
+  double worst = 0.0;
+  for (int s = 0; s < seeds; ++s) {
+    bench::EnsembleConfig cfg;
+    cfg.seed = 100 + static_cast<std::uint64_t>(s);
+    const std::vector<double> path =
+        bench::statistic_path(spec, 0.0, params, cfg);
+    worst = std::max(worst, stats::series_max(path));
+  }
+  return worst;
+}
+
+}  // namespace
+
+int main() {
+  bench::print_header(
+      "Ablation -- design parameters a, N, alpha (paper §3.2)",
+      "a=0.35 offsets normal drift; N=1.05 gives a 3-period design delay "
+      "at h=2a; false-alarm margin grows with both");
+
+  const trace::SiteSpec spec = trace::site_spec(trace::SiteId::kUnc);
+  bench::EnsembleConfig cfg;
+  cfg.trials = 15;
+  cfg.seed = 1000;
+
+  std::printf("\n-- sweep a (N fixed at 1.05) --\n");
+  util::TextTable ta({"a", "f_min (Eq.8, c=0)", "fi=45: prob",
+                      "delay [t0]", "worst clean spike / N"});
+  for (const double a : {0.15, 0.25, 0.35, 0.45, 0.6}) {
+    core::SynDogParams p = core::SynDogParams::paper_defaults();
+    p.a = a;
+    p.h = 2 * a;
+    const double fmin = core::SynDog::min_detectable_rate(
+        a, 0.0, 2114.0, p.observation_period);
+    const bench::DetectionRow r =
+        bench::detection_ensemble(spec, 45.0, p, cfg);
+    ta.add_row({util::format_double(a, 2), util::format_double(fmin, 1),
+                util::format_double(r.detection_probability, 2),
+                util::format_double(r.mean_delay_periods, 2),
+                util::format_double(worst_clean_spike(spec, p, 8), 3) +
+                    " / " + util::format_double(p.threshold, 2)});
+  }
+  std::printf("%s", ta.to_string().c_str());
+
+  std::printf("\n-- sweep N (a fixed at 0.35) --\n");
+  util::TextTable tn({"N", "fi=60: prob", "delay [t0]",
+                      "worst clean spike / N"});
+  for (const double n : {0.3, 0.6, 1.05, 2.0, 4.0}) {
+    core::SynDogParams p = core::SynDogParams::paper_defaults();
+    p.threshold = n;
+    const bench::DetectionRow r =
+        bench::detection_ensemble(spec, 60.0, p, cfg);
+    tn.add_row({util::format_double(n, 2),
+                util::format_double(r.detection_probability, 2),
+                util::format_double(r.mean_delay_periods, 2),
+                util::format_double(worst_clean_spike(spec, p, 8), 3) +
+                    " / " + util::format_double(n, 2)});
+  }
+  std::printf("%s", tn.to_string().c_str());
+
+  std::printf("\n-- sweep K-estimator memory alpha --\n");
+  util::TextTable tk({"alpha", "fi=60: prob", "delay [t0]",
+                      "false alarms"});
+  for (const double alpha : {0.5, 0.8, 0.9, 0.98}) {
+    core::SynDogParams p = core::SynDogParams::paper_defaults();
+    p.ewma_alpha = alpha;
+    const bench::DetectionRow r =
+        bench::detection_ensemble(spec, 60.0, p, cfg);
+    tk.add_row({util::format_double(alpha, 2),
+                util::format_double(r.detection_probability, 2),
+                util::format_double(r.mean_delay_periods, 2),
+                std::to_string(r.false_alarm_periods)});
+  }
+  std::printf("%s", tk.to_string().c_str());
+
+  // Numerical design table: pick N from a false-alarm budget without any
+  // simulation (Brook-Evans ARL). At UNC's tiny normal-mode sigma
+  // (~0.03-0.05) every N here is effectively false-alarm-free, so the
+  // table uses a hypothetical noisy site (sigma = 0.2) where the
+  // trade-off is visible.
+  std::printf("\n-- threshold design via Brook-Evans ARL "
+              "(noisy site: c=0.05, sigma=0.2) --\n");
+  util::TextTable td({"N", "ARL0 (periods between FA)",
+                      "equivalent wall-clock at t0=20s"});
+  for (const double n : {0.3, 0.5, 0.7, 0.9, 1.05}) {
+    detect::ArlSpec arl;
+    arl.mean = 0.05;
+    arl.stddev = 0.2;
+    arl.threshold = n;
+    const double arl0 = detect::cusum_average_run_length(arl);
+    const double hours = arl0 * 20.0 / 3600.0;
+    td.add_row({util::format_double(n, 2),
+                arl0 > 1e15 ? ">1e15" : util::format_count(
+                    static_cast<std::int64_t>(arl0)),
+                hours > 24.0 * 365.0
+                    ? util::format_double(hours / (24.0 * 365.0), 1) +
+                          " years"
+                    : util::format_double(hours, 1) + " hours"});
+  }
+  std::printf("%s", td.to_string().c_str());
+  std::printf(
+      "\nexpected: delay grows ~linearly with N and shrinks as a drops\n"
+      "(at the cost of clean-spike margin); alpha barely matters; the\n"
+      "ARL table shows why N=1.05 is effectively false-alarm-free at a\n"
+      "well-behaved site.\n");
+  return 0;
+}

@@ -1,0 +1,146 @@
+// Automated site tuning (paper §4.2.3 done by algorithm instead of by
+// hand): AdaptiveSynDog trains on the site's own quiet traffic, then sets
+// a = c + margin*sigma, h = 2a, N = 3(h - a).
+//
+// Compared against the universal parameters and the paper's hand-tuned
+// UNC values (a=0.2, N=0.6) on sub-universal-floor floods.
+#include <cstdio>
+
+#include "common/experiment.hpp"
+#include "syndog/core/adaptive.hpp"
+#include "syndog/trace/periods.hpp"
+#include "syndog/util/strings.hpp"
+#include "syndog/util/table.hpp"
+
+using namespace syndog;
+
+namespace {
+
+struct Row {
+  double prob = 0.0;
+  double delay = 0.0;
+  int false_alarms = 0;
+};
+
+/// Runs trials where the detector trains on the first half of the trace
+/// and the flood hits in the second half.
+template <typename MakeDetector>
+Row run(const trace::SiteSpec& spec, double fi, int trials,
+        MakeDetector make) {
+  Row row;
+  int detected = 0;
+  for (int t = 0; t < trials; ++t) {
+    trace::PeriodSeries ps = trace::extract_periods(
+        trace::generate_site_trace(spec, 3000 + t),
+        trace::kObservationPeriod);
+    attack::FloodSpec flood;
+    flood.rate = fi;
+    flood.start = util::SimTime::minutes(22);  // after ~66 training periods
+    flood.duration = util::SimTime::minutes(8);
+    util::Rng rng(4000 + t);
+    if (fi > 0.0) {
+      ps.add_outbound_syns(trace::bucket_times(
+          attack::generate_flood_times(flood, rng), ps.period, ps.size()));
+    }
+    auto detector = make();
+    const std::int64_t onset = flood.start / ps.period;
+    bool found = false;
+    for (std::size_t n = 0; n < ps.size(); ++n) {
+      const core::PeriodReport r =
+          detector.observe_period(ps.out_syn[n], ps.in_syn_ack[n]);
+      if (static_cast<std::int64_t>(n) < onset || fi <= 0.0) {
+        row.false_alarms += r.alarm ? 1 : 0;
+      } else if (r.alarm && !found) {
+        found = true;
+        ++detected;
+        row.delay += static_cast<double>(static_cast<std::int64_t>(n) -
+                                         onset);
+      }
+    }
+  }
+  row.prob = static_cast<double>(detected) / trials;
+  if (detected > 0) row.delay /= detected;
+  return row;
+}
+
+/// Adapter so SynDog and AdaptiveSynDog share the loop above.
+struct FixedDetector {
+  core::SynDog dog;
+  core::PeriodReport observe_period(std::int64_t s, std::int64_t a) {
+    return dog.observe_period(s, a);
+  }
+};
+
+struct AdaptiveDetector {
+  core::AdaptiveSynDog dog;
+  core::PeriodReport observe_period(std::int64_t s, std::int64_t a) {
+    return dog.observe_period(s, a);
+  }
+};
+
+}  // namespace
+
+int main() {
+  bench::print_header(
+      "Adaptive site tuning at UNC (automating paper §4.2.3)",
+      "hand-tuned a=0.2/N=0.6 lowers f_min from 37 to ~15 SYN/s; the "
+      "adaptive detector should land in the same neighbourhood");
+
+  trace::SiteSpec spec = trace::site_spec(trace::SiteId::kUnc);
+  spec.duration = util::SimTime::minutes(34);  // train + attack window
+  constexpr int kTrials = 10;
+
+  // What does the adaptive detector learn?
+  {
+    trace::PeriodSeries ps = trace::extract_periods(
+        trace::generate_site_trace(spec, 3000), trace::kObservationPeriod);
+    core::AdaptiveParams ap;
+    core::AdaptiveSynDog dog(ap);
+    for (std::size_t n = 0; n < ps.size(); ++n) {
+      (void)dog.observe_period(ps.out_syn[n], ps.in_syn_ack[n]);
+    }
+    std::printf(
+        "learned on one clean trace: c=%.4f sigma=%.4f -> a=%.3f N=%.3f "
+        "(universal: a=0.35 N=1.05; paper hand-tuned: a=0.2 N=0.6)\n"
+        "resulting detection floor: %.1f SYN/s (universal ~37, paper "
+        "hand-tuned ~15)\n\n",
+        dog.learned_c(), dog.learned_sigma(), dog.active_params().a,
+        dog.active_params().threshold, dog.min_detectable_rate());
+  }
+
+  util::TextTable table({"detector", "fi (SYN/s)", "detect prob",
+                         "mean delay [t0]", "false alarms"});
+  for (const double fi : {15.0, 20.0, 30.0, 45.0}) {
+    const Row universal = run(spec, fi, kTrials, [] {
+      return FixedDetector{core::SynDog(
+          core::SynDogParams::paper_defaults())};
+    });
+    const Row hand = run(spec, fi, kTrials, [] {
+      return FixedDetector{core::SynDog(
+          core::SynDogParams::site_tuned_unc())};
+    });
+    const Row adaptive = run(spec, fi, kTrials, [] {
+      return AdaptiveDetector{core::AdaptiveSynDog(
+          core::AdaptiveParams{})};
+    });
+    table.add_row({"universal a=0.35 N=1.05", util::format_double(fi, 0),
+                   util::format_double(universal.prob, 2),
+                   util::format_double(universal.delay, 2),
+                   std::to_string(universal.false_alarms)});
+    table.add_row({"hand-tuned a=0.20 N=0.60", util::format_double(fi, 0),
+                   util::format_double(hand.prob, 2),
+                   util::format_double(hand.delay, 2),
+                   std::to_string(hand.false_alarms)});
+    table.add_row({"adaptive (trained)", util::format_double(fi, 0),
+                   util::format_double(adaptive.prob, 2),
+                   util::format_double(adaptive.delay, 2),
+                   std::to_string(adaptive.false_alarms)});
+  }
+  std::printf("%s", table.to_string().c_str());
+  std::printf(
+      "\nexpected: universal parameters miss fi < 37 entirely; both tuned\n"
+      "variants catch fi >= 15-20 with zero false alarms, with the\n"
+      "adaptive detector matching the hand-tuned one without any manual\n"
+      "analysis of the site.\n");
+  return 0;
+}

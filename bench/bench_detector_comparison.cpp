@@ -1,0 +1,121 @@
+// Comparator study: the paper chooses the non-parametric CUSUM over
+// model-based and memoryless alternatives (§3.2). All detectors consume
+// the same normalized observation sequence {Xn} that SYN-dog computes;
+// only the decision rule differs:
+//
+//   np-cusum          the paper's Eq. (2)-(4)
+//   cusum-llr         parametric (Gaussian) CUSUM — needs the model
+//   glr               windowed GLR — unknown shift size, O(window) state
+//   ewma-chart        EWMA control chart with adaptive baseline
+//   shewhart          per-sample 3-sigma test (no memory)
+//   static-threshold  raw per-period threshold (needs per-site tuning)
+#include <cstdio>
+#include <memory>
+
+#include "common/experiment.hpp"
+#include "syndog/detect/charts.hpp"
+#include "syndog/detect/cusum.hpp"
+#include "syndog/detect/evaluator.hpp"
+#include "syndog/detect/glr.hpp"
+#include "syndog/detect/shiryaev.hpp"
+#include "syndog/util/strings.hpp"
+#include "syndog/util/table.hpp"
+
+using namespace syndog;
+
+namespace {
+
+/// Normalized {Xn} series of one trial, exactly as SynDog derives it.
+std::vector<double> x_series(const bench::FloodTrial& trial) {
+  core::SynDog dog(core::SynDogParams::paper_defaults());
+  std::vector<double> xs;
+  xs.reserve(trial.out_syn.size());
+  for (std::size_t i = 0; i < trial.out_syn.size(); ++i) {
+    xs.push_back(dog.observe_period(trial.out_syn[i],
+                                    trial.in_syn_ack[i]).x);
+  }
+  return xs;
+}
+
+using Factory = std::function<std::unique_ptr<detect::ChangeDetector>()>;
+
+std::vector<std::pair<std::string, Factory>> detectors() {
+  return {
+      {"np-cusum (paper)",
+       [] {
+         return std::make_unique<detect::NonParametricCusum>(
+             detect::NonParametricCusumParams{0.35, 1.05});
+       }},
+      {"cusum-llr",
+       [] {
+         // Model: normal mean ~0.05, attack mean ~0.5, sigma ~0.1.
+         return std::make_unique<detect::ParametricCusum>(
+             detect::ParametricCusumParams{0.05, 0.5, 0.1, 10.0});
+       }},
+      {"ewma-chart",
+       [] {
+         return std::make_unique<detect::EwmaChart>(
+             detect::EwmaChartParams{});
+       }},
+      {"shewhart",
+       [] {
+         return std::make_unique<detect::ShewhartChart>(
+             detect::ShewhartParams{});
+       }},
+      {"static-threshold(X>0.4)",
+       [] { return std::make_unique<detect::StaticThreshold>(0.4); }},
+      {"shiryaev-roberts",
+       [] {
+         return std::make_unique<detect::ShiryaevRoberts>(
+             detect::ShiryaevRobertsParams{});
+       }},
+      {"glr (window 60)",
+       [] {
+         // sigma ~ the normal-mode sigma of Xn at UNC (~0.03-0.05).
+         return std::make_unique<detect::GlrDetector>(
+             detect::GlrParams{0.05, 0.05, 60, 12.0});
+       }},
+  };
+}
+
+}  // namespace
+
+int main() {
+  bench::print_header(
+      "Comparator study -- decision rules on the same normalized series",
+      "the paper argues for non-parametric CUSUM: sequential memory "
+      "without a traffic model");
+
+  const trace::SiteSpec spec = trace::site_spec(trace::SiteId::kUnc);
+  constexpr int kTrials = 15;
+
+  util::TextTable table({"detector", "fi (SYN/s)", "detect prob",
+                         "mean delay [t0]", "false alarms"});
+  for (const double fi : {40.0, 60.0, 120.0}) {
+    for (const auto& [name, factory] : detectors()) {
+      const detect::EnsembleResult r = detect::evaluate_ensemble(
+          factory,
+          [&](std::uint64_t t) {
+            bench::EnsembleConfig cfg;
+            cfg.seed = 1000;
+            const bench::FloodTrial trial = bench::make_flood_trial(
+                spec, fi, cfg, static_cast<int>(t));
+            return detect::TrialSpec{
+                x_series(trial),
+                static_cast<std::size_t>(trial.onset_period)};
+          },
+          kTrials);
+      table.add_row({name, util::format_double(fi, 0),
+                     util::format_double(r.detection_probability, 2),
+                     util::format_double(r.mean_detection_delay, 2),
+                     std::to_string(r.total_false_alarms)});
+    }
+  }
+  std::printf("%s", table.to_string().c_str());
+  std::printf(
+      "\nexpected: np-cusum detects everything with no false alarms.\n"
+      "shewhart/static react instantly to big floods but miss the slow\n"
+      "accumulation near the floor (fi=40) that CUSUM's memory catches;\n"
+      "cusum-llr works only as long as its Gaussian model fits.\n");
+  return 0;
+}

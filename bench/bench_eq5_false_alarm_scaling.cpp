@@ -1,0 +1,129 @@
+// Reproduces the scaling law of Eq. (5): for the non-parametric CUSUM,
+//
+//   P_inf{ d_N(n) = 1 }  ~=  c1 * exp(-c2 * N),
+//
+// i.e. the mean time between false alarms grows exponentially with the
+// flooding threshold N. The paper adds that the traffic's burstiness
+// (mixing coefficients) affects only the constants c1, c2 — so we
+// measure the law on an i.i.d. observation stream *and* on a strongly
+// autocorrelated (AR(1)) stream and fit both exponents.
+//
+// The calibrated site traces never false-alarm at all at N = 1.05 (that
+// is Figure 5), so this bench deliberately uses a noisier synthetic
+// {Xn}: Gaussian with sigma large enough that small thresholds trip
+// regularly, making the exponent measurable.
+#include <cmath>
+#include <cstdio>
+#include <vector>
+
+#include "common/experiment.hpp"
+#include "syndog/detect/arl.hpp"
+#include "syndog/detect/cusum.hpp"
+#include "syndog/util/rng.hpp"
+#include "syndog/util/strings.hpp"
+#include "syndog/util/table.hpp"
+
+using namespace syndog;
+
+namespace {
+
+/// Mean periods between false alarms of the paper's CUSUM at threshold n
+/// over a stream produced by `next()`. Counts rising edges only.
+template <typename Next>
+double false_alarm_spacing(double n, std::int64_t samples, Next next) {
+  detect::NonParametricCusum cusum({0.35, n, /*cap=*/4.0 * n});
+  std::int64_t alarms = 0;
+  bool was = false;
+  for (std::int64_t i = 0; i < samples; ++i) {
+    const bool alarm = cusum.update(next()).alarm;
+    if (alarm && !was) ++alarms;
+    was = alarm;
+  }
+  if (alarms == 0) return static_cast<double>(samples);  // lower bound
+  return static_cast<double>(samples) / static_cast<double>(alarms);
+}
+
+/// Least-squares slope of log(spacing) against N: the measured c2.
+double fit_exponent(const std::vector<double>& ns,
+                    const std::vector<double>& spacings) {
+  double sx = 0.0;
+  double sy = 0.0;
+  double sxx = 0.0;
+  double sxy = 0.0;
+  const auto count = static_cast<double>(ns.size());
+  for (std::size_t i = 0; i < ns.size(); ++i) {
+    const double y = std::log(spacings[i]);
+    sx += ns[i];
+    sy += y;
+    sxx += ns[i] * ns[i];
+    sxy += ns[i] * y;
+  }
+  return (count * sxy - sx * sy) / (count * sxx - sx * sx);
+}
+
+}  // namespace
+
+int main() {
+  bench::print_header(
+      "Eq. (5) -- false-alarm time grows exponentially with N",
+      "time between false alarms ~ exp(c2*N); burstiness only changes "
+      "the constants");
+
+  constexpr std::int64_t kSamples = 2'000'000;
+  const std::vector<double> thresholds = {0.2, 0.4, 0.6, 0.8, 1.05, 1.3};
+
+  // Stream A: i.i.d. Gaussian Xn, mean 0.05, sigma 0.25.
+  util::Rng iid_rng(1);
+  // Stream B: AR(1) with the same marginal mean and comparable variance
+  // but strong positive autocorrelation (phi = 0.7) — "burstier" in the
+  // mixing-coefficient sense the paper cites.
+  util::Rng ar_rng(2);
+  double ar_state = 0.0;
+  const double phi = 0.7;
+  const double innovation_sigma = 0.25 * std::sqrt(1.0 - phi * phi);
+
+  std::vector<double> iid_spacing;
+  std::vector<double> ar_spacing;
+  util::TextTable table({"threshold N", "iid: periods between FA",
+                         "Brook-Evans ARL0 (numeric)",
+                         "AR(1) phi=0.7: periods between FA"});
+  for (const double n : thresholds) {
+    const double iid = false_alarm_spacing(n, kSamples, [&] {
+      return iid_rng.normal(0.05, 0.25);
+    });
+    const double ar = false_alarm_spacing(n, kSamples, [&] {
+      ar_state = phi * ar_state + ar_rng.normal(0.0, innovation_sigma);
+      return 0.05 + ar_state;
+    });
+    // The numeric design tool should predict the iid column without any
+    // simulation at all (Markov-chain ARL; see detect/arl.hpp).
+    detect::ArlSpec spec;
+    spec.mean = 0.05;
+    spec.stddev = 0.25;
+    spec.threshold = n;
+    const double numeric = detect::cusum_average_run_length(spec);
+    iid_spacing.push_back(iid);
+    ar_spacing.push_back(ar);
+    table.add_row({util::format_double(n, 2),
+                   util::format_count(static_cast<std::int64_t>(iid)),
+                   util::format_count(static_cast<std::int64_t>(numeric)),
+                   util::format_count(static_cast<std::int64_t>(ar))});
+  }
+  std::printf("%s", table.to_string().c_str());
+
+  std::printf(
+      "\nfitted exponents c2 (slope of log spacing vs N):\n"
+      "  iid stream:   c2 = %.2f per unit N  (x%.0f per +0.2 N)\n"
+      "  AR(1) stream: c2 = %.2f per unit N  (x%.0f per +0.2 N)\n",
+      fit_exponent(thresholds, iid_spacing),
+      std::exp(0.2 * fit_exponent(thresholds, iid_spacing)),
+      fit_exponent(thresholds, ar_spacing),
+      std::exp(0.2 * fit_exponent(thresholds, ar_spacing)));
+  std::printf(
+      "\nexpected: both columns grow by a roughly constant factor per\n"
+      "threshold step (exponential law, positive c2); the correlated\n"
+      "stream alarms more often at every N (smaller c2/c1) but obeys the\n"
+      "same law -- burstiness moves the constants, not the shape, exactly\n"
+      "as the paper asserts below Eq. (5).\n");
+  return 0;
+}

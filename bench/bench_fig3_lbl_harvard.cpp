@@ -1,0 +1,56 @@
+// Reproduces Figure 3: the dynamics of SYN and SYN/ACK packets at LBL and
+// Harvard. Both are bidirectional captures, so — as in the paper — the
+// plotted "SYN" and "SYN/ACK" series are collected from both directions.
+// The claim under test: the two series track each other closely (strong
+// positive correlation) regardless of site, volume, or burstiness.
+#include <cstdio>
+
+#include "common/experiment.hpp"
+#include "syndog/stats/series.hpp"
+#include "syndog/trace/periods.hpp"
+#include "syndog/util/strings.hpp"
+
+using namespace syndog;
+
+namespace {
+
+void run_site(trace::SiteId id, const char* figure) {
+  const trace::SiteSpec spec = trace::site_spec(id);
+  const trace::ConnectionTrace tr = trace::generate_site_trace(spec, 42);
+  const trace::PeriodSeries ps =
+      trace::extract_periods(tr, trace::kObservationPeriod);
+
+  const std::vector<double> syn =
+      trace::PeriodSeries::to_double(ps.syn_both_directions());
+  const std::vector<double> ack =
+      trace::PeriodSeries::to_double(ps.syn_ack_both_directions());
+
+  bench::print_series_chart(
+      std::string(figure) + " " + spec.name +
+          ": SYN vs SYN/ACK per 20 s period (both directions)",
+      {{"SYN", syn}, {"SYN/ACK", ack}},
+      "time (" + util::format_double(spec.duration.to_minutes(), 0) +
+          " minutes total)");
+
+  const double corr = stats::pearson_correlation(syn, ack);
+  std::printf(
+      "  SYN:     mean %.1f  min %.0f  max %.0f per period\n"
+      "  SYN/ACK: mean %.1f  min %.0f  max %.0f per period\n"
+      "  Pearson correlation(SYN, SYN/ACK) = %.4f   "
+      "(paper: \"consistent synchronization\")\n",
+      stats::series_mean(syn), stats::series_min(syn),
+      stats::series_max(syn), stats::series_mean(ack),
+      stats::series_min(ack), stats::series_max(ack), corr);
+}
+
+}  // namespace
+
+int main() {
+  bench::print_header(
+      "Figure 3 -- SYN / SYN-ACK dynamics at LBL and Harvard",
+      "Fig. 3(a): LBL ~5-50 pkts/period; Fig. 3(b): Harvard ~200-700; the "
+      "two series overlap almost everywhere");
+  run_site(trace::SiteId::kLbl, "Fig. 3(a)");
+  run_site(trace::SiteId::kHarvard, "Fig. 3(b)");
+  return 0;
+}

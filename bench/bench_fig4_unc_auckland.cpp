@@ -1,0 +1,54 @@
+// Reproduces Figure 4: outgoing SYNs vs incoming SYN/ACKs at UNC and
+// Auckland — the unidirectional capture pairs, i.e. exactly the two
+// counters SYN-dog's sniffers maintain at the leaf router.
+#include <cstdio>
+
+#include "common/experiment.hpp"
+#include "syndog/stats/series.hpp"
+#include "syndog/trace/periods.hpp"
+#include "syndog/util/strings.hpp"
+
+using namespace syndog;
+
+namespace {
+
+void run_site(trace::SiteId id, const char* figure) {
+  const trace::SiteSpec spec = trace::site_spec(id);
+  const trace::ConnectionTrace tr = trace::generate_site_trace(spec, 42);
+  const trace::PeriodSeries ps =
+      trace::extract_periods(tr, trace::kObservationPeriod);
+
+  const std::vector<double> syn =
+      trace::PeriodSeries::to_double(ps.out_syn);
+  const std::vector<double> ack =
+      trace::PeriodSeries::to_double(ps.in_syn_ack);
+
+  bench::print_series_chart(
+      std::string(figure) + " " + spec.name +
+          ": outgoing SYN vs incoming SYN/ACK per 20 s period",
+      {{"Outgoing SYN", syn}, {"Incoming SYN/ACK", ack}},
+      "time (" + util::format_double(spec.duration.to_minutes(), 0) +
+          " minutes total)");
+
+  std::printf(
+      "  Outgoing SYN:     mean %.1f  min %.0f  max %.0f per period\n"
+      "  Incoming SYN/ACK: mean %.1f  min %.0f  max %.0f per period\n"
+      "  Pearson correlation = %.4f\n",
+      stats::series_mean(syn), stats::series_min(syn),
+      stats::series_max(syn), stats::series_mean(ack),
+      stats::series_min(ack), stats::series_max(ack),
+      stats::pearson_correlation(syn, ack));
+}
+
+}  // namespace
+
+int main() {
+  bench::print_header(
+      "Figure 4 -- outgoing SYN / incoming SYN-ACK dynamics at UNC and "
+      "Auckland",
+      "Fig. 4(a): UNC ~1500-2500 pkts/period; Fig. 4(b): Auckland "
+      "~100-400; consistent synchronization in both");
+  run_site(trace::SiteId::kUnc, "Fig. 4(a)");
+  run_site(trace::SiteId::kAuckland, "Fig. 4(b)");
+  return 0;
+}

@@ -1,0 +1,54 @@
+// Reproduces Figure 8: the dynamic behaviour of yn during SYN floods at
+// Auckland, for fi = 2, 5, 10 SYN/s. Paper: ~8 periods at 2 SYN/s, 2 at
+// 5, and 1 at 10.
+#include <cstdio>
+
+#include "common/experiment.hpp"
+#include "syndog/stats/series.hpp"
+#include "syndog/util/strings.hpp"
+
+using namespace syndog;
+
+int main() {
+  bench::print_header(
+      "Figure 8 -- SYN flooding detection dynamics at Auckland",
+      "even a 2 SYN/s flood accumulates past N at this small site "
+      "(paper: ~8 periods at fi=2, 2 at fi=5, 1 at fi=10)");
+
+  const trace::SiteSpec spec = trace::site_spec(trace::SiteId::kAuckland);
+  const core::SynDogParams params = core::SynDogParams::paper_defaults();
+  // Zoom in on a 60-minute slice around a fixed onset so the climb is
+  // visible at the 3-hour trace's scale.
+  constexpr std::int64_t kOnsetPeriod = 60;  // flood starts at minute 20
+
+  const struct {
+    double fi;
+    const char* figure;
+    const char* paper;
+  } cases[] = {{2.0, "Fig. 8(a)", "~8 periods"},
+               {5.0, "Fig. 8(b)", "2 periods"},
+               {10.0, "Fig. 8(c)", "1 period"}};
+
+  for (const auto& c : cases) {
+    bench::EnsembleConfig cfg;
+    cfg.seed = 2000;
+    cfg.start_min_s = 20 * 60.0;
+    cfg.start_max_s = 20 * 60.0;
+    std::vector<double> path =
+        bench::statistic_path(spec, c.fi, params, cfg);
+    path.resize(std::min<std::size_t>(path.size(), 180));  // first hour
+    bench::print_series_chart(
+        std::string(c.figure) + " Auckland, fi = " +
+            util::format_double(c.fi, 0) +
+            " SYN/s (flood at period 60; first hour shown)",
+        {{"yn", path}}, "observation period n", params.threshold);
+    const std::ptrdiff_t cross =
+        stats::first_crossing(path, params.threshold);
+    std::printf(
+        "  threshold crossed at period %td (onset period %lld) -> delay "
+        "%td periods; paper: %s\n",
+        cross, static_cast<long long>(kOnsetPeriod),
+        cross >= 0 ? cross - kOnsetPeriod : -1, c.paper);
+  }
+  return 0;
+}

@@ -1,0 +1,88 @@
+// Reproduces Figure 9 / §4.2.3: site-tuned sensitivity at UNC.
+//
+// A network administrator who trusts the site's low normal-mode variance
+// can drop a from 0.35 to 0.2 and N from 1.05 to 0.6. The paper: this
+// lowers the detection floor f_min from 37 to ~15 SYN/s without incurring
+// additional false alarms; Fig. 9 shows yn for fi = 15 under the tuned
+// parameters.
+#include <cstdio>
+
+#include "common/experiment.hpp"
+#include "syndog/stats/series.hpp"
+#include "syndog/util/strings.hpp"
+#include "syndog/util/table.hpp"
+
+using namespace syndog;
+
+int main() {
+  bench::print_header(
+      "Figure 9 -- site-tuned detection sensitivity at UNC (a=0.2, N=0.6)",
+      "f_min drops 37 -> ~15 SYN/s with no extra false alarms");
+
+  const trace::SiteSpec spec = trace::site_spec(trace::SiteId::kUnc);
+  const core::SynDogParams universal = core::SynDogParams::paper_defaults();
+  const core::SynDogParams tuned = core::SynDogParams::site_tuned_unc();
+
+  // The figure: yn at fi = 15 under tuned parameters. fi = 15 sits right
+  // at the tuned detection floor (a - c) * K / t0, so — exactly as in the
+  // paper's Fig. 9 — yn crawls upward across the whole trace rather than
+  // jumping; we let the flood run to the end of the capture to show it.
+  bench::EnsembleConfig fig_cfg;
+  fig_cfg.seed = 1000;
+  fig_cfg.start_min_s = 5 * 60.0;
+  fig_cfg.start_max_s = 5 * 60.0;
+  fig_cfg.flood_duration = util::SimTime::minutes(25);
+  const std::vector<double> path15 =
+      bench::statistic_path(spec, 15.0, tuned, fig_cfg);
+  // Our calibrated trace has c ~ 0.049, putting the tuned floor at
+  // (a - c) * K / t0 ~ 16.3 SYN/s; 18 SYN/s sits just above it and shows
+  // the slow at-the-floor climb the paper's figure depicts.
+  const std::vector<double> path18 =
+      bench::statistic_path(spec, 18.0, tuned, fig_cfg);
+  bench::print_series_chart(
+      "Fig. 9 UNC, tuned a=0.2 N=0.6, flood from period 15 to the end",
+      {{"yn at fi=15 (at the floor)", path15},
+       {"yn at fi=18 (just above the floor)", path18}},
+      "observation period n", tuned.threshold);
+  std::printf("  fi=15 crosses at period %td, fi=18 at period %td "
+              "(paper's figure shows the same slow accumulation)\n",
+              stats::first_crossing(path15, tuned.threshold),
+              stats::first_crossing(path18, tuned.threshold));
+
+  // The claim: detection probability at fi=15 jumps under tuning, and the
+  // tuned detector still raises no false alarm on clean traces.
+  bench::EnsembleConfig cfg;
+  cfg.trials = 25;
+  cfg.seed = 1000;
+  cfg.start_min_s = 3 * 60.0;
+  cfg.start_max_s = 9 * 60.0;
+
+  util::TextTable table({"parameters", "fi (SYN/s)", "detect prob",
+                         "mean delay [t0]", "false alarms"});
+  for (const double fi : {15.0, 20.0, 37.0}) {
+    for (const auto& [name, params] :
+         {std::pair{"universal a=0.35 N=1.05", universal},
+          std::pair{"tuned     a=0.20 N=0.60", tuned}}) {
+      const bench::DetectionRow r =
+          bench::detection_ensemble(spec, fi, params, cfg);
+      table.add_row({name, util::format_double(fi, 0),
+                     util::format_double(r.detection_probability, 2),
+                     util::format_double(r.mean_delay_periods, 2),
+                     std::to_string(r.false_alarm_periods)});
+    }
+  }
+  // False-alarm check on attack-free traces under tuned parameters.
+  const bench::DetectionRow clean =
+      bench::detection_ensemble(spec, 0.0, tuned, cfg);
+  table.add_row({"tuned, no attack", "0", "-", "-",
+                 std::to_string(clean.false_alarm_periods)});
+  std::printf("%s", table.to_string().c_str());
+  std::printf(
+      "\nexpected: universal parameters cannot see fi=15-37 (prob ~0-0.6);\n"
+      "the tuned detector reliably catches fi>=20 and speeds up fi=37 by\n"
+      "~5x. fi=15 is exactly at the tuned floor, so its detection is\n"
+      "marginal and slow -- the same behaviour the paper's Fig. 9 shows.\n"
+      "Tuning costs a little margin: very rare disruption spikes may now\n"
+      "graze N=0.6 (the paper tuned against its own trace's spikes).\n");
+  return 0;
+}

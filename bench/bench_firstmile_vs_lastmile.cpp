@@ -1,0 +1,166 @@
+// First-mile vs last-mile deployment (paper Fig. 6 shows both sniffers).
+//
+// The same distributed flood, observed at two places:
+//  * first mile — each source stub's router pairs outgoing SYNs with
+//    incoming SYN/ACKs; it sees its slave's share f_i immediately and can
+//    name the station by MAC;
+//  * last mile — the victim stub's router pairs incoming SYNs with
+//    outgoing SYN/ACKs; the difference only opens once the victim's
+//    backlog saturates and it stops answering, and there is no source
+//    evidence at all.
+//
+// This bench quantifies that asymmetry in the DES: detection delay at
+// both vantage points as the victim's backlog grows.
+#include <cstdio>
+
+#include "common/experiment.hpp"
+#include "syndog/attack/flood.hpp"
+#include "syndog/core/agent.hpp"
+#include "syndog/sim/network.hpp"
+#include "syndog/util/strings.hpp"
+#include "syndog/util/table.hpp"
+
+using namespace syndog;
+using util::SimTime;
+
+namespace {
+
+struct VantageResult {
+  bool detected = false;
+  std::int64_t delay_periods = 0;
+  bool localized = false;
+};
+
+/// First mile: the slave's own stub, background web traffic + the flood.
+VantageResult run_first_mile(double fi, std::uint64_t seed) {
+  sim::StubNetworkParams params;
+  params.num_hosts = 25;
+  params.seed = seed;
+  sim::StubNetworkSim network(params);
+  core::SynDogAgent agent(network.router(), network.scheduler(),
+                          core::SynDogParams::paper_defaults());
+  util::Rng rng(seed);
+  std::vector<SimTime> starts;
+  double t = 0.0;
+  while (t < 10 * 60.0) {
+    t += rng.exponential_mean(0.2);  // 5 conn/s
+    starts.push_back(SimTime::from_seconds(t));
+  }
+  network.schedule_outbound_background(starts);
+
+  attack::FloodSpec flood;
+  flood.rate = fi;
+  flood.start = SimTime::minutes(3);
+  flood.duration = SimTime::minutes(6);
+  util::Rng frng(seed ^ 0xf1);
+  network.launch_flood(7, attack::generate_flood_times(flood, frng),
+                       net::Ipv4Address(198, 51, 100, 10), 80,
+                       *net::Ipv4Prefix::parse("240.0.0.0/8"));
+  network.run_until(SimTime::minutes(10));
+
+  VantageResult out;
+  out.detected = agent.ever_alarmed();
+  if (out.detected) {
+    out.delay_periods =
+        agent.first_alarm_period() -
+        flood.start / core::SynDogParams{}.observation_period;
+    const auto suspects = agent.locator().suspects();
+    out.localized = !suspects.empty() &&
+                    suspects.front().mac == net::MacAddress::for_host(7);
+  }
+  return out;
+}
+
+/// Last mile: the victim's stub; the flood arrives from outside.
+VantageResult run_last_mile(double fi, std::size_t backlog,
+                            std::uint64_t seed) {
+  sim::StubNetworkParams params;
+  params.num_hosts = 8;
+  params.seed = seed;
+  params.host_params.backlog = backlog;
+  sim::StubNetworkSim network(params);
+  network.make_servers(80);
+  core::SynDogAgent agent(network.router(), network.scheduler(),
+                          core::SynDogParams::paper_defaults(), {},
+                          core::AgentMode::kLastMile);
+
+  util::Rng rng(seed);
+  std::vector<SimTime> inbound;
+  double t = 0.0;
+  while (t < 10 * 60.0) {
+    t += rng.exponential_mean(0.2);  // 5 legit inbound conn/s
+    inbound.push_back(SimTime::from_seconds(t));
+  }
+  network.schedule_inbound_background(inbound);
+
+  attack::FloodSpec flood;
+  flood.rate = fi;
+  flood.start = SimTime::minutes(3);
+  flood.duration = SimTime::minutes(6);
+  util::Rng frng(seed ^ 0xf2);
+  for (const SimTime at : attack::generate_flood_times(flood, frng)) {
+    net::TcpPacketSpec spec;
+    spec.src_mac = net::MacAddress::for_host(0xfffffe);
+    spec.src_ip = net::Ipv4Address{0xf0000000u + frng.next_u32() % (1u << 20)};
+    spec.dst_ip = params.stub_prefix.host(1);
+    spec.src_port =
+        static_cast<std::uint16_t>(frng.uniform_int(1024, 65535));
+    spec.dst_port = 80;
+    spec.seq = frng.next_u32();
+    network.replay_at_router(at, net::make_syn(spec));
+  }
+  network.run_until(SimTime::minutes(10));
+
+  VantageResult out;
+  out.detected = agent.ever_alarmed();
+  if (out.detected) {
+    out.delay_periods =
+        agent.first_alarm_period() -
+        flood.start / core::SynDogParams{}.observation_period;
+  }
+  out.localized = !agent.locator().suspects().empty();
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  bench::print_header(
+      "First-mile vs last-mile SYN-dog (paper Fig. 6)",
+      "first mile sees the flood leave immediately and names the MAC; "
+      "last mile only alarms once the victim stops answering");
+
+  util::TextTable table({"vantage", "fi (SYN/s)", "victim backlog",
+                         "detected", "delay [t0]", "MAC evidence"});
+  for (const double fi : {40.0, 80.0}) {
+    const VantageResult first = run_first_mile(fi, 11);
+    table.add_row({"first-mile (source stub)", util::format_double(fi, 0),
+                   "-", first.detected ? "yes" : "no",
+                   first.detected
+                       ? util::format_double(
+                             static_cast<double>(first.delay_periods), 0)
+                       : "-",
+                   first.localized ? "slave MAC named" : "none"});
+    for (const std::size_t backlog : {std::size_t{256},
+                                      std::size_t{4096}}) {
+      const VantageResult last = run_last_mile(fi, backlog, 11);
+      table.add_row(
+          {"last-mile (victim stub)", util::format_double(fi, 0),
+           std::to_string(backlog), last.detected ? "yes" : "no",
+           last.detected
+               ? util::format_double(
+                     static_cast<double>(last.delay_periods), 0)
+               : "-",
+           last.localized ? "(unexpected)" : "none possible"});
+    }
+  }
+  std::printf("%s", table.to_string().c_str());
+  std::printf(
+      "\nexpected: the first mile detects within a couple of periods at\n"
+      "either rate and always names the slave's MAC. The last mile\n"
+      "detects only after the backlog saturates -- later for the larger\n"
+      "backlog, and potentially never for a well-provisioned victim --\n"
+      "and can never produce source evidence. That asymmetry is the\n"
+      "paper's argument for deploying at leaf routers near the sources.\n");
+  return 0;
+}

@@ -1,0 +1,120 @@
+// Flash-crowd discrimination.
+//
+// A raw SYN-rate threshold cannot tell a flash crowd (legitimate surge)
+// from a flood; SYN-dog can, because legitimate SYNs bring their
+// SYN/ACKs with them and the normalized difference stays at c. This
+// bench sweeps surge magnitudes and compares against spoofed floods of
+// equal extra volume — and also documents the one caveat: an extreme,
+// instantaneous surge transiently inflates Xn until the EWMA level
+// estimate K catches up, so the estimator memory alpha bounds the
+// surge-size headroom.
+#include <cstdio>
+
+#include "common/experiment.hpp"
+#include "syndog/stats/series.hpp"
+#include "syndog/trace/periods.hpp"
+#include "syndog/util/strings.hpp"
+#include "syndog/util/table.hpp"
+
+using namespace syndog;
+using util::SimTime;
+
+namespace {
+
+struct Outcome {
+  bool alarmed = false;
+  double peak_y = 0.0;
+};
+
+Outcome run_surge(double multiplier, double alpha, std::uint64_t seed) {
+  trace::SiteSpec spec = trace::site_spec(trace::SiteId::kUnc);
+  spec.disruptions_per_hour = 0.0;
+  trace::ConnectionTrace background =
+      trace::generate_site_trace(spec, seed);
+  trace::ConnectionTrace surge = trace::generate_flash_crowd(
+      spec, SimTime::minutes(10), SimTime::minutes(5), multiplier, seed);
+  const trace::PeriodSeries ps = trace::extract_periods(
+      trace::merge_traces(std::move(background), std::move(surge)),
+      trace::kObservationPeriod);
+  core::SynDogParams params = core::SynDogParams::paper_defaults();
+  params.ewma_alpha = alpha;
+  const auto reports =
+      core::run_over_series(params, ps.out_syn, ps.in_syn_ack);
+  Outcome out;
+  for (const auto& r : reports) {
+    out.alarmed |= r.alarm;
+    out.peak_y = std::max(out.peak_y, r.y);
+  }
+  return out;
+}
+
+Outcome run_flood(double extra_rate, std::uint64_t seed) {
+  trace::SiteSpec spec = trace::site_spec(trace::SiteId::kUnc);
+  spec.disruptions_per_hour = 0.0;
+  trace::PeriodSeries ps = trace::extract_periods(
+      trace::generate_site_trace(spec, seed), trace::kObservationPeriod);
+  attack::FloodSpec flood;
+  flood.rate = extra_rate;
+  flood.start = SimTime::minutes(10);
+  flood.duration = SimTime::minutes(5);
+  util::Rng rng(seed);
+  ps.add_outbound_syns(trace::bucket_times(
+      attack::generate_flood_times(flood, rng), ps.period, ps.size()));
+  const auto reports = core::run_over_series(
+      core::SynDogParams::paper_defaults(), ps.out_syn, ps.in_syn_ack);
+  Outcome out;
+  for (const auto& r : reports) {
+    out.alarmed |= r.alarm;
+    out.peak_y = std::max(out.peak_y, r.y);
+  }
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  bench::print_header(
+      "Flash crowd vs flood discrimination (UNC workload)",
+      "equal extra SYN volume: legitimate surges must stay quiet, "
+      "spoofed floods must alarm");
+
+  util::TextTable table({"event (extra volume)", "alarm?", "peak yn / N"});
+  for (const double multiplier : {2.0, 3.0, 5.0, 10.0}) {
+    const double extra_rate =
+        (multiplier - 1.0) * trace::site_spec(trace::SiteId::kUnc)
+            .outbound_rate;
+    const Outcome surge = run_surge(multiplier, 0.9, 42);
+    table.add_row(
+        {util::strprintf("flash crowd %.0fx (+%.0f conn/s)", multiplier,
+                         extra_rate),
+         surge.alarmed ? "ALARM (false)" : "quiet",
+         util::format_double(surge.peak_y, 3) + " / 1.05"});
+    const Outcome flood = run_flood(extra_rate, 42);
+    table.add_row(
+        {util::strprintf("spoofed flood    (+%.0f SYN/s)", extra_rate),
+         flood.alarmed ? "ALARM (true)" : "missed",
+         util::format_double(flood.peak_y, 3) + " / 1.05"});
+  }
+  std::printf("%s", table.to_string().c_str());
+
+  std::printf(
+      "\n-- the caveat: K-estimator memory vs extreme instant surges --\n");
+  util::TextTable caveat({"surge", "alpha=0.98", "alpha=0.9", "alpha=0.6"});
+  for (const double multiplier : {5.0, 10.0, 20.0}) {
+    std::vector<std::string> row{
+        util::strprintf("%.0fx flash crowd", multiplier)};
+    for (const double alpha : {0.98, 0.9, 0.6}) {
+      const Outcome o = run_surge(multiplier, alpha, 42);
+      row.push_back(util::strprintf("peak %.2f%s", o.peak_y,
+                                    o.alarmed ? " ALARM" : ""));
+    }
+    caveat.add_row(row);
+  }
+  std::printf("%s", caveat.to_string().c_str());
+  std::printf(
+      "\nexpected: floods alarm at every volume while 2-5x crowds stay\n"
+      "quiet. Very large instant surges inflate Xn until K adapts; a\n"
+      "smaller alpha (faster level tracking) absorbs them, at no cost to\n"
+      "flood detection (the flood draws no SYN/ACKs for K to track).\n");
+  return 0;
+}

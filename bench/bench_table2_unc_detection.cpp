@@ -1,0 +1,61 @@
+// Reproduces Table 2: detection performance of the SYN-dog at UNC.
+//
+// Floods of rate fi in {37, 40, 45, 60, 80, 120} SYN/s, 10-minute
+// duration, onset uniform in [3 min, 9 min] (the paper's setting), over an
+// ensemble of trials. Paper values:
+//   fi:    37    40     45    60  80  120
+//   prob:  0.8   1.0    1.0   1.0 1.0 1.0
+//   time:  19.8  13.25  8.65  4   2   1     (in 20 s observation periods)
+#include <cstdio>
+
+#include "common/experiment.hpp"
+#include "syndog/util/strings.hpp"
+#include "syndog/util/table.hpp"
+
+using namespace syndog;
+
+int main() {
+  bench::print_header("Table 2 -- detection performance at UNC",
+                      "f_min = 37 SYN/s; larger floods detected faster");
+
+  struct PaperRow {
+    double fi;
+    double prob;
+    double delay;
+  };
+  const PaperRow paper[] = {{37, 0.8, 19.8}, {40, 1.0, 13.25},
+                            {45, 1.0, 8.65}, {60, 1.0, 4.0},
+                            {80, 1.0, 2.0},  {120, 1.0, 1.0}};
+
+  const trace::SiteSpec spec = trace::site_spec(trace::SiteId::kUnc);
+  const core::SynDogParams params = core::SynDogParams::paper_defaults();
+  bench::EnsembleConfig cfg;
+  cfg.trials = 25;
+  cfg.seed = 1000;
+  cfg.start_min_s = 3 * 60.0;  // paper: random start between 3 and 9 min
+  cfg.start_max_s = 9 * 60.0;
+
+  util::TextTable table({"fi (SYN/s)", "Detect prob (paper)",
+                         "Detect time [t0] (paper)", "max delay",
+                         "false alarms"});
+  for (const PaperRow& row : paper) {
+    const bench::DetectionRow r =
+        bench::detection_ensemble(spec, row.fi, params, cfg);
+    table.add_row(
+        {util::format_double(row.fi, 0),
+         util::format_double(r.detection_probability, 2) + "  (" +
+             util::format_double(row.prob, 2) + ")",
+         util::format_double(r.mean_delay_periods, 2) + "  (" +
+             util::format_double(row.delay, 2) + ")",
+         util::format_double(r.max_delay_periods, 0),
+         std::to_string(r.false_alarm_periods)});
+  }
+  std::printf("%s", table.to_string().c_str());
+  std::printf(
+      "\n%d trials per rate; delay in observation periods (t0 = 20 s).\n"
+      "Expected shape: probability ~0.7-0.9 at fi=37 (the detection floor)\n"
+      "rising to 1.0 by fi=40, with delay falling monotonically from ~20\n"
+      "periods to ~1-3 periods at fi=120.\n",
+      cfg.trials);
+  return 0;
+}

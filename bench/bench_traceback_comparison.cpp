@@ -1,0 +1,130 @@
+// The paper's framing claim (§1): victim-side defenses "must rely on the
+// expensive IP traceback to trace the flooding sources", while SYN-dog —
+// sitting one hop from the sources — localizes them with two counters.
+//
+// This bench prices the alternatives on the same attack:
+//  * PPM (Savage et al. [23]): attack packets the victim must *receive*
+//    before the path is reconstructable, vs path length;
+//  * SPIE (Snoeren et al. [27]): per-router digest memory and query
+//    degradation as the tables fill with cross traffic;
+//  * SYN-dog: detection time in packets-equivalent at the source stub
+//    and the state it keeps (two counters + three scalars).
+#include <cstdio>
+
+#include "common/experiment.hpp"
+#include "syndog/traceback/ppm.hpp"
+#include "syndog/traceback/spie.hpp"
+#include "syndog/util/strings.hpp"
+#include "syndog/util/table.hpp"
+
+using namespace syndog;
+
+int main() {
+  bench::print_header(
+      "IP traceback vs SYN-dog (the paper's \"expensive traceback\" claim)",
+      "PPM needs thousands of received attack packets; SPIE needs "
+      "per-packet state at every router; SYN-dog needs two counters at "
+      "one leaf router");
+
+  // --- PPM: packets to reconstruct vs path length -------------------------
+  // This is the *idealized* full-edge variant (whole router ids in the
+  // mark). The deployable scheme compresses edges into the 16-bit IP
+  // identification field as 8 XOR fragments, multiplying the packet cost
+  // by orders of magnitude (Savage et al. report ~2,500 packets typical);
+  // the idealized numbers below are therefore a LOWER bound on PPM cost.
+  std::printf("\n-- probabilistic packet marking (p = 0.04, idealized "
+              "full-edge marks) --\n");
+  util::TextTable ppm({"path length (hops)", "packets needed (mean of 10)",
+                       "Savage bound ln(d)/(p(1-p)^(d-1))"});
+  for (const int depth : {5, 10, 15, 20, 25}) {
+    const traceback::AttackTopology topo =
+        traceback::AttackTopology::chain(depth);
+    double total = 0.0;
+    int completed = 0;
+    for (int r = 0; r < 10; ++r) {
+      util::Rng rng(100 + r);
+      const auto packets = traceback::packets_until_traced(
+          topo, topo.attacker_leaves()[0], 0.04, rng);
+      if (packets) {
+        total += static_cast<double>(*packets);
+        ++completed;
+      }
+    }
+    ppm.add_row(
+        {std::to_string(depth),
+         completed ? util::format_count(
+                         static_cast<std::int64_t>(total / completed))
+                   : "budget exceeded",
+         util::format_count(static_cast<std::int64_t>(
+             traceback::PpmCollector::expected_packets_bound(0.04,
+                                                             depth)))});
+  }
+  std::printf("%s", ppm.to_string().c_str());
+
+  // --- SPIE: state cost and fill degradation -------------------------------
+  std::printf("\n-- SPIE hash digests (2^18 bits/router, 4 hashes) --\n");
+  util::Rng topo_rng(7);
+  const traceback::AttackTopology topo =
+      traceback::AttackTopology::random(25, 8, 20, topo_rng);
+  traceback::SpieSystem spie(topo, traceback::SpieSystem::Params{});
+  util::Rng rng(11);
+  const std::uint64_t digest =
+      spie.forward_attack_packet(topo.attacker_leaves()[0], rng);
+
+  util::TextTable st({"cross traffic per router", "mean filter fill",
+                      "expected FP rate", "traced routers (true path)"});
+  const std::size_t true_path =
+      topo.path_from(topo.attacker_leaves()[0]).size();
+  for (const int load : {0, 20000, 60000, 120000}) {
+    // Top up each router's digest table to `load` total insertions.
+    for (traceback::RouterId id = 0; id < topo.router_count(); ++id) {
+      while (spie.router_filter(id).inserted() <
+             static_cast<std::uint64_t>(load)) {
+        spie.forward_cross_traffic(id, rng.next_u64());
+      }
+    }
+    double fill = 0.0;
+    double fp = 0.0;
+    for (traceback::RouterId id = 0; id < topo.router_count(); ++id) {
+      fill += spie.router_filter(id).fill_ratio();
+      fp += spie.router_filter(id).expected_false_positive_rate();
+    }
+    fill /= static_cast<double>(topo.router_count());
+    fp /= static_cast<double>(topo.router_count());
+    st.add_row({util::format_count(load), util::format_double(fill, 3),
+                util::format_double(fp, 4),
+                util::strprintf("%zu (%zu)", spie.trace(digest).size(),
+                                true_path)});
+  }
+  std::printf("%s", st.to_string().c_str());
+  std::printf("digest memory deployed: %s bytes across %zu routers "
+              "(per time window!)\n",
+              util::format_count(static_cast<std::int64_t>(
+                  spie.total_state_bytes())).c_str(),
+              topo.router_count());
+
+  // --- SYN-dog on the same attack ------------------------------------------
+  std::printf("\n-- SYN-dog at the source's leaf router --\n");
+  const trace::SiteSpec spec = trace::site_spec(trace::SiteId::kUnc);
+  bench::EnsembleConfig cfg;
+  cfg.trials = 10;
+  cfg.seed = 1000;
+  const bench::DetectionRow r = bench::detection_ensemble(
+      spec, 60.0, core::SynDogParams::paper_defaults(), cfg);
+  std::printf(
+      "fi = 60 SYN/s at UNC: detection in %.1f periods = %.0f seconds =\n"
+      "~%s attack packets into the flood; state kept: 2 counters + 3\n"
+      "scalars at ONE router; localization: the slave's MAC, for free.\n",
+      r.mean_delay_periods, r.mean_delay_periods * 20.0,
+      util::format_count(static_cast<std::int64_t>(
+          r.mean_delay_periods * 20.0 * 60.0)).c_str());
+  std::printf(
+      "\nexpected: even idealized PPM needs tens-to-hundreds of received\n"
+      "attack packets (deployable fragment encoding: thousands), grows\n"
+      "steeply with path length, and only works while the victim is being\n"
+      "hit; SPIE answers from one packet but deploys megabytes of rolling\n"
+      "per-packet state at EVERY router and degrades as tables fill.\n"
+      "SYN-dog spends near-zero state, needs no infrastructure beyond the\n"
+      "leaf router, and points at the source subnet by construction.\n");
+  return 0;
+}

@@ -1,0 +1,132 @@
+// Victim goodput vs flood rate — the context behind the paper's [8]
+// figures: "the minimum flooding rate to overwhelm an unprotected server
+// is 500 SYN packets per second. With a specialized firewall ... a
+// server can be disabled by a flood of 14,000 SYNs per second."
+//
+// What determines the collapse point is the half-open budget per second:
+// backlog_size / half_open_lifetime. A classic stack (small backlog,
+// ~75 s timeout) collapses at a trickle; provisioned servers (big
+// backlog) and aggressive recycling (SYN-cache-style short lifetimes)
+// move the cliff by orders of magnitude — which is exactly why attackers
+// need the aggregate rates the paper quotes, and why they spread the
+// flood over many stubs to stay under each SYN-dog's floor.
+#include <cstdio>
+
+#include "common/experiment.hpp"
+#include "syndog/attack/flood.hpp"
+#include "syndog/sim/network.hpp"
+#include "syndog/util/strings.hpp"
+#include "syndog/util/table.hpp"
+
+using namespace syndog;
+using util::SimTime;
+
+namespace {
+
+struct GoodputResult {
+  double established_fraction = 0.0;
+  std::uint64_t backlog_drops = 0;
+};
+
+/// 20 legit clients connect to the victim at ~10 conn/s total while a
+/// spoofed flood of `flood_rate` SYN/s hits it for 2 minutes.
+GoodputResult run(double flood_rate, std::size_t backlog,
+                  util::SimTime half_open_timeout, std::uint64_t seed) {
+  sim::StubNetworkParams params;
+  params.num_hosts = 20;
+  params.seed = seed;
+  params.cloud.no_answer_probability = 0.0;
+  sim::StubNetworkSim net(params);
+
+  sim::TcpHostParams victim_params;
+  victim_params.backlog = backlog;
+  victim_params.half_open_timeout = half_open_timeout;
+  sim::TcpHost& victim = net.add_internet_host(
+      "victim", net::Ipv4Address(198, 51, 100, 10), victim_params);
+  victim.listen(80);
+
+  util::Rng rng(seed);
+  std::size_t legit = 0;
+  for (double t = 1.0; t < 120.0; t += rng.exponential_mean(0.1)) {
+    const auto client = static_cast<std::uint32_t>(
+        rng.uniform_int(1, params.num_hosts));
+    net.scheduler().schedule_at(SimTime::from_seconds(t),
+                                [&net, client, ip = victim.ip()] {
+                                  net.host(client).connect(ip, 80);
+                                });
+    ++legit;
+  }
+
+  if (flood_rate > 0.0) {
+    attack::FloodSpec flood;
+    flood.rate = flood_rate;
+    flood.start = SimTime::zero();
+    flood.duration = SimTime::minutes(2);
+    util::Rng frng(seed ^ 0xf);
+    net.launch_flood(1, attack::generate_flood_times(flood, frng),
+                     victim.ip(), 80,
+                     *net::Ipv4Prefix::parse("240.0.0.0/8"));
+  }
+  net.run_until(SimTime::minutes(2) + SimTime::seconds(10));
+
+  std::uint64_t established = 0;
+  for (std::uint32_t h = 1; h <= params.num_hosts; ++h) {
+    established += net.host(h).stats().established_as_client;
+  }
+  return GoodputResult{
+      static_cast<double>(established) / static_cast<double>(legit),
+      victim.stats().backlog_drops};
+}
+
+}  // namespace
+
+int main() {
+  bench::print_header(
+      "Victim goodput vs flood rate (context for [8]'s 500 / 14,000 "
+      "SYN/s)",
+      "collapse point ~ backlog / half-open lifetime; defenses move it, "
+      "never remove it");
+
+  struct VictimClass {
+    const char* label;
+    std::size_t backlog;
+    util::SimTime timeout;
+    std::vector<double> rates;
+  };
+  const VictimClass classes[] = {
+      {"classic stack (backlog 128, 75 s timeout, budget ~1.7/s)", 128,
+       SimTime::seconds(75),
+       {0, 1, 5, 50, 500}},
+      {"provisioned (backlog 4096, 75 s timeout, budget ~55/s)", 4096,
+       SimTime::seconds(75),
+       {0, 25, 50, 100, 500}},
+      {"aggressive recycle (backlog 4096, 3 s lifetime, budget ~1365/s)",
+       4096, SimTime::seconds(3),
+       {0, 500, 1000, 1400, 2500}},
+  };
+
+  for (const VictimClass& vc : classes) {
+    std::printf("\n-- %s --\n", vc.label);
+    util::TextTable table({"flood SYN/s", "legit handshakes completed",
+                           "SYNs dropped (backlog full)"});
+    for (const double rate : vc.rates) {
+      const GoodputResult r = run(rate, vc.backlog, vc.timeout, 42);
+      table.add_row(
+          {util::format_double(rate, 0),
+           util::format_double(100.0 * r.established_fraction, 1) + " %",
+           util::format_count(static_cast<std::int64_t>(r.backlog_drops))});
+    }
+    std::printf("%s", table.to_string().c_str());
+  }
+
+  std::printf(
+      "\nexpected: goodput stays ~100%% below each victim's half-open\n"
+      "budget and collapses above it -- at ~2 SYN/s for the classic\n"
+      "stack, ~55 for the provisioned one, and north of 1,300 with\n"
+      "aggressive recycling. Scaling that defense race to [8]'s numbers\n"
+      "(500 unprotected, 14,000 firewalled) is why distributed attackers\n"
+      "need many stubs -- and why per-stub SYN-dog detection of shares as\n"
+      "small as f_min caps how far they can spread (see\n"
+      "bench_sensitivity_bound).\n");
+  return 0;
+}

@@ -1,0 +1,128 @@
+#include "experiment.hpp"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "syndog/trace/periods.hpp"
+#include "syndog/util/table.hpp"
+
+namespace syndog::bench {
+
+FloodTrial make_flood_trial(const trace::SiteSpec& spec, double fi,
+                            const EnsembleConfig& cfg, int index) {
+  const trace::ConnectionTrace background = trace::generate_site_trace(
+      spec, cfg.seed + static_cast<std::uint64_t>(index));
+  trace::PeriodSeries periods =
+      trace::extract_periods(background, trace::kObservationPeriod);
+
+  FloodTrial trial;
+  trial.onset_period = static_cast<std::int64_t>(periods.size());
+  trial.flood_end_period = static_cast<std::int64_t>(periods.size());
+
+  if (fi > 0.0) {
+    util::Rng rng = util::Rng::child(cfg.seed ^ 0xa77ac4,
+                                     static_cast<std::uint64_t>(index));
+    attack::FloodSpec flood;
+    flood.rate = fi;
+    flood.shape = cfg.shape;
+    flood.start = util::SimTime::from_seconds(
+        rng.uniform(cfg.start_min_s, cfg.start_max_s));
+    flood.duration = cfg.flood_duration;
+    const std::vector<util::SimTime> times =
+        attack::generate_flood_times(flood, rng);
+    periods.add_outbound_syns(
+        trace::bucket_times(times, periods.period, periods.size()));
+
+    trial.onset_period = flood.start / periods.period;
+    trial.flood_end_period =
+        std::min<std::int64_t>((flood.start + flood.duration) /
+                                   periods.period,
+                               static_cast<std::int64_t>(periods.size()) - 1);
+  }
+  trial.out_syn = std::move(periods.out_syn);
+  trial.in_syn_ack = std::move(periods.in_syn_ack);
+  return trial;
+}
+
+DetectionRow detection_ensemble(const trace::SiteSpec& spec, double fi,
+                                const core::SynDogParams& params,
+                                const EnsembleConfig& cfg) {
+  DetectionRow row;
+  row.fi = fi;
+  row.trials = cfg.trials;
+  double delay_sum = 0.0;
+  int detected = 0;
+
+  for (int t = 0; t < cfg.trials; ++t) {
+    const FloodTrial trial = make_flood_trial(spec, fi, cfg, t);
+    const std::vector<core::PeriodReport> reports =
+        core::run_over_series(params, trial.out_syn, trial.in_syn_ack);
+
+    for (std::int64_t n = 0; n < trial.onset_period &&
+                             n < static_cast<std::int64_t>(reports.size());
+         ++n) {
+      if (reports[static_cast<std::size_t>(n)].alarm) {
+        ++row.false_alarm_periods;
+      }
+    }
+    for (std::int64_t n = trial.onset_period;
+         n <= trial.flood_end_period &&
+         n < static_cast<std::int64_t>(reports.size());
+         ++n) {
+      if (reports[static_cast<std::size_t>(n)].alarm) {
+        ++detected;
+        const double delay = static_cast<double>(n - trial.onset_period);
+        delay_sum += delay;
+        row.max_delay_periods = std::max(row.max_delay_periods, delay);
+        break;
+      }
+    }
+  }
+  row.detection_probability =
+      static_cast<double>(detected) / static_cast<double>(cfg.trials);
+  row.mean_delay_periods = detected == 0 ? 0.0 : delay_sum / detected;
+  return row;
+}
+
+std::vector<double> statistic_path(const trace::SiteSpec& spec, double fi,
+                                   const core::SynDogParams& params,
+                                   const EnsembleConfig& cfg, int index) {
+  const FloodTrial trial = make_flood_trial(spec, fi, cfg, index);
+  const std::vector<core::PeriodReport> reports =
+      core::run_over_series(params, trial.out_syn, trial.in_syn_ack);
+  std::vector<double> path;
+  path.reserve(reports.size());
+  for (const core::PeriodReport& r : reports) path.push_back(r.y);
+  return path;
+}
+
+void print_header(const std::string& experiment,
+                  const std::string& paper_reference) {
+  std::printf("==============================================================="
+              "=\n");
+  std::printf("%s\n", experiment.c_str());
+  std::printf("paper: %s\n", paper_reference.c_str());
+  std::printf("==============================================================="
+              "=\n");
+}
+
+void print_series_chart(
+    const std::string& title,
+    const std::vector<std::pair<std::string, std::vector<double>>>& series,
+    const std::string& x_label, double threshold, double y_max) {
+  util::AsciiChartOptions opts;
+  opts.width = 100;
+  opts.height = 15;
+  opts.x_label = x_label;
+  opts.y_max = y_max;
+  util::AsciiChart chart(opts);
+  for (const auto& [name, values] : series) {
+    chart.add_series(name, values);
+  }
+  if (threshold > 0.0) {
+    chart.add_threshold("flooding threshold N", threshold);
+  }
+  std::printf("\n--- %s ---\n%s", title.c_str(), chart.to_string().c_str());
+}
+
+}  // namespace syndog::bench

@@ -1,0 +1,90 @@
+// Shared harness for the paper-reproduction benches.
+//
+// Each bench binary regenerates one table or figure of the paper; these
+// helpers implement the common experiment loop: generate a calibrated site
+// trace, inject a flood, run SYN-dog over the per-period counts, and
+// aggregate detection probability / delay over a trial ensemble.
+//
+// Conventions (documented in EXPERIMENTS.md):
+//  * detection delay is measured in observation periods, as
+//    (first alarm period) - (attack onset period);
+//  * a trial counts as detected only if the alarm fires while the flood is
+//    still active (the paper's 10-minute window).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "syndog/attack/flood.hpp"
+#include "syndog/core/syndog.hpp"
+#include "syndog/trace/site.hpp"
+
+namespace syndog::bench {
+
+struct DetectionRow {
+  double fi = 0.0;                ///< flood rate at the outbound sniffer
+  double detection_probability = 0.0;
+  double mean_delay_periods = 0.0;  ///< over detected trials
+  double max_delay_periods = 0.0;
+  int trials = 0;
+  int false_alarm_periods = 0;    ///< alarms before onset, summed
+};
+
+struct EnsembleConfig {
+  int trials = 20;
+  std::uint64_t seed = 1;
+  /// Attack onset uniform in [start_min_s, start_max_s] (paper: 3-9 min
+  /// for UNC, 3-136 min for Auckland).
+  double start_min_s = 180.0;
+  double start_max_s = 540.0;
+  util::SimTime flood_duration = util::SimTime::minutes(10);
+  attack::FloodShape shape = attack::FloodShape::kConstant;
+};
+
+/// One trial's materialized series plus its attack geometry.
+struct FloodTrial {
+  std::vector<std::int64_t> out_syn;
+  std::vector<std::int64_t> in_syn_ack;
+  std::int64_t onset_period = 0;
+  std::int64_t flood_end_period = 0;  ///< last period containing flood SYNs
+};
+
+/// Builds trial `index` of an ensemble: background trace (seeded by
+/// `cfg.seed` + index) with a flood of rate `fi` mixed in. `fi <= 0` means
+/// no attack (onset/flood_end are set past the series end).
+[[nodiscard]] FloodTrial make_flood_trial(const trace::SiteSpec& spec,
+                                          double fi,
+                                          const EnsembleConfig& cfg,
+                                          int index);
+
+/// Runs `cfg.trials` trials of rate `fi` through SYN-dog and aggregates
+/// the table row. Background traces depend only on (cfg.seed, index), so
+/// rows of a rate sweep share their backgrounds — the paper's
+/// trace-driven methodology, and much faster than regenerating.
+[[nodiscard]] DetectionRow detection_ensemble(const trace::SiteSpec& spec,
+                                              double fi,
+                                              const core::SynDogParams& params,
+                                              const EnsembleConfig& cfg);
+
+/// The {yn} trajectory of a single representative trial (figures 7-9).
+[[nodiscard]] std::vector<double> statistic_path(const trace::SiteSpec& spec,
+                                                 double fi,
+                                                 const core::SynDogParams&
+                                                     params,
+                                                 const EnsembleConfig& cfg,
+                                                 int index = 0);
+
+/// Prints the standard bench header (experiment id + what the paper says).
+void print_header(const std::string& experiment,
+                  const std::string& paper_reference);
+
+/// Renders a per-period series chart (used by the figure benches).
+void print_series_chart(const std::string& title,
+                        const std::vector<std::pair<std::string,
+                                                    std::vector<double>>>&
+                            series,
+                        const std::string& x_label, double threshold = 0.0,
+                        double y_max = 0.0);
+
+}  // namespace syndog::bench

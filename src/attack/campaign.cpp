@@ -1,0 +1,69 @@
+#include "syndog/attack/campaign.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace syndog::attack {
+
+void CampaignSpec::validate() const {
+  if (!(aggregate_rate > 0.0)) {
+    throw std::invalid_argument("CampaignSpec: aggregate_rate must be > 0");
+  }
+  if (stub_networks <= 0) {
+    throw std::invalid_argument("CampaignSpec: stub_networks must be > 0");
+  }
+  if (duration <= util::SimTime::zero()) {
+    throw std::invalid_argument("CampaignSpec: duration must be positive");
+  }
+}
+
+double CampaignSpec::per_stub_rate() const {
+  validate();
+  return aggregate_rate / static_cast<double>(stub_networks);
+}
+
+FloodSpec CampaignSpec::stub_flood() const {
+  FloodSpec flood;
+  flood.rate = per_stub_rate();
+  flood.start = start;
+  flood.duration = duration;
+  flood.shape = shape;
+  return flood;
+}
+
+std::int64_t max_hiding_stubs(double aggregate_rate, double f_min) {
+  if (!(aggregate_rate > 0.0) || !(f_min > 0.0)) {
+    throw std::invalid_argument("max_hiding_stubs: rates must be positive");
+  }
+  return static_cast<std::int64_t>(std::floor(aggregate_rate / f_min));
+}
+
+Campaign::Campaign(CampaignSpec spec, std::uint64_t seed)
+    : spec_(spec), seed_(seed) {
+  spec_.validate();
+}
+
+std::vector<Slave> Campaign::slaves_in_stub(std::int64_t stub_index) const {
+  if (stub_index < 0 || stub_index >= spec_.stub_networks) {
+    throw std::out_of_range("Campaign: stub_index out of range");
+  }
+  // One slave per stub (the paper's evaluation setting); the compromised
+  // host is a deterministic pseudo-random pick inside the stub.
+  util::Rng rng = util::Rng::child(seed_,
+                                   static_cast<std::uint64_t>(stub_index));
+  Slave slave;
+  slave.host_index = static_cast<std::uint32_t>(rng.uniform_int(1, 250));
+  return {slave};
+}
+
+std::vector<util::SimTime> Campaign::flood_times_in_stub(
+    std::int64_t stub_index) const {
+  if (stub_index < 0 || stub_index >= spec_.stub_networks) {
+    throw std::out_of_range("Campaign: stub_index out of range");
+  }
+  util::Rng rng = util::Rng::child(
+      seed_ ^ 0x5371b5u, static_cast<std::uint64_t>(stub_index));
+  return generate_flood_times(spec_.stub_flood(), rng);
+}
+
+}  // namespace syndog::attack

@@ -1,0 +1,73 @@
+// Distributed-campaign model (paper §4.2 and §4.2.3).
+//
+// A master instructs slaves in many stub networks to flood one victim.
+// With aggregate rate V spread evenly over A_s stubs (one slave each), the
+// rate each SYN-dog sees is f_i = V / A_s — the attacker's best strategy
+// for hiding from leaf-router detection. These helpers compute both sides
+// of that trade-off: the per-stub rate of a campaign, and the maximum
+// number of stubs an attacker can spread over before dropping below a
+// site's detection floor f_min.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "syndog/attack/flood.hpp"
+
+namespace syndog::attack {
+
+/// Flood volumes the paper cites [8]: minimum aggregate SYN rate to
+/// overwhelm a server.
+inline constexpr double kUnprotectedServerRate = 500.0;    ///< SYN/s
+inline constexpr double kFirewalledServerRate = 14000.0;   ///< SYN/s
+
+struct CampaignSpec {
+  double aggregate_rate = kFirewalledServerRate;  ///< V, SYN/s at victim
+  std::int64_t stub_networks = 100;               ///< A_s, one slave each
+  FloodShape shape = FloodShape::kConstant;
+  util::SimTime start = util::SimTime::minutes(5);
+  util::SimTime duration = util::SimTime::minutes(10);
+
+  void validate() const;
+
+  /// Rate seen by each stub's outbound sniffer: f_i = V / A_s.
+  [[nodiscard]] double per_stub_rate() const;
+  /// Flood spec as observed at one participating stub.
+  [[nodiscard]] FloodSpec stub_flood() const;
+};
+
+/// Maximum number of stub networks the attacker can spread over while the
+/// aggregate still reaches `aggregate_rate` and each stub's share stays at
+/// or above `f_min` (i.e. remains detectable): floor(V / f_min).
+[[nodiscard]] std::int64_t max_hiding_stubs(double aggregate_rate,
+                                            double f_min);
+
+/// A named slave inside one stub network, for localization scenarios.
+struct Slave {
+  std::uint32_t host_index = 0;  ///< stub host running the attack daemon
+  std::string tool = "tfn2k";
+};
+
+/// The campaign as a whole: which stubs participate and with which slaves.
+/// `slaves_in_stub(i)` is deterministic in the seed so experiments
+/// reproduce.
+class Campaign {
+ public:
+  Campaign(CampaignSpec spec, std::uint64_t seed);
+
+  [[nodiscard]] const CampaignSpec& spec() const { return spec_; }
+  /// Host indices of the compromised machines in stub `stub_index`
+  /// (paper's evaluation: exactly one slave per stub).
+  [[nodiscard]] std::vector<Slave> slaves_in_stub(
+      std::int64_t stub_index) const;
+  /// Flood SYN emission times inside stub `stub_index`.
+  [[nodiscard]] std::vector<util::SimTime> flood_times_in_stub(
+      std::int64_t stub_index) const;
+
+ private:
+  CampaignSpec spec_;
+  std::uint64_t seed_;
+};
+
+}  // namespace syndog::attack

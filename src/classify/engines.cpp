@@ -1,0 +1,210 @@
+#include "syndog/classify/engines.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace syndog::classify {
+
+namespace {
+void require_built(bool built, const char* who) {
+  if (!built) {
+    throw std::logic_error(std::string(who) + ": match() before build()");
+  }
+}
+void require_not_built(bool built, const char* who) {
+  if (built) {
+    throw std::logic_error(std::string(who) + ": add_rule() after build()");
+  }
+}
+/// Stable priority sort: after this, a smaller vector index always means
+/// higher match precedence, which is the invariant the engines rely on.
+void sort_by_priority(std::vector<Rule>& rules) {
+  std::stable_sort(rules.begin(), rules.end(),
+                   [](const Rule& a, const Rule& b) {
+                     return a.priority < b.priority;
+                   });
+}
+}  // namespace
+
+// --- LinearClassifier ------------------------------------------------------
+
+void LinearClassifier::add_rule(Rule rule) {
+  require_not_built(built_, "LinearClassifier");
+  rules_.push_back(std::move(rule));
+}
+
+void LinearClassifier::build() {
+  sort_by_priority(rules_);
+  built_ = true;
+}
+
+const Rule* LinearClassifier::match(const FlowKey& key) const {
+  require_built(built_, "LinearClassifier");
+  for (const Rule& rule : rules_) {
+    if (rule.matches(key)) return &rule;
+  }
+  return nullptr;
+}
+
+// --- HierarchicalTrieClassifier ---------------------------------------------
+
+HierarchicalTrieClassifier::HierarchicalTrieClassifier() = default;
+
+void HierarchicalTrieClassifier::add_rule(Rule rule) {
+  require_not_built(built_, "HierarchicalTrieClassifier");
+  rules_.push_back(std::move(rule));
+}
+
+std::uint32_t HierarchicalTrieClassifier::alloc_src() {
+  src_nodes_.emplace_back();
+  return static_cast<std::uint32_t>(src_nodes_.size() - 1);
+}
+
+std::uint32_t HierarchicalTrieClassifier::alloc_dst() {
+  dst_nodes_.emplace_back();
+  return static_cast<std::uint32_t>(dst_nodes_.size() - 1);
+}
+
+void HierarchicalTrieClassifier::insert_rule(std::uint32_t rule_index) {
+  const Rule& rule = rules_[rule_index];
+  // Walk/extend the source trie along the rule's source prefix bits.
+  std::uint32_t node = 0;
+  for (int bit = 0; bit < rule.src.length(); ++bit) {
+    const std::uint32_t b = (rule.src.base().value() >> (31 - bit)) & 1;
+    if (src_nodes_[node].child[b] == kNoNode) {
+      const std::uint32_t fresh = alloc_src();
+      src_nodes_[node].child[b] = fresh;
+    }
+    node = src_nodes_[node].child[b];
+  }
+  if (src_nodes_[node].dst_root == kNoNode) {
+    src_nodes_[node].dst_root = alloc_dst();
+  }
+  // Then the destination trie hanging off that source node.
+  std::uint32_t dnode = src_nodes_[node].dst_root;
+  for (int bit = 0; bit < rule.dst.length(); ++bit) {
+    const std::uint32_t b = (rule.dst.base().value() >> (31 - bit)) & 1;
+    if (dst_nodes_[dnode].child[b] == kNoNode) {
+      const std::uint32_t fresh = alloc_dst();
+      dst_nodes_[dnode].child[b] = fresh;
+    }
+    dnode = dst_nodes_[dnode].child[b];
+  }
+  dst_nodes_[dnode].rule_indices.push_back(rule_index);
+}
+
+void HierarchicalTrieClassifier::build() {
+  sort_by_priority(rules_);
+  src_nodes_.clear();
+  dst_nodes_.clear();
+  alloc_src();  // root
+  for (std::uint32_t i = 0; i < rules_.size(); ++i) {
+    insert_rule(i);
+  }
+  // Keep per-node candidate lists in precedence order.
+  for (DstNode& node : dst_nodes_) {
+    std::sort(node.rule_indices.begin(), node.rule_indices.end());
+  }
+  built_ = true;
+}
+
+const Rule* HierarchicalTrieClassifier::match(const FlowKey& key) const {
+  require_built(built_, "HierarchicalTrieClassifier");
+  std::uint32_t best = kNoNode;
+
+  // Visit every source-trie node on the path of key.src_ip (all prefix
+  // lengths that could match), and for each, every dest node on the path
+  // of key.dst_ip.
+  std::uint32_t snode = 0;
+  for (int sbit = 0; sbit <= 32 && snode != kNoNode; ++sbit) {
+    const std::uint32_t droot = src_nodes_[snode].dst_root;
+    if (droot != kNoNode) {
+      std::uint32_t dnode = droot;
+      for (int dbit = 0; dbit <= 32 && dnode != kNoNode; ++dbit) {
+        for (std::uint32_t idx : dst_nodes_[dnode].rule_indices) {
+          if (idx >= best) break;  // indices are sorted; no improvement left
+          if (rules_[idx].matches(key)) {
+            best = idx;
+            break;
+          }
+        }
+        if (dbit == 32) break;
+        const std::uint32_t b = (key.dst_ip.value() >> (31 - dbit)) & 1;
+        dnode = dst_nodes_[dnode].child[b];
+      }
+    }
+    if (sbit == 32) break;
+    const std::uint32_t b = (key.src_ip.value() >> (31 - sbit)) & 1;
+    snode = src_nodes_[snode].child[b];
+  }
+  return best == kNoNode ? nullptr : &rules_[best];
+}
+
+std::size_t HierarchicalTrieClassifier::node_count() const {
+  return src_nodes_.size() + dst_nodes_.size();
+}
+
+// --- TupleSpaceClassifier ---------------------------------------------------
+
+void TupleSpaceClassifier::add_rule(Rule rule) {
+  require_not_built(built_, "TupleSpaceClassifier");
+  rules_.push_back(std::move(rule));
+}
+
+void TupleSpaceClassifier::build() {
+  sort_by_priority(rules_);
+  tuples_.clear();
+  for (std::uint32_t i = 0; i < rules_.size(); ++i) {
+    const Rule& rule = rules_[i];
+    auto it = std::find_if(tuples_.begin(), tuples_.end(),
+                           [&](const Tuple& t) {
+                             return t.src_len == rule.src.length() &&
+                                    t.dst_len == rule.dst.length();
+                           });
+    if (it == tuples_.end()) {
+      tuples_.push_back(Tuple{rule.src.length(), rule.dst.length(), {}});
+      it = tuples_.end() - 1;
+    }
+    it->buckets[bucket_key(rule.src.base().value(),
+                           rule.dst.base().value())]
+        .push_back(i);
+  }
+  for (Tuple& tuple : tuples_) {
+    for (auto& [key, indices] : tuple.buckets) {
+      std::sort(indices.begin(), indices.end());
+    }
+  }
+  built_ = true;
+}
+
+const Rule* TupleSpaceClassifier::match(const FlowKey& key) const {
+  require_built(built_, "TupleSpaceClassifier");
+  std::uint32_t best = UINT32_MAX;
+  for (const Tuple& tuple : tuples_) {
+    const std::uint32_t smask =
+        tuple.src_len == 0 ? 0 : ~std::uint32_t{0} << (32 - tuple.src_len);
+    const std::uint32_t dmask =
+        tuple.dst_len == 0 ? 0 : ~std::uint32_t{0} << (32 - tuple.dst_len);
+    const auto it = tuple.buckets.find(
+        bucket_key(key.src_ip.value() & smask, key.dst_ip.value() & dmask));
+    if (it == tuple.buckets.end()) continue;
+    for (std::uint32_t idx : it->second) {
+      if (idx >= best) break;
+      if (rules_[idx].matches(key)) {
+        best = idx;
+        break;
+      }
+    }
+  }
+  return best == UINT32_MAX ? nullptr : &rules_[best];
+}
+
+std::vector<std::unique_ptr<Classifier>> make_all_classifiers() {
+  std::vector<std::unique_ptr<Classifier>> out;
+  out.push_back(std::make_unique<LinearClassifier>());
+  out.push_back(std::make_unique<HierarchicalTrieClassifier>());
+  out.push_back(std::make_unique<TupleSpaceClassifier>());
+  return out;
+}
+
+}  // namespace syndog::classify

@@ -1,0 +1,110 @@
+// Three interchangeable rule-matching engines.
+//
+// * LinearClassifier — priority-ordered scan; the correctness reference.
+// * HierarchicalTrieClassifier — source-prefix binary trie whose nodes hang
+//   destination tries (Srinivasan et al., SIGCOMM'98 style).
+// * TupleSpaceClassifier — rules grouped by (src-len, dst-len) tuple with a
+//   hash probe per tuple (Srinivasan/Suri/Varghese tuple space search).
+//
+// All three implement first-match semantics and are checked against each
+// other by property tests; the microbenchmark compares their lookup cost.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "syndog/classify/rule.hpp"
+
+namespace syndog::classify {
+
+class LinearClassifier final : public Classifier {
+ public:
+  void add_rule(Rule rule) override;
+  void build() override;
+  [[nodiscard]] const Rule* match(const FlowKey& key) const override;
+  [[nodiscard]] std::size_t rule_count() const override {
+    return rules_.size();
+  }
+  [[nodiscard]] std::string_view name() const override { return "linear"; }
+
+ private:
+  std::vector<Rule> rules_;  // sorted by (priority, insertion) after build()
+  bool built_ = false;
+};
+
+class HierarchicalTrieClassifier final : public Classifier {
+ public:
+  HierarchicalTrieClassifier();
+
+  void add_rule(Rule rule) override;
+  void build() override;
+  [[nodiscard]] const Rule* match(const FlowKey& key) const override;
+  [[nodiscard]] std::size_t rule_count() const override {
+    return rules_.size();
+  }
+  [[nodiscard]] std::string_view name() const override { return "trie"; }
+
+  /// Number of allocated trie nodes (memory diagnostics for the bench).
+  [[nodiscard]] std::size_t node_count() const;
+
+ private:
+  static constexpr std::uint32_t kNoNode = UINT32_MAX;
+
+  struct DstNode {
+    std::uint32_t child[2] = {kNoNode, kNoNode};
+    std::vector<std::uint32_t> rule_indices;  // rules anchored at this node
+  };
+  struct SrcNode {
+    std::uint32_t child[2] = {kNoNode, kNoNode};
+    std::uint32_t dst_root = kNoNode;  // root of this node's dest trie
+  };
+
+  std::uint32_t alloc_src();
+  std::uint32_t alloc_dst();
+  void insert_rule(std::uint32_t rule_index);
+
+  std::vector<Rule> rules_;
+  std::vector<SrcNode> src_nodes_;
+  std::vector<DstNode> dst_nodes_;
+  bool built_ = false;
+};
+
+class TupleSpaceClassifier final : public Classifier {
+ public:
+  void add_rule(Rule rule) override;
+  void build() override;
+  [[nodiscard]] const Rule* match(const FlowKey& key) const override;
+  [[nodiscard]] std::size_t rule_count() const override {
+    return rules_.size();
+  }
+  [[nodiscard]] std::string_view name() const override {
+    return "tuple-space";
+  }
+
+  /// Number of distinct (src-len, dst-len) tuples (probe count per lookup).
+  [[nodiscard]] std::size_t tuple_count() const { return tuples_.size(); }
+
+ private:
+  struct Tuple {
+    int src_len = 0;
+    int dst_len = 0;
+    // masked (src, dst) pair -> rule indices, ordered by priority.
+    std::unordered_map<std::uint64_t, std::vector<std::uint32_t>> buckets;
+  };
+
+  static std::uint64_t bucket_key(std::uint32_t masked_src,
+                                  std::uint32_t masked_dst) {
+    return (std::uint64_t{masked_src} << 32) | masked_dst;
+  }
+
+  std::vector<Rule> rules_;
+  std::vector<Tuple> tuples_;
+  bool built_ = false;
+};
+
+/// Factory used by tests/benches to instantiate every engine.
+[[nodiscard]] std::vector<std::unique_ptr<Classifier>> make_all_classifiers();
+
+}  // namespace syndog::classify

@@ -1,0 +1,94 @@
+// Multi-field classification rules (cf. paper refs [14, 15, 28]).
+//
+// A leaf router that differentiates TCP control packets needs a general
+// rule engine: SYN-dog's sniffer taps are just two rules in it ("outbound
+// pure-SYN", "inbound SYN/ACK"). Rules match on source/destination prefix,
+// port ranges, protocol, and TCP flag mask/value; lowest priority number
+// wins (first-match semantics).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "syndog/net/address.hpp"
+#include "syndog/net/packet.hpp"
+
+namespace syndog::classify {
+
+/// Inclusive port range; the default matches every port.
+struct PortRange {
+  std::uint16_t lo = 0;
+  std::uint16_t hi = 65535;
+
+  [[nodiscard]] constexpr bool contains(std::uint16_t p) const {
+    return p >= lo && p <= hi;
+  }
+  [[nodiscard]] constexpr bool is_wildcard() const {
+    return lo == 0 && hi == 65535;
+  }
+  [[nodiscard]] static constexpr PortRange exactly(std::uint16_t p) {
+    return {p, p};
+  }
+  constexpr bool operator==(const PortRange&) const = default;
+};
+
+/// The header fields classification operates on, extracted once per packet.
+struct FlowKey {
+  net::Ipv4Address src_ip;
+  net::Ipv4Address dst_ip;
+  std::uint16_t src_port = 0;
+  std::uint16_t dst_port = 0;
+  std::uint8_t protocol = 0;
+  std::uint8_t tcp_flags = 0;  ///< 0 for non-TCP
+
+  [[nodiscard]] static FlowKey from_packet(const net::Packet& packet);
+  constexpr bool operator==(const FlowKey&) const = default;
+};
+
+/// Actions are opaque small integers owned by the caller; these named
+/// values cover the uses inside this project.
+enum class Action : std::uint16_t {
+  kPermit = 0,
+  kDeny = 1,
+  kCountSyn = 2,
+  kCountSynAck = 3,
+  kMirror = 4,
+};
+
+struct Rule {
+  net::Ipv4Prefix src;          ///< default /0 = any
+  net::Ipv4Prefix dst;          ///< default /0 = any
+  PortRange src_ports;
+  PortRange dst_ports;
+  std::optional<std::uint8_t> protocol;  ///< nullopt = any
+  std::uint8_t flag_mask = 0;   ///< TCP flag bits that must be examined
+  std::uint8_t flag_value = 0;  ///< required value under flag_mask
+  std::uint32_t priority = 0;   ///< lower number = higher priority
+  Action action = Action::kPermit;
+  std::string name;
+
+  [[nodiscard]] bool matches(const FlowKey& key) const;
+  [[nodiscard]] std::string to_string() const;
+};
+
+/// Convenience constructors for the two rules SYN-dog installs.
+[[nodiscard]] Rule make_syn_count_rule(std::uint32_t priority = 0);
+[[nodiscard]] Rule make_syn_ack_count_rule(std::uint32_t priority = 0);
+
+/// Abstract matcher; implementations must agree on first-match semantics:
+/// among matching rules, the one with the smallest priority value (ties
+/// broken by insertion order) is returned, or nullptr if none match.
+class Classifier {
+ public:
+  virtual ~Classifier() = default;
+  /// Rules are copied in; call build() once after the last add.
+  virtual void add_rule(Rule rule) = 0;
+  virtual void build() = 0;
+  [[nodiscard]] virtual const Rule* match(const FlowKey& key) const = 0;
+  [[nodiscard]] virtual std::size_t rule_count() const = 0;
+  [[nodiscard]] virtual std::string_view name() const = 0;
+};
+
+}  // namespace syndog::classify

@@ -1,0 +1,37 @@
+// Text format for classification rules (ACL-style configuration).
+//
+// One rule per line:
+//
+//   <action> [priority=N] [proto=tcp|udp|icmp] [src=PREFIX] [dst=PREFIX]
+//            [sport=N|LO-HI] [dport=N|LO-HI] [flags=SPEC] [name=TEXT]
+//
+// where <action> is permit | deny | count-syn | count-synack | mirror and
+// SPEC is one of syn (pure SYN), syn-ack, ack, rst, fin, or an explicit
+// MASK:VALUE pair in hex (e.g. 0x12:0x02). '#' starts a comment; blank
+// lines are ignored. Omitted fields are wildcards. Example — the two
+// rules SYN-dog installs:
+//
+//   count-syn    priority=0 proto=tcp flags=syn     name=syndog-out
+//   count-synack priority=1 proto=tcp flags=syn-ack name=syndog-in
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "syndog/classify/rule.hpp"
+
+namespace syndog::classify {
+
+/// Parses one rule line (comments/blank not allowed here). Throws
+/// std::invalid_argument with a descriptive message on malformed input.
+[[nodiscard]] Rule parse_rule_line(std::string_view line);
+
+/// Parses a whole configuration (lines, '#' comments). Error messages
+/// carry 1-based line numbers.
+[[nodiscard]] std::vector<Rule> parse_rules(std::string_view text);
+
+/// Renders a rule in the same format (round-trips through parse).
+[[nodiscard]] std::string format_rule(const Rule& rule);
+
+}  // namespace syndog::classify

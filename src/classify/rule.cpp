@@ -1,0 +1,71 @@
+#include "syndog/classify/rule.hpp"
+
+#include "syndog/util/strings.hpp"
+
+namespace syndog::classify {
+
+FlowKey FlowKey::from_packet(const net::Packet& packet) {
+  FlowKey key;
+  key.src_ip = packet.ip.src;
+  key.dst_ip = packet.ip.dst;
+  key.protocol = packet.ip.protocol;
+  if (packet.tcp) {
+    key.src_port = packet.tcp->src_port;
+    key.dst_port = packet.tcp->dst_port;
+    key.tcp_flags = packet.tcp->flags.bits;
+  } else if (packet.udp) {
+    key.src_port = packet.udp->src_port;
+    key.dst_port = packet.udp->dst_port;
+  }
+  return key;
+}
+
+bool Rule::matches(const FlowKey& key) const {
+  if (!src.contains(key.src_ip)) return false;
+  if (!dst.contains(key.dst_ip)) return false;
+  if (!src_ports.contains(key.src_port)) return false;
+  if (!dst_ports.contains(key.dst_port)) return false;
+  if (protocol && *protocol != key.protocol) return false;
+  if (flag_mask != 0) {
+    if (key.protocol != static_cast<std::uint8_t>(net::IpProtocol::kTcp)) {
+      return false;
+    }
+    if ((key.tcp_flags & flag_mask) != flag_value) return false;
+  }
+  return true;
+}
+
+std::string Rule::to_string() const {
+  return util::strprintf(
+      "#%u %s: %s:%u-%u -> %s:%u-%u proto=%s mask=0x%02x val=0x%02x",
+      priority, name.empty() ? "(rule)" : name.c_str(),
+      src.to_string().c_str(), src_ports.lo, src_ports.hi,
+      dst.to_string().c_str(), dst_ports.lo, dst_ports.hi,
+      protocol ? std::to_string(*protocol).c_str() : "any", flag_mask,
+      flag_value);
+}
+
+Rule make_syn_count_rule(std::uint32_t priority) {
+  Rule rule;
+  rule.protocol = static_cast<std::uint8_t>(net::IpProtocol::kTcp);
+  // Pure SYN: SYN set and ACK clear.
+  rule.flag_mask = net::TcpFlags::kSyn | net::TcpFlags::kAck;
+  rule.flag_value = net::TcpFlags::kSyn;
+  rule.priority = priority;
+  rule.action = Action::kCountSyn;
+  rule.name = "count-syn";
+  return rule;
+}
+
+Rule make_syn_ack_count_rule(std::uint32_t priority) {
+  Rule rule;
+  rule.protocol = static_cast<std::uint8_t>(net::IpProtocol::kTcp);
+  rule.flag_mask = net::TcpFlags::kSyn | net::TcpFlags::kAck;
+  rule.flag_value = net::TcpFlags::kSyn | net::TcpFlags::kAck;
+  rule.priority = priority;
+  rule.action = Action::kCountSynAck;
+  rule.name = "count-synack";
+  return rule;
+}
+
+}  // namespace syndog::classify

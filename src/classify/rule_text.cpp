@@ -1,0 +1,239 @@
+#include "syndog/classify/rule_text.hpp"
+
+#include <charconv>
+#include <stdexcept>
+
+#include "syndog/util/strings.hpp"
+
+namespace syndog::classify {
+
+namespace {
+
+[[noreturn]] void bad(std::string_view line, const std::string& why) {
+  throw std::invalid_argument("rule '" + std::string(line) + "': " + why);
+}
+
+std::vector<std::string> tokens_of(std::string_view line) {
+  std::vector<std::string> out;
+  for (const std::string& piece : util::split(line, ' ')) {
+    const std::string_view token = util::trim(piece);
+    if (!token.empty()) out.emplace_back(token);
+  }
+  return out;
+}
+
+Action parse_action(std::string_view text, std::string_view line) {
+  if (util::iequals(text, "permit")) return Action::kPermit;
+  if (util::iequals(text, "deny")) return Action::kDeny;
+  if (util::iequals(text, "count-syn")) return Action::kCountSyn;
+  if (util::iequals(text, "count-synack")) return Action::kCountSynAck;
+  if (util::iequals(text, "mirror")) return Action::kMirror;
+  bad(line, "unknown action '" + std::string(text) + "'");
+}
+
+std::string_view action_name(Action action) {
+  switch (action) {
+    case Action::kPermit:
+      return "permit";
+    case Action::kDeny:
+      return "deny";
+    case Action::kCountSyn:
+      return "count-syn";
+    case Action::kCountSynAck:
+      return "count-synack";
+    case Action::kMirror:
+      return "mirror";
+  }
+  return "?";
+}
+
+PortRange parse_ports(std::string_view text, std::string_view line) {
+  const std::size_t dash = text.find('-');
+  const auto parse_port = [&](std::string_view part) -> std::uint16_t {
+    unsigned value = 0;
+    const auto [ptr, ec] =
+        std::from_chars(part.data(), part.data() + part.size(), value);
+    if (ec != std::errc{} || ptr != part.data() + part.size() ||
+        value > 65535) {
+      bad(line, "bad port '" + std::string(part) + "'");
+    }
+    return static_cast<std::uint16_t>(value);
+  };
+  if (dash == std::string_view::npos) {
+    return PortRange::exactly(parse_port(text));
+  }
+  const PortRange range{parse_port(text.substr(0, dash)),
+                        parse_port(text.substr(dash + 1))};
+  if (range.lo > range.hi) bad(line, "inverted port range");
+  return range;
+}
+
+void parse_flags(std::string_view text, Rule& rule, std::string_view line) {
+  using F = net::TcpFlags;
+  if (util::iequals(text, "syn")) {
+    rule.flag_mask = F::kSyn | F::kAck;
+    rule.flag_value = F::kSyn;
+    return;
+  }
+  if (util::iequals(text, "syn-ack")) {
+    rule.flag_mask = F::kSyn | F::kAck;
+    rule.flag_value = F::kSyn | F::kAck;
+    return;
+  }
+  if (util::iequals(text, "ack")) {
+    rule.flag_mask = F::kAck;
+    rule.flag_value = F::kAck;
+    return;
+  }
+  if (util::iequals(text, "rst")) {
+    rule.flag_mask = F::kRst;
+    rule.flag_value = F::kRst;
+    return;
+  }
+  if (util::iequals(text, "fin")) {
+    rule.flag_mask = F::kFin;
+    rule.flag_value = F::kFin;
+    return;
+  }
+  const std::size_t colon = text.find(':');
+  if (colon == std::string_view::npos) {
+    bad(line, "bad flags '" + std::string(text) +
+                  "' (syn|syn-ack|ack|rst|fin|MASK:VALUE)");
+  }
+  const auto parse_hex = [&](std::string_view part) -> std::uint8_t {
+    if (util::starts_with(part, "0x") || util::starts_with(part, "0X")) {
+      part.remove_prefix(2);
+    }
+    unsigned value = 0;
+    const auto [ptr, ec] = std::from_chars(
+        part.data(), part.data() + part.size(), value, 16);
+    if (ec != std::errc{} || ptr != part.data() + part.size() ||
+        value > 0x3f) {
+      bad(line, "bad flag byte '" + std::string(part) + "'");
+    }
+    return static_cast<std::uint8_t>(value);
+  };
+  rule.flag_mask = parse_hex(text.substr(0, colon));
+  rule.flag_value = parse_hex(text.substr(colon + 1));
+  if ((rule.flag_value & ~rule.flag_mask) != 0) {
+    bad(line, "flag value has bits outside the mask");
+  }
+}
+
+}  // namespace
+
+Rule parse_rule_line(std::string_view line) {
+  const std::vector<std::string> tokens = tokens_of(line);
+  if (tokens.empty()) bad(line, "empty rule");
+
+  Rule rule;
+  rule.action = parse_action(tokens[0], line);
+  for (std::size_t i = 1; i < tokens.size(); ++i) {
+    const std::string_view token = tokens[i];
+    const std::size_t eq = token.find('=');
+    if (eq == std::string_view::npos || eq == 0) {
+      bad(line, "expected key=value, got '" + std::string(token) + "'");
+    }
+    const std::string_view key = token.substr(0, eq);
+    const std::string_view value = token.substr(eq + 1);
+    if (util::iequals(key, "priority")) {
+      unsigned prio = 0;
+      const auto [ptr, ec] =
+          std::from_chars(value.data(), value.data() + value.size(), prio);
+      if (ec != std::errc{} || ptr != value.data() + value.size()) {
+        bad(line, "bad priority");
+      }
+      rule.priority = prio;
+    } else if (util::iequals(key, "proto")) {
+      if (util::iequals(value, "tcp")) {
+        rule.protocol = static_cast<std::uint8_t>(net::IpProtocol::kTcp);
+      } else if (util::iequals(value, "udp")) {
+        rule.protocol = static_cast<std::uint8_t>(net::IpProtocol::kUdp);
+      } else if (util::iequals(value, "icmp")) {
+        rule.protocol = static_cast<std::uint8_t>(net::IpProtocol::kIcmp);
+      } else {
+        bad(line, "bad proto '" + std::string(value) + "'");
+      }
+    } else if (util::iequals(key, "src") || util::iequals(key, "dst")) {
+      const auto prefix = net::Ipv4Prefix::parse(value);
+      if (!prefix) bad(line, "bad prefix '" + std::string(value) + "'");
+      (util::iequals(key, "src") ? rule.src : rule.dst) = *prefix;
+    } else if (util::iequals(key, "sport")) {
+      rule.src_ports = parse_ports(value, line);
+    } else if (util::iequals(key, "dport")) {
+      rule.dst_ports = parse_ports(value, line);
+    } else if (util::iequals(key, "flags")) {
+      parse_flags(value, rule, line);
+      // Flag rules are only meaningful for TCP; constrain implicitly.
+      if (!rule.protocol) {
+        rule.protocol = static_cast<std::uint8_t>(net::IpProtocol::kTcp);
+      }
+    } else if (util::iequals(key, "name")) {
+      rule.name = std::string(value);
+    } else {
+      bad(line, "unknown key '" + std::string(key) + "'");
+    }
+  }
+  return rule;
+}
+
+std::vector<Rule> parse_rules(std::string_view text) {
+  std::vector<Rule> rules;
+  std::size_t line_no = 0;
+  for (const std::string& raw : util::split(text, '\n')) {
+    ++line_no;
+    std::string_view line = util::trim(raw);
+    if (const std::size_t hash = line.find('#');
+        hash != std::string_view::npos) {
+      line = util::trim(line.substr(0, hash));
+    }
+    if (line.empty()) continue;
+    try {
+      rules.push_back(parse_rule_line(line));
+    } catch (const std::invalid_argument& ex) {
+      throw std::invalid_argument("line " + std::to_string(line_no) + ": " +
+                                  ex.what());
+    }
+  }
+  return rules;
+}
+
+std::string format_rule(const Rule& rule) {
+  std::string out{action_name(rule.action)};
+  out += " priority=" + std::to_string(rule.priority);
+  if (rule.protocol) {
+    switch (static_cast<net::IpProtocol>(*rule.protocol)) {
+      case net::IpProtocol::kTcp:
+        out += " proto=tcp";
+        break;
+      case net::IpProtocol::kUdp:
+        out += " proto=udp";
+        break;
+      case net::IpProtocol::kIcmp:
+        out += " proto=icmp";
+        break;
+    }
+  }
+  if (rule.src.length() > 0) out += " src=" + rule.src.to_string();
+  if (rule.dst.length() > 0) out += " dst=" + rule.dst.to_string();
+  if (!rule.src_ports.is_wildcard()) {
+    out += " sport=" + std::to_string(rule.src_ports.lo);
+    if (rule.src_ports.hi != rule.src_ports.lo) {
+      out += "-" + std::to_string(rule.src_ports.hi);
+    }
+  }
+  if (!rule.dst_ports.is_wildcard()) {
+    out += " dport=" + std::to_string(rule.dst_ports.lo);
+    if (rule.dst_ports.hi != rule.dst_ports.lo) {
+      out += "-" + std::to_string(rule.dst_ports.hi);
+    }
+  }
+  if (rule.flag_mask != 0) {
+    out += util::strprintf(" flags=0x%02x:0x%02x", rule.flag_mask,
+                           rule.flag_value);
+  }
+  if (!rule.name.empty()) out += " name=" + rule.name;
+  return out;
+}
+
+}  // namespace syndog::classify

@@ -1,0 +1,94 @@
+#include "syndog/classify/segment.hpp"
+
+namespace syndog::classify {
+
+std::string_view to_string(SegmentKind kind) {
+  switch (kind) {
+    case SegmentKind::kSyn:
+      return "SYN";
+    case SegmentKind::kSynAck:
+      return "SYN/ACK";
+    case SegmentKind::kFin:
+      return "FIN";
+    case SegmentKind::kRst:
+      return "RST";
+    case SegmentKind::kPureAck:
+      return "ACK";
+    case SegmentKind::kData:
+      return "DATA";
+    case SegmentKind::kNotTcp:
+      return "non-TCP";
+  }
+  return "?";
+}
+
+SegmentKind classify_flags(net::TcpFlags flags) {
+  if (flags.syn()) {
+    return flags.ack() ? SegmentKind::kSynAck : SegmentKind::kSyn;
+  }
+  if (flags.rst()) return SegmentKind::kRst;
+  if (flags.fin()) return SegmentKind::kFin;
+  if (flags.ack() && !flags.psh() && !flags.urg()) {
+    return SegmentKind::kPureAck;
+  }
+  return SegmentKind::kData;
+}
+
+SegmentKind classify_packet(const net::Packet& packet) {
+  if (!packet.tcp) return SegmentKind::kNotTcp;
+  if (packet.ip.fragment_offset() != 0) return SegmentKind::kNotTcp;
+  const SegmentKind kind = classify_flags(packet.tcp->flags);
+  // A pure ACK carrying payload is a data segment.
+  if (kind == SegmentKind::kPureAck && packet.payload_bytes > 0) {
+    return SegmentKind::kData;
+  }
+  return kind;
+}
+
+SegmentKind classify_frame_fast(net::ByteSpan frame) {
+  // Step 0: Ethernet header with IPv4 ethertype.
+  constexpr std::size_t kEthSize = net::EthernetHeader::kSize;
+  if (frame.size() < kEthSize + net::Ipv4Header::kMinSize) {
+    return SegmentKind::kNotTcp;
+  }
+  if (frame[12] != 0x08 || frame[13] != 0x00) return SegmentKind::kNotTcp;
+
+  // Step 1: TCP protocol and zero fragment offset.
+  const std::uint8_t version_ihl = frame[kEthSize];
+  if ((version_ihl >> 4) != 4) return SegmentKind::kNotTcp;
+  const std::size_t ihl_bytes = static_cast<std::size_t>(version_ihl & 0x0f)
+                                * 4;
+  if (ihl_bytes < net::Ipv4Header::kMinSize) return SegmentKind::kNotTcp;
+  if (frame[kEthSize + 9] !=
+      static_cast<std::uint8_t>(net::IpProtocol::kTcp)) {
+    return SegmentKind::kNotTcp;
+  }
+  const std::uint16_t frag =
+      static_cast<std::uint16_t>((frame[kEthSize + 6] << 8) |
+                                 frame[kEthSize + 7]);
+  if ((frag & net::Ipv4Header::kFragOffsetMask) != 0) {
+    return SegmentKind::kNotTcp;
+  }
+
+  // Step 2: offset of the TCP flag byte within the frame.
+  const std::size_t flags_at = kEthSize + ihl_bytes + 13;
+  if (frame.size() <= flags_at) return SegmentKind::kNotTcp;
+
+  // Step 3: read the six flag bits.
+  const net::TcpFlags flags{static_cast<std::uint8_t>(frame[flags_at] &
+                                                      0x3f)};
+  const SegmentKind kind = classify_flags(flags);
+  if (kind != SegmentKind::kPureAck) return kind;
+
+  // Distinguish pure ACK from data using the IP total length.
+  const std::uint16_t total_len =
+      static_cast<std::uint16_t>((frame[kEthSize + 2] << 8) |
+                                 frame[kEthSize + 3]);
+  const std::size_t data_offset_at = kEthSize + ihl_bytes + 12;
+  const std::size_t tcp_header =
+      static_cast<std::size_t>(frame[data_offset_at] >> 4) * 4;
+  if (total_len > ihl_bytes + tcp_header) return SegmentKind::kData;
+  return SegmentKind::kPureAck;
+}
+
+}  // namespace syndog::classify

@@ -1,0 +1,85 @@
+#include "syndog/core/adaptive.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace syndog::core {
+
+void AdaptiveParams::validate() const {
+  if (training_periods < 2) {
+    throw std::invalid_argument(
+        "AdaptiveParams: need at least 2 training periods");
+  }
+  if (sigma_margin <= 0.0) {
+    throw std::invalid_argument("AdaptiveParams: sigma_margin must be > 0");
+  }
+  if (!(a_min > 0.0) || a_max < a_min) {
+    throw std::invalid_argument("AdaptiveParams: need 0 < a_min <= a_max");
+  }
+  if (target_delay_periods <= 0.0) {
+    throw std::invalid_argument(
+        "AdaptiveParams: target_delay_periods must be > 0");
+  }
+  universal.validate();
+}
+
+AdaptiveSynDog::AdaptiveSynDog(AdaptiveParams params)
+    : params_(params), detector_(params.universal) {
+  params_.validate();
+}
+
+const SynDogParams& AdaptiveSynDog::active_params() const {
+  return tuned_ ? *tuned_ : params_.universal;
+}
+
+PeriodReport AdaptiveSynDog::observe_period(std::int64_t syn_count,
+                                            std::int64_t syn_ack_count) {
+  const PeriodReport report =
+      detector_.observe_period(syn_count, syn_ack_count);
+  if (!tuned_) {
+    // Only quiet samples teach the baseline: a flood period has Xn at or
+    // above the universal offset, and feeding it would raise the learned
+    // a toward blindness. Gating on the sample (not on y) matters because
+    // y can stay elevated long after a flood ends.
+    if (report.x < params_.universal.a) {
+      x_stats_.add(report.x);
+    }
+    if (x_stats_.count() >= params_.training_periods) {
+      maybe_finish_training();
+    }
+  }
+  return report;
+}
+
+void AdaptiveSynDog::maybe_finish_training() {
+  const double c = x_stats_.mean();
+  const double sigma = x_stats_.stddev();
+  SynDogParams tuned = params_.universal;
+  tuned.a = std::clamp(c + params_.sigma_margin * sigma, params_.a_min,
+                       params_.a_max);
+  tuned.h = 2.0 * tuned.a;
+  // Eq. (7) inverted at the design point h = 2a, c ~= 0:
+  // N = target * (h - a) = target * a.
+  tuned.threshold = params_.target_delay_periods * (tuned.h - tuned.a);
+
+  // Carry the detector's K estimate across the switch by replaying the
+  // level into a fresh instance.
+  const double k = detector_.k();
+  SynDog replacement(tuned);
+  if (k > 0.0) {
+    // One observation with SYN == SYNACK == K primes the estimator at the
+    // learned level without perturbing the statistic.
+    (void)replacement.observe_period(static_cast<std::int64_t>(k),
+                                     static_cast<std::int64_t>(k));
+  }
+  detector_ = std::move(replacement);
+  tuned_ = tuned;
+}
+
+double AdaptiveSynDog::min_detectable_rate() const {
+  return SynDog::min_detectable_rate(active_params().a, learned_c(),
+                                     detector_.k(),
+                                     active_params().observation_period);
+}
+
+}  // namespace syndog::core

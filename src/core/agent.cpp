@@ -1,0 +1,64 @@
+#include "syndog/core/agent.hpp"
+
+namespace syndog::core {
+
+SynDogAgent::SynDogAgent(sim::LeafRouter& router, sim::Scheduler& scheduler,
+                         SynDogParams params, AlarmCallback on_alarm,
+                         AgentMode mode)
+    : scheduler_(scheduler), params_(params), mode_(mode), syndog_(params),
+      locator_(router.stub_prefix()), on_alarm_(std::move(on_alarm)) {
+  if (mode_ == AgentMode::kFirstMile) {
+    // Outgoing SYNs and incoming SYN/ACKs; SYN emitters are on the local
+    // segment, so the locator gathers MAC evidence from the outbound tap.
+    router.add_outbound_tap(
+        [this](util::SimTime at, const net::Packet& packet) {
+          outbound_.on_packet(packet);
+          locator_.on_packet(at, packet);
+        });
+    router.add_inbound_tap(
+        [this](util::SimTime at, const net::Packet& packet) {
+          (void)at;
+          inbound_.on_packet(packet);
+        });
+  } else {
+    // Last mile: the flood *arrives* through the inbound interface and
+    // the victim's SYN/ACK replies leave through the outbound one. The
+    // sources are beyond the router, so there is no MAC evidence.
+    router.add_inbound_tap(
+        [this](util::SimTime at, const net::Packet& packet) {
+          (void)at;
+          outbound_.on_packet(packet);  // counts SYNs (role kOutbound)
+        });
+    router.add_outbound_tap(
+        [this](util::SimTime at, const net::Packet& packet) {
+          (void)at;
+          inbound_.on_packet(packet);  // counts SYN/ACKs (role kInbound)
+        });
+  }
+  scheduler_.schedule_after(params_.observation_period,
+                            [this] { on_period_end(); });
+}
+
+void SynDogAgent::on_period_end() {
+  const auto syns = static_cast<std::int64_t>(outbound_.harvest());
+  const auto syn_acks = static_cast<std::int64_t>(inbound_.harvest());
+  const PeriodReport report = syndog_.observe_period(syns, syn_acks);
+  history_.push_back(report);
+
+  if (report.alarm) {
+    ever_alarmed_ = true;
+    if (first_alarm_period_ < 0) {
+      first_alarm_period_ = report.period_index;
+    }
+    if (on_alarm_) {
+      on_alarm_(AlarmEvent{scheduler_.now(), report,
+                           mode_ == AgentMode::kFirstMile
+                               ? locator_.suspects()
+                               : std::vector<Suspect>{}});
+    }
+  }
+  scheduler_.schedule_after(params_.observation_period,
+                            [this] { on_period_end(); });
+}
+
+}  // namespace syndog::core

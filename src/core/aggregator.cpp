@@ -1,0 +1,59 @@
+#include "syndog/core/aggregator.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace syndog::core {
+
+AlarmAggregator::AlarmAggregator(util::SimTime observation_period,
+                                 double assumed_c)
+    : observation_period_(observation_period), assumed_c_(assumed_c) {
+  if (observation_period_ <= util::SimTime::zero()) {
+    throw std::invalid_argument(
+        "AlarmAggregator: observation period must be positive");
+  }
+  if (assumed_c_ < 0.0) {
+    throw std::invalid_argument("AlarmAggregator: assumed_c must be >= 0");
+  }
+}
+
+void AlarmAggregator::report(const std::string& name,
+                             const AlarmEvent& event) {
+  StubAlarm& entry = stubs_[name];
+  entry.stub_name = name;
+  entry.at = event.at;
+  // Delta contains the flood plus the normal shortfall c*K; subtract the
+  // latter to estimate the flood's own contribution. The CUSUM statistic
+  // keeps alarming for a while after a flood stops (its decay is
+  // gradual), during which delta is back to normal — so the episode's
+  // *peak* per-period estimate is the meaningful rate, not the latest.
+  const double excess =
+      event.report.delta - assumed_c_ * event.report.k_estimate;
+  entry.estimated_rate =
+      std::max(entry.estimated_rate,
+               std::max(0.0, excess) / observation_period_.to_seconds());
+  entry.suspects = event.suspects;
+}
+
+void AlarmAggregator::clear(const std::string& name) { stubs_.erase(name); }
+
+double AlarmAggregator::estimated_aggregate_rate() const {
+  double total = 0.0;
+  for (const auto& [name, alarm] : stubs_) {
+    total += alarm.estimated_rate;
+  }
+  return total;
+}
+
+std::vector<AlarmAggregator::StubAlarm> AlarmAggregator::snapshot() const {
+  std::vector<StubAlarm> out;
+  out.reserve(stubs_.size());
+  for (const auto& [name, alarm] : stubs_) out.push_back(alarm);
+  std::sort(out.begin(), out.end(),
+            [](const StubAlarm& a, const StubAlarm& b) {
+              return a.estimated_rate > b.estimated_rate;
+            });
+  return out;
+}
+
+}  // namespace syndog::core

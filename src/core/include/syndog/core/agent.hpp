@@ -1,0 +1,89 @@
+// The deployable SYN-dog agent.
+//
+// Installs the two sniffers on a simulated leaf router's interface taps,
+// wakes up every observation period to exchange their counts (the paper's
+// "coordinate via shared memory / IPC" step), feeds the CUSUM core, and
+// invokes the alarm callback — with localization evidence — when the
+// statistic crosses the flooding threshold.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "syndog/core/locator.hpp"
+#include "syndog/core/sniffer.hpp"
+#include "syndog/core/syndog.hpp"
+#include "syndog/sim/router.hpp"
+#include "syndog/sim/scheduler.hpp"
+
+namespace syndog::core {
+
+struct AlarmEvent {
+  util::SimTime at;
+  PeriodReport report;
+  /// MAC-level evidence gathered since the last reset (paper §4.2.3).
+  /// Empty in last-mile mode: the sources are not on this router's LAN.
+  std::vector<Suspect> suspects;
+};
+
+/// Which SYN–SYN/ACK pair the agent watches (paper Fig. 6 deploys both).
+enum class AgentMode : std::uint8_t {
+  /// At the *sources'* leaf router: outgoing SYNs vs incoming SYN/ACKs.
+  /// Detects floods leaving the stub and can localize the stations.
+  kFirstMile,
+  /// At the *victim's* leaf router: incoming SYNs vs outgoing SYN/ACKs.
+  /// Detects an arriving flood — but only once the victim stops answering
+  /// (backlog exhausted), and it cannot see past the router toward the
+  /// sources. The first-mile/last-mile bench quantifies that asymmetry.
+  kLastMile,
+};
+
+class SynDogAgent {
+ public:
+  using AlarmCallback = std::function<void(const AlarmEvent&)>;
+
+  /// Attaches taps to `router` and starts the periodic timer on
+  /// `scheduler`. Both must outlive the agent.
+  SynDogAgent(sim::LeafRouter& router, sim::Scheduler& scheduler,
+              SynDogParams params, AlarmCallback on_alarm = {},
+              AgentMode mode = AgentMode::kFirstMile);
+
+  SynDogAgent(const SynDogAgent&) = delete;
+  SynDogAgent& operator=(const SynDogAgent&) = delete;
+
+  [[nodiscard]] AgentMode mode() const { return mode_; }
+  [[nodiscard]] const SynDog& detector() const { return syndog_; }
+  /// The sniffer counting the watched SYNs (on the outbound interface in
+  /// first-mile mode, the inbound interface in last-mile mode).
+  [[nodiscard]] const Sniffer& outbound_sniffer() const { return outbound_; }
+  /// The sniffer counting the watched SYN/ACKs.
+  [[nodiscard]] const Sniffer& inbound_sniffer() const { return inbound_; }
+  [[nodiscard]] const SourceLocator& locator() const { return locator_; }
+  /// Every period report produced so far (the {yn} trajectory).
+  [[nodiscard]] const std::vector<PeriodReport>& history() const {
+    return history_;
+  }
+  [[nodiscard]] bool ever_alarmed() const { return ever_alarmed_; }
+  /// First period whose report alarmed, or -1.
+  [[nodiscard]] std::int64_t first_alarm_period() const {
+    return first_alarm_period_;
+  }
+
+ private:
+  void on_period_end();
+
+  sim::Scheduler& scheduler_;
+  SynDogParams params_;
+  AgentMode mode_;
+  SynDog syndog_;
+  Sniffer outbound_{SnifferRole::kOutbound};
+  Sniffer inbound_{SnifferRole::kInbound};
+  SourceLocator locator_;
+  AlarmCallback on_alarm_;
+  std::vector<PeriodReport> history_;
+  bool ever_alarmed_ = false;
+  std::int64_t first_alarm_period_ = -1;
+};
+
+}  // namespace syndog::core

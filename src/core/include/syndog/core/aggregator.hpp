@@ -1,0 +1,53 @@
+// Cross-agent alarm aggregation.
+//
+// The paper stresses SYN-dog "is incrementally deployable and works
+// without requiring a wide installation" — every agent is useful alone.
+// When several *are* deployed, their alarms compose: each alarming stub
+// can estimate its local flood share from its own period report
+// (fi ~ Delta/t0 above the normal level), and the sum estimates the
+// campaign's aggregate rate V at the victim. This class performs that
+// bookkeeping for an operator dashboard; it holds no packet state.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "syndog/core/agent.hpp"
+
+namespace syndog::core {
+
+class AlarmAggregator {
+ public:
+  /// One alarming stub's latest evidence.
+  struct StubAlarm {
+    std::string stub_name;
+    util::SimTime at;
+    /// Local flood-rate estimate in SYN/s: max(0, Delta - c*K)/t0.
+    double estimated_rate = 0.0;
+    std::vector<Suspect> suspects;
+  };
+
+  explicit AlarmAggregator(util::SimTime observation_period,
+                           double assumed_c = 0.05);
+
+  /// Registers/updates stub `name` with an alarm event (typically called
+  /// from that stub's SynDogAgent alarm callback).
+  void report(const std::string& name, const AlarmEvent& event);
+  /// Clears a stub that has returned to normal.
+  void clear(const std::string& name);
+
+  [[nodiscard]] std::size_t alarming_stubs() const { return stubs_.size(); }
+  /// Sum of the per-stub rate estimates: the campaign's aggregate V.
+  [[nodiscard]] double estimated_aggregate_rate() const;
+  /// Snapshot ordered by estimated rate, largest first.
+  [[nodiscard]] std::vector<StubAlarm> snapshot() const;
+
+ private:
+  util::SimTime observation_period_;
+  double assumed_c_;
+  std::map<std::string, StubAlarm> stubs_;
+};
+
+}  // namespace syndog::core

@@ -1,0 +1,52 @@
+// Flooding-source localization (paper §4.2.3).
+//
+// Once SYN-dog alarms, the leaf router knows the sources are inside its
+// own stub network. The locator keeps, per source MAC address, how many
+// SYNs that station emitted and how many of those carried a *spoofed*
+// source IP (one not inside the stub prefix) — the evidence ingress
+// filtering checks. IP source addresses are useless during an attack;
+// MAC addresses on the local segment are not.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "syndog/net/packet.hpp"
+#include "syndog/util/time.hpp"
+
+namespace syndog::core {
+
+struct Suspect {
+  net::MacAddress mac;
+  std::uint64_t spoofed_syns = 0;  ///< SYNs with out-of-prefix source IP
+  std::uint64_t total_syns = 0;
+  util::SimTime first_seen;
+  util::SimTime last_seen;
+};
+
+class SourceLocator {
+ public:
+  explicit SourceLocator(net::Ipv4Prefix stub_prefix)
+      : stub_prefix_(stub_prefix) {}
+
+  /// Feed every packet crossing the outbound interface.
+  void on_packet(util::SimTime at, const net::Packet& packet);
+
+  /// Stations ranked by spoofed-SYN count (descending); stations that
+  /// never spoofed are omitted.
+  [[nodiscard]] std::vector<Suspect> suspects() const;
+  /// All stations that sent any SYN, ranked by total SYNs.
+  [[nodiscard]] std::vector<Suspect> stations() const;
+
+  [[nodiscard]] std::uint64_t spoofed_total() const { return spoofed_total_; }
+  /// Clears the evidence window (e.g. after an alarm has been handled).
+  void reset();
+
+ private:
+  net::Ipv4Prefix stub_prefix_;
+  std::map<net::MacAddress, Suspect> by_mac_;
+  std::uint64_t spoofed_total_ = 0;
+};
+
+}  // namespace syndog::core

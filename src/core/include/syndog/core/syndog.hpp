@@ -1,0 +1,108 @@
+// The SYN-dog detection core (paper §3).
+//
+// Per observation period t0, the router reports the number of outgoing
+// SYNs and incoming SYN/ACKs. SYN-dog then computes
+//
+//   K(n)  = alpha*K(n-1) + (1-alpha)*SYNACK(n)      (Eq. 1, EWMA level)
+//   Delta = SYN(n) - SYNACK(n)
+//   Xn    = Delta / K(n-1)                           (normalization)
+//   yn    = max(0, y(n-1) + Xn - a)                  (Eq. 2, CUSUM)
+//   alarm iff yn > N                                 (Eq. 4)
+//
+// Only two counters and three scalars of state: the statelessness that
+// makes the agent itself immune to flooding. Normalizing by K removes
+// dependence on site size and time-of-day, so a = 0.35, N = 1.05 work
+// universally (h = 2a = 0.7 is the designed attack drift; N is chosen for
+// a 3-period target detection time via Eq. 7).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "syndog/detect/cusum.hpp"
+#include "syndog/stats/online.hpp"
+#include "syndog/util/time.hpp"
+
+namespace syndog::core {
+
+struct SynDogParams {
+  double a = 0.35;           ///< upper bound on E[Xn] under normal operation
+  double h = 0.70;           ///< assumed attack drift lower bound (= 2a)
+  double threshold = 1.05;   ///< flooding threshold N
+  double ewma_alpha = 0.9;   ///< memory of the K estimator (Eq. 1)
+  util::SimTime observation_period = util::SimTime::seconds(20);  ///< t0
+  /// Floor applied to K before dividing, so an idle link (K -> 0) degrades
+  /// into "count raw SYNs" instead of dividing by zero.
+  double k_floor = 1.0;
+  /// Bounded-CUSUM cap on yn (0 = unbounded, the paper's exact form).
+  /// Capping at a few multiples of N bounds how long the alarm outlives a
+  /// long flood without changing when it fires.
+  double statistic_cap = 0.0;
+
+  void validate() const;
+
+  /// The paper's universal parameterization (§3.2).
+  [[nodiscard]] static SynDogParams paper_defaults() { return {}; }
+  /// The site-tuned variant of §4.2.3 / Fig. 9: a=0.2, N=0.6 (UNC), which
+  /// lowers f_min from 37 to ~15 SYN/s without added false alarms.
+  [[nodiscard]] static SynDogParams site_tuned_unc();
+};
+
+/// Everything SYN-dog derives in one observation period.
+struct PeriodReport {
+  std::int64_t period_index = 0;
+  std::int64_t syn_count = 0;      ///< outgoing SYNs this period
+  std::int64_t syn_ack_count = 0;  ///< incoming SYN/ACKs this period
+  double k_estimate = 0.0;         ///< K(n) after the update
+  double delta = 0.0;              ///< SYN - SYNACK
+  double x = 0.0;                  ///< normalized difference Xn
+  double y = 0.0;                  ///< CUSUM statistic yn
+  bool alarm = false;              ///< yn > N
+};
+
+class SynDog {
+ public:
+  explicit SynDog(SynDogParams params);
+
+  /// Feeds one period's counters; returns the full derivation.
+  PeriodReport observe_period(std::int64_t syn_count,
+                              std::int64_t syn_ack_count);
+
+  [[nodiscard]] const SynDogParams& params() const { return params_; }
+  [[nodiscard]] double y() const { return cusum_.statistic(); }
+  [[nodiscard]] double k() const;
+  [[nodiscard]] std::int64_t periods_observed() const { return periods_; }
+  /// True if the most recent period alarmed.
+  [[nodiscard]] bool alarmed() const { return last_alarm_; }
+  void reset();
+
+  /// Eq. (8): the minimum attack SYN rate this instance can eventually
+  /// detect, f_min = (a - c) * K / t0, evaluated at the current K estimate
+  /// and an assumed normal mean c (default 0, the paper's conservative
+  /// choice).
+  [[nodiscard]] double min_detectable_rate(double c = 0.0) const;
+  [[nodiscard]] static double min_detectable_rate(double a, double c,
+                                                  double k_bar,
+                                                  util::SimTime t0);
+
+  /// Eq. (7): conservative detection delay (in periods) for an attack of
+  /// rate `fi` SYN/s, given the current K estimate:
+  /// N / (fi*t0/K + c - a). +inf below the detectable floor.
+  [[nodiscard]] double expected_detection_periods(double fi,
+                                                  double c = 0.0) const;
+
+ private:
+  SynDogParams params_;
+  detect::NonParametricCusum cusum_;
+  stats::Ewma k_;
+  std::int64_t periods_ = 0;
+  bool last_alarm_ = false;
+};
+
+/// Batch helper: runs SYN-dog over parallel per-period count series and
+/// returns the reports (used by the trace-driven benches and tests).
+[[nodiscard]] std::vector<PeriodReport> run_over_series(
+    const SynDogParams& params, const std::vector<std::int64_t>& syns,
+    const std::vector<std::int64_t>& syn_acks);
+
+}  // namespace syndog::core

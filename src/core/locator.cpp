@@ -1,0 +1,52 @@
+#include "syndog/core/locator.hpp"
+
+#include <algorithm>
+
+#include "syndog/classify/segment.hpp"
+
+namespace syndog::core {
+
+void SourceLocator::on_packet(util::SimTime at, const net::Packet& packet) {
+  if (classify::classify_packet(packet) != classify::SegmentKind::kSyn) {
+    return;
+  }
+  Suspect& entry = by_mac_[packet.eth.src];
+  if (entry.total_syns == 0) {
+    entry.mac = packet.eth.src;
+    entry.first_seen = at;
+  }
+  entry.last_seen = at;
+  ++entry.total_syns;
+  if (!stub_prefix_.contains(packet.ip.src)) {
+    ++entry.spoofed_syns;
+    ++spoofed_total_;
+  }
+}
+
+std::vector<Suspect> SourceLocator::suspects() const {
+  std::vector<Suspect> out;
+  for (const auto& [mac, entry] : by_mac_) {
+    if (entry.spoofed_syns > 0) out.push_back(entry);
+  }
+  std::sort(out.begin(), out.end(), [](const Suspect& a, const Suspect& b) {
+    return a.spoofed_syns > b.spoofed_syns;
+  });
+  return out;
+}
+
+std::vector<Suspect> SourceLocator::stations() const {
+  std::vector<Suspect> out;
+  out.reserve(by_mac_.size());
+  for (const auto& [mac, entry] : by_mac_) out.push_back(entry);
+  std::sort(out.begin(), out.end(), [](const Suspect& a, const Suspect& b) {
+    return a.total_syns > b.total_syns;
+  });
+  return out;
+}
+
+void SourceLocator::reset() {
+  by_mac_.clear();
+  spoofed_total_ = 0;
+}
+
+}  // namespace syndog::core

@@ -1,0 +1,95 @@
+#include "syndog/core/mitigate.hpp"
+
+#include <stdexcept>
+
+#include "syndog/util/rng.hpp"
+
+namespace syndog::core {
+
+std::uint32_t SynCookieCodec::mac(const ConnKey& key,
+                                  std::uint32_t client_isn,
+                                  std::uint64_t counter) const {
+  // Two SplitMix64 rounds keyed by the secret; cheap and adequate for a
+  // simulation-grade keyed hash.
+  std::uint64_t x = secret_;
+  x = util::splitmix64(x ^ key.packed());
+  x = util::splitmix64(x ^ client_isn);
+  x = util::splitmix64(x ^ counter);
+  return static_cast<std::uint32_t>(x >> 32);
+}
+
+std::uint32_t SynCookieCodec::make(const ConnKey& key,
+                                   std::uint32_t client_isn,
+                                   std::uint64_t time_counter) const {
+  // Top 29 bits: truncated MAC; bottom 3 bits: time counter mod 8.
+  const std::uint32_t tag = mac(key, client_isn, time_counter) & ~0x7u;
+  return tag | static_cast<std::uint32_t>(time_counter & 0x7);
+}
+
+bool SynCookieCodec::verify(const ConnKey& key, std::uint32_t client_isn,
+                            std::uint32_t cookie,
+                            std::uint64_t now_counter) const {
+  const std::uint32_t encoded = cookie & 0x7;
+  // Accept the current and previous counter window whose low bits match.
+  for (std::uint64_t back = 0; back <= 1; ++back) {
+    if (now_counter < back) break;
+    const std::uint64_t counter = now_counter - back;
+    if ((counter & 0x7) != encoded) continue;
+    if (make(key, client_isn, counter) == cookie) return true;
+  }
+  return false;
+}
+
+SynCache::SynCache(std::size_t capacity) : capacity_(capacity) {
+  if (capacity_ == 0) {
+    throw std::invalid_argument("SynCache: capacity must be at least 1");
+  }
+}
+
+SynCache::AdmitResult SynCache::admit(const ConnKey& key, util::SimTime now) {
+  const std::uint64_t packed = key.packed();
+  if (index_.contains(packed)) {
+    ++stats_.duplicates;
+    return AdmitResult::kDuplicate;
+  }
+  bool evicted = false;
+  if (order_.size() >= capacity_) {
+    // Oldest-first eviction: the flood's spoofed entries are usually the
+    // oldest (no ACK ever completes them), but under sustained overload
+    // legitimate half-opens get evicted too — the failure the stats show.
+    index_.erase(order_.front().key.packed());
+    order_.pop_front();
+    ++stats_.evictions;
+    evicted = true;
+  }
+  order_.push_back(Entry{key, now});
+  index_[packed] = std::prev(order_.end());
+  ++stats_.admitted;
+  return evicted ? AdmitResult::kAdmittedWithEviction
+                 : AdmitResult::kAdmitted;
+}
+
+bool SynCache::complete(const ConnKey& key) {
+  const auto it = index_.find(key.packed());
+  if (it == index_.end()) {
+    ++stats_.completion_misses;
+    return false;
+  }
+  order_.erase(it->second);
+  index_.erase(it);
+  ++stats_.completions;
+  return true;
+}
+
+std::size_t SynCache::expire(util::SimTime now, util::SimTime age) {
+  std::size_t dropped = 0;
+  while (!order_.empty() && order_.front().admitted_at + age <= now) {
+    index_.erase(order_.front().key.packed());
+    order_.pop_front();
+    ++dropped;
+    ++stats_.expirations;
+  }
+  return dropped;
+}
+
+}  // namespace syndog::core

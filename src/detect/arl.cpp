@@ -1,0 +1,104 @@
+#include "syndog/detect/arl.hpp"
+
+#include <cmath>
+#include <limits>
+#include <vector>
+
+namespace syndog::detect {
+
+namespace {
+/// Standard normal CDF.
+double phi(double z) { return 0.5 * std::erfc(-z / std::sqrt(2.0)); }
+}  // namespace
+
+double cusum_average_run_length(const ArlSpec& spec) {
+  spec.validate();
+  const int m = spec.states;
+  const double width = spec.threshold / static_cast<double>(m);
+  // State i represents y in [i*w, (i+1)*w), approximated by its center;
+  // state 0's center is pinned to 0 because the reset-at-zero atom
+  // carries most of the stationary mass under normal operation.
+  std::vector<double> centers(static_cast<std::size_t>(m));
+  centers[0] = 0.0;
+  for (int i = 1; i < m; ++i) {
+    centers[static_cast<std::size_t>(i)] = (i + 0.5) * width;
+  }
+
+  // Transition probabilities: y' = max(0, y + X - a) with X ~ N(mu, sigma).
+  // P(y' in state j) integrates the Gaussian over the band; the j = 0
+  // band additionally absorbs all mass that clips at zero.
+  const double shift = spec.mean - spec.offset;
+  std::vector<double> q(static_cast<std::size_t>(m) *
+                        static_cast<std::size_t>(m));
+  for (int i = 0; i < m; ++i) {
+    const double y = centers[static_cast<std::size_t>(i)];
+    for (int j = 0; j < m; ++j) {
+      const double lo = j == 0 ? -std::numeric_limits<double>::infinity()
+                               : j * width;
+      const double hi = (j + 1) * width;
+      const double z_lo =
+          std::isinf(lo) ? -std::numeric_limits<double>::infinity()
+                         : (lo - y - shift) / spec.stddev;
+      const double z_hi = (hi - y - shift) / spec.stddev;
+      const double p_lo = std::isinf(z_lo) ? 0.0 : phi(z_lo);
+      q[static_cast<std::size_t>(i) * m + static_cast<std::size_t>(j)] =
+          phi(z_hi) - p_lo;
+    }
+  }
+
+  // Solve (I - Q) t = 1 by Gaussian elimination with partial pivoting.
+  std::vector<double> a(static_cast<std::size_t>(m) *
+                        static_cast<std::size_t>(m));
+  std::vector<double> t(static_cast<std::size_t>(m), 1.0);
+  for (int i = 0; i < m; ++i) {
+    for (int j = 0; j < m; ++j) {
+      const std::size_t at =
+          static_cast<std::size_t>(i) * m + static_cast<std::size_t>(j);
+      a[at] = (i == j ? 1.0 : 0.0) - q[at];
+    }
+  }
+  for (int col = 0; col < m; ++col) {
+    int pivot = col;
+    for (int row = col + 1; row < m; ++row) {
+      if (std::abs(a[static_cast<std::size_t>(row) * m + col]) >
+          std::abs(a[static_cast<std::size_t>(pivot) * m + col])) {
+        pivot = row;
+      }
+    }
+    if (std::abs(a[static_cast<std::size_t>(pivot) * m + col]) < 1e-14) {
+      return std::numeric_limits<double>::infinity();
+    }
+    if (pivot != col) {
+      for (int j = 0; j < m; ++j) {
+        std::swap(a[static_cast<std::size_t>(col) * m + j],
+                  a[static_cast<std::size_t>(pivot) * m + j]);
+      }
+      std::swap(t[static_cast<std::size_t>(col)],
+                t[static_cast<std::size_t>(pivot)]);
+    }
+    const double inv = 1.0 / a[static_cast<std::size_t>(col) * m + col];
+    for (int row = col + 1; row < m; ++row) {
+      const double factor =
+          a[static_cast<std::size_t>(row) * m + col] * inv;
+      if (factor == 0.0) continue;
+      for (int j = col; j < m; ++j) {
+        a[static_cast<std::size_t>(row) * m + j] -=
+            factor * a[static_cast<std::size_t>(col) * m + j];
+      }
+      t[static_cast<std::size_t>(row)] -=
+          factor * t[static_cast<std::size_t>(col)];
+    }
+  }
+  for (int row = m - 1; row >= 0; --row) {
+    double acc = t[static_cast<std::size_t>(row)];
+    for (int j = row + 1; j < m; ++j) {
+      acc -= a[static_cast<std::size_t>(row) * m + j] *
+             t[static_cast<std::size_t>(j)];
+    }
+    t[static_cast<std::size_t>(row)] =
+        acc / a[static_cast<std::size_t>(row) * m + row];
+  }
+  return t[0];  // expected run length starting from y = 0
+}
+
+}  // namespace syndog::detect

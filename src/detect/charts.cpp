@@ -1,0 +1,83 @@
+#include "syndog/detect/charts.hpp"
+
+#include <cmath>
+#include <limits>
+
+namespace syndog::detect {
+
+EwmaChart::EwmaChart(EwmaChartParams params)
+    : params_(params), baseline_(params.baseline_alpha) {
+  params_.validate();
+}
+
+double EwmaChart::threshold() const {
+  if (!baseline_.primed()) return std::numeric_limits<double>::infinity();
+  // Var(z) for an EWMA of i.i.d. samples: sigma^2 * lambda / (2 - lambda).
+  const double sigma_z =
+      baseline_.stddev() *
+      std::sqrt(params_.lambda / (2.0 - params_.lambda));
+  return baseline_.mean() + params_.control_limit * sigma_z;
+}
+
+Decision EwmaChart::update(double x) {
+  count_sample();
+  if (!z_primed_) {
+    z_ = x;
+    z_primed_ = true;
+  } else {
+    z_ = params_.lambda * x + (1.0 - params_.lambda) * z_;
+  }
+  const bool warm = samples_seen() > params_.warmup_samples;
+  const bool alarm = warm && baseline_.primed() && z_ > threshold();
+  // Freeze the baseline during an alarm so the attack cannot absorb itself
+  // into the estimate of "normal".
+  if (!alarm) baseline_.add(x);
+  return Decision{alarm, z_};
+}
+
+void EwmaChart::reset() {
+  baseline_ = stats::EwmaMeanVar(params_.baseline_alpha);
+  z_ = 0.0;
+  z_primed_ = false;
+  reset_sample_count();
+}
+
+ShewhartChart::ShewhartChart(ShewhartParams params)
+    : params_(params), baseline_(params.baseline_alpha) {
+  params_.validate();
+}
+
+double ShewhartChart::threshold() const {
+  if (!baseline_.primed()) return std::numeric_limits<double>::infinity();
+  return baseline_.mean() + params_.sigma_limit * baseline_.stddev();
+}
+
+Decision ShewhartChart::update(double x) {
+  count_sample();
+  last_ = x;
+  const bool warm = samples_seen() > params_.warmup_samples;
+  const bool alarm = warm && baseline_.primed() && x > threshold();
+  if (!alarm) baseline_.add(x);
+  return Decision{alarm, last_};
+}
+
+void ShewhartChart::reset() {
+  baseline_ = stats::EwmaMeanVar(params_.baseline_alpha);
+  last_ = 0.0;
+  reset_sample_count();
+}
+
+StaticThreshold::StaticThreshold(double threshold) : threshold_(threshold) {}
+
+Decision StaticThreshold::update(double x) {
+  count_sample();
+  last_ = x;
+  return Decision{x > threshold_, x};
+}
+
+void StaticThreshold::reset() {
+  last_ = 0.0;
+  reset_sample_count();
+}
+
+}  // namespace syndog::detect

@@ -1,0 +1,43 @@
+#include "syndog/detect/glr.hpp"
+
+namespace syndog::detect {
+
+GlrDetector::GlrDetector(GlrParams params) : params_(params) {
+  params_.validate();
+}
+
+Decision GlrDetector::update(double x) {
+  count_sample();
+  window_.push_back(x - params_.mean_normal);
+  if (static_cast<int>(window_.size()) > params_.window) {
+    window_.pop_front();
+  }
+
+  // g(n) = max over suffix lengths m of (suffix sum)^2 / (2 sigma^2 m).
+  const double two_var = 2.0 * params_.stddev * params_.stddev;
+  double suffix = 0.0;
+  double best = 0.0;
+  int best_age = 1;
+  int m = 0;
+  for (auto it = window_.rbegin(); it != window_.rend(); ++it) {
+    suffix += *it;
+    ++m;
+    const double g = suffix * suffix / (two_var * m);
+    if (g > best) {
+      best = g;
+      best_age = m;
+    }
+  }
+  g_ = best;
+  best_age_ = best_age;
+  return Decision{g_ > params_.threshold, g_};
+}
+
+void GlrDetector::reset() {
+  window_.clear();
+  g_ = 0.0;
+  best_age_ = 0;
+  reset_sample_count();
+}
+
+}  // namespace syndog::detect

@@ -1,0 +1,44 @@
+// Sequential change detection interface.
+//
+// A detector consumes one observation per period and answers, on-line,
+// whether the observed series is still statistically homogeneous (paper §3.2
+// and Basseville & Nikiforov [1]). Implementations are O(1) state — the
+// whole point of SYN-dog is that the router keeps no per-connection state.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+namespace syndog::detect {
+
+struct Decision {
+  bool alarm = false;      ///< change declared at this observation
+  double statistic = 0.0;  ///< detector's test statistic after the update
+};
+
+class ChangeDetector {
+ public:
+  virtual ~ChangeDetector() = default;
+
+  /// Feeds the next observation; returns the updated decision.
+  virtual Decision update(double x) = 0;
+  /// Current test statistic without feeding a sample.
+  [[nodiscard]] virtual double statistic() const = 0;
+  /// Alarm threshold the statistic is compared against.
+  [[nodiscard]] virtual double threshold() const = 0;
+  /// Restores the freshly constructed state.
+  virtual void reset() = 0;
+  [[nodiscard]] virtual std::string_view name() const = 0;
+
+  /// Observations consumed since construction/reset.
+  [[nodiscard]] std::int64_t samples_seen() const { return samples_; }
+
+ protected:
+  void count_sample() { ++samples_; }
+  void reset_sample_count() { samples_ = 0; }
+
+ private:
+  std::int64_t samples_ = 0;
+};
+
+}  // namespace syndog::detect

@@ -1,0 +1,111 @@
+// Control-chart baselines.
+//
+// These are the standard anomaly-detection alternatives a practitioner
+// would reach for instead of CUSUM. They are included as comparators for
+// the ablation benches: EWMA charts react to sustained small shifts more
+// slowly than CUSUM, and Shewhart/static thresholds either miss low-rate
+// floods or fire on normal bursts.
+#pragma once
+
+#include <stdexcept>
+
+#include "syndog/detect/change_detector.hpp"
+#include "syndog/stats/online.hpp"
+
+namespace syndog::detect {
+
+struct EwmaChartParams {
+  double lambda = 0.2;      ///< smoothing of the monitored statistic, (0,1)
+  double control_limit = 3.0;  ///< L, in sigma units
+  /// Memory of the baseline mean/variance estimator, (0,1); baseline
+  /// adapts only while no alarm is active so an attack cannot poison it.
+  double baseline_alpha = 0.98;
+  std::int64_t warmup_samples = 8;  ///< no alarms while calibrating
+
+  void validate() const {
+    if (!(lambda > 0.0 && lambda < 1.0)) {
+      throw std::invalid_argument("EwmaChart: lambda must be in (0,1)");
+    }
+    if (control_limit <= 0.0) {
+      throw std::invalid_argument("EwmaChart: control_limit must be > 0");
+    }
+    if (!(baseline_alpha > 0.0 && baseline_alpha < 1.0)) {
+      throw std::invalid_argument("EwmaChart: baseline_alpha in (0,1)");
+    }
+  }
+};
+
+/// One-sided (upper) EWMA control chart with a self-calibrating baseline.
+class EwmaChart final : public ChangeDetector {
+ public:
+  explicit EwmaChart(EwmaChartParams params);
+
+  Decision update(double x) override;
+  [[nodiscard]] double statistic() const override { return z_; }
+  /// Current upper control limit (moves with the baseline estimate).
+  [[nodiscard]] double threshold() const override;
+  void reset() override;
+  [[nodiscard]] std::string_view name() const override {
+    return "ewma-chart";
+  }
+
+ private:
+  EwmaChartParams params_;
+  stats::EwmaMeanVar baseline_;
+  double z_ = 0.0;
+  bool z_primed_ = false;
+};
+
+struct ShewhartParams {
+  double sigma_limit = 3.0;        ///< k, in sigma units
+  double baseline_alpha = 0.98;
+  std::int64_t warmup_samples = 8;
+
+  void validate() const {
+    if (sigma_limit <= 0.0) {
+      throw std::invalid_argument("Shewhart: sigma_limit must be > 0");
+    }
+    if (!(baseline_alpha > 0.0 && baseline_alpha < 1.0)) {
+      throw std::invalid_argument("Shewhart: baseline_alpha in (0,1)");
+    }
+  }
+};
+
+/// Per-sample x > mu + k*sigma test (no memory across samples).
+class ShewhartChart final : public ChangeDetector {
+ public:
+  explicit ShewhartChart(ShewhartParams params);
+
+  Decision update(double x) override;
+  [[nodiscard]] double statistic() const override { return last_; }
+  [[nodiscard]] double threshold() const override;
+  void reset() override;
+  [[nodiscard]] std::string_view name() const override { return "shewhart"; }
+
+ private:
+  ShewhartParams params_;
+  stats::EwmaMeanVar baseline_;
+  double last_ = 0.0;
+};
+
+/// Fixed threshold on the raw observation — the naive "alarm when the SYN
+/// count exceeds T" detector that needs per-site tuning; the paper's
+/// normalization exists precisely to avoid this.
+class StaticThreshold final : public ChangeDetector {
+ public:
+  explicit StaticThreshold(double threshold);
+
+  Decision update(double x) override;
+  [[nodiscard]] double statistic() const override { return last_; }
+  [[nodiscard]] double threshold() const override { return threshold_; }
+  void reset() override;
+  [[nodiscard]] std::string_view name() const override {
+    return "static-threshold";
+  }
+
+ private:
+  double threshold_;
+  double last_ = 0.0;
+};
+
+}  // namespace syndog::detect

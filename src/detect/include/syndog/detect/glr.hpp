@@ -1,0 +1,69 @@
+// Windowed Generalized Likelihood Ratio (GLR) change detection.
+//
+// Where CUSUM assumes a known post-change drift bound (the paper's
+// h = 2a), GLR estimates the change magnitude by maximizing the
+// likelihood over all candidate change points k in a trailing window:
+//
+//   g(n) = max_{n-M < k <= n}  (S(n) - S(k))^2 / (2 * sigma^2 * (n - k))
+//
+// with S the running sum. It detects shifts of *unknown* size at the
+// price of O(M) work per observation and a window of state — a useful
+// contrast to SYN-dog's O(1): better parameter-freedom, worse router
+// economics.
+#pragma once
+
+#include <deque>
+#include <stdexcept>
+
+#include "syndog/detect/change_detector.hpp"
+
+namespace syndog::detect {
+
+struct GlrParams {
+  /// Assumed pre-change mean (SYN-dog's c; 0 is the conservative choice).
+  double mean_normal = 0.0;
+  /// Noise scale sigma of the observations; must be > 0.
+  double stddev = 0.1;
+  /// Trailing window of candidate change points, >= 2.
+  int window = 60;
+  /// Alarm threshold on g(n); for i.i.d. Gaussian data the false-alarm
+  /// time grows roughly like exp(threshold).
+  double threshold = 12.0;
+
+  void validate() const {
+    if (!(stddev > 0.0)) {
+      throw std::invalid_argument("Glr: stddev must be > 0");
+    }
+    if (window < 2) {
+      throw std::invalid_argument("Glr: window must be >= 2");
+    }
+    if (!(threshold > 0.0)) {
+      throw std::invalid_argument("Glr: threshold must be > 0");
+    }
+  }
+};
+
+class GlrDetector final : public ChangeDetector {
+ public:
+  explicit GlrDetector(GlrParams params);
+
+  Decision update(double x) override;
+  [[nodiscard]] double statistic() const override { return g_; }
+  [[nodiscard]] double threshold() const override {
+    return params_.threshold;
+  }
+  void reset() override;
+  [[nodiscard]] std::string_view name() const override { return "glr"; }
+
+  /// The maximizing change-point age (observations ago) of the last
+  /// update; 0 before any update.
+  [[nodiscard]] int change_point_age() const { return best_age_; }
+
+ private:
+  GlrParams params_;
+  std::deque<double> window_;  ///< centered increments x - mean_normal
+  double g_ = 0.0;
+  int best_age_ = 0;
+};
+
+}  // namespace syndog::detect

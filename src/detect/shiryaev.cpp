@@ -1,0 +1,36 @@
+#include "syndog/detect/shiryaev.hpp"
+
+#include <cmath>
+#include <limits>
+
+namespace syndog::detect {
+
+ShiryaevRoberts::ShiryaevRoberts(ShiryaevRobertsParams params)
+    : params_(params),
+      log_r_(-std::numeric_limits<double>::infinity()) {
+  params_.validate();
+}
+
+Decision ShiryaevRoberts::update(double x) {
+  count_sample();
+  // log R(n) = log(1 + R(n-1)) + log L(n)
+  //          = log1p(exp(log R(n-1))) + g * (x - a).
+  const double log_one_plus_r =
+      std::isinf(log_r_) ? 0.0
+      : log_r_ > 30.0    ? log_r_  // 1 + R ~= R far above threshold
+                         : std::log1p(std::exp(log_r_));
+  log_r_ = log_one_plus_r + params_.gain * (x - params_.score_offset);
+  const double r = std::exp(std::min(log_r_, 700.0));
+  return Decision{r > params_.threshold, r};
+}
+
+double ShiryaevRoberts::statistic() const {
+  return std::exp(std::min(log_r_, 700.0));
+}
+
+void ShiryaevRoberts::reset() {
+  log_r_ = -std::numeric_limits<double>::infinity();
+  reset_sample_count();
+}
+
+}  // namespace syndog::detect

@@ -1,0 +1,127 @@
+#include "syndog/net/address.hpp"
+
+#include <cctype>
+#include <charconv>
+#include <cstdio>
+#include <stdexcept>
+
+#include "syndog/util/strings.hpp"
+
+namespace syndog::net {
+
+namespace {
+std::optional<int> hex_digit(char ch) {
+  if (ch >= '0' && ch <= '9') return ch - '0';
+  if (ch >= 'a' && ch <= 'f') return ch - 'a' + 10;
+  if (ch >= 'A' && ch <= 'F') return ch - 'A' + 10;
+  return std::nullopt;
+}
+}  // namespace
+
+std::optional<MacAddress> MacAddress::parse(std::string_view text) {
+  // Expect exactly "xx:xx:xx:xx:xx:xx".
+  if (text.size() != 17) return std::nullopt;
+  std::array<std::uint8_t, 6> bytes{};
+  for (int i = 0; i < 6; ++i) {
+    const std::size_t at = static_cast<std::size_t>(i) * 3;
+    const auto hi = hex_digit(text[at]);
+    const auto lo = hex_digit(text[at + 1]);
+    if (!hi || !lo) return std::nullopt;
+    if (i < 5 && text[at + 2] != ':') return std::nullopt;
+    bytes[static_cast<std::size_t>(i)] =
+        static_cast<std::uint8_t>((*hi << 4) | *lo);
+  }
+  return MacAddress{bytes};
+}
+
+MacAddress MacAddress::for_host(std::uint32_t index) {
+  // 0x02 prefix = locally administered, unicast.
+  return MacAddress{{0x02, 0x00,
+                     static_cast<std::uint8_t>(index >> 24),
+                     static_cast<std::uint8_t>(index >> 16),
+                     static_cast<std::uint8_t>(index >> 8),
+                     static_cast<std::uint8_t>(index)}};
+}
+
+std::string MacAddress::to_string() const {
+  char buf[18];
+  std::snprintf(buf, sizeof(buf), "%02x:%02x:%02x:%02x:%02x:%02x", bytes_[0],
+                bytes_[1], bytes_[2], bytes_[3], bytes_[4], bytes_[5]);
+  return buf;
+}
+
+std::optional<Ipv4Address> Ipv4Address::parse(std::string_view text) {
+  std::uint32_t value = 0;
+  int octets = 0;
+  const char* it = text.data();
+  const char* end = text.data() + text.size();
+  while (it < end) {
+    unsigned octet = 0;
+    const auto [ptr, ec] = std::from_chars(it, end, octet);
+    if (ec != std::errc{} || octet > 255 || ptr == it) return std::nullopt;
+    value = (value << 8) | octet;
+    ++octets;
+    it = ptr;
+    if (it < end) {
+      if (*it != '.' || octets == 4) return std::nullopt;
+      ++it;
+      if (it == end) return std::nullopt;  // trailing dot
+    }
+  }
+  if (octets != 4) return std::nullopt;
+  return Ipv4Address{value};
+}
+
+std::string Ipv4Address::to_string() const {
+  char buf[16];
+  std::snprintf(buf, sizeof(buf), "%u.%u.%u.%u", (value_ >> 24) & 0xff,
+                (value_ >> 16) & 0xff, (value_ >> 8) & 0xff, value_ & 0xff);
+  return buf;
+}
+
+Ipv4Prefix::Ipv4Prefix(Ipv4Address base, int length) : length_(length) {
+  if (length < 0 || length > 32) {
+    throw std::invalid_argument("Ipv4Prefix: length must be in [0,32]");
+  }
+  const std::uint32_t m =
+      length == 0 ? 0 : ~std::uint32_t{0} << (32 - length);
+  base_ = Ipv4Address{base.value() & m};
+}
+
+std::optional<Ipv4Prefix> Ipv4Prefix::parse(std::string_view text) {
+  const std::size_t slash = text.find('/');
+  if (slash == std::string_view::npos) return std::nullopt;
+  const auto addr = Ipv4Address::parse(text.substr(0, slash));
+  if (!addr) return std::nullopt;
+  int length = -1;
+  const std::string_view len_text = text.substr(slash + 1);
+  const auto [ptr, ec] = std::from_chars(
+      len_text.data(), len_text.data() + len_text.size(), length);
+  if (ec != std::errc{} || ptr != len_text.data() + len_text.size() ||
+      length < 0 || length > 32) {
+    return std::nullopt;
+  }
+  return Ipv4Prefix{*addr, length};
+}
+
+std::uint32_t Ipv4Prefix::mask() const {
+  return length_ == 0 ? 0 : ~std::uint32_t{0} << (32 - length_);
+}
+
+bool Ipv4Prefix::contains(Ipv4Address addr) const {
+  return (addr.value() & mask()) == base_.value();
+}
+
+Ipv4Address Ipv4Prefix::host(std::uint32_t offset) const {
+  return Ipv4Address{base_.value() + offset};
+}
+
+std::uint64_t Ipv4Prefix::size() const {
+  return std::uint64_t{1} << (32 - length_);
+}
+
+std::string Ipv4Prefix::to_string() const {
+  return base_.to_string() + "/" + std::to_string(length_);
+}
+
+}  // namespace syndog::net

@@ -1,0 +1,22 @@
+#include "syndog/net/headers.hpp"
+
+namespace syndog::net {
+
+std::string TcpFlags::to_string() const {
+  if (bits == 0) return "none";
+  std::string out;
+  const auto append = [&](bool set, const char* name) {
+    if (!set) return;
+    if (!out.empty()) out += '|';
+    out += name;
+  };
+  append(syn(), "SYN");
+  append(ack(), "ACK");
+  append(fin(), "FIN");
+  append(rst(), "RST");
+  append(psh(), "PSH");
+  append(urg(), "URG");
+  return out;
+}
+
+}  // namespace syndog::net

@@ -1,0 +1,64 @@
+// Wire-format serialization and zero-copy parsing.
+//
+// Writers append network-byte-order bytes to a caller-owned buffer; parsers
+// read from a span and return nullopt on truncated or malformed input (the
+// classifier must never crash on hostile packets).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "syndog/net/headers.hpp"
+
+namespace syndog::net {
+
+using ByteSpan = std::span<const std::uint8_t>;
+using ByteBuffer = std::vector<std::uint8_t>;
+
+// --- big-endian primitives -------------------------------------------------
+
+void put_u8(ByteBuffer& out, std::uint8_t v);
+void put_u16(ByteBuffer& out, std::uint16_t v);
+void put_u32(ByteBuffer& out, std::uint32_t v);
+
+[[nodiscard]] std::uint16_t read_u16(ByteSpan in, std::size_t at);
+[[nodiscard]] std::uint32_t read_u32(ByteSpan in, std::size_t at);
+
+// --- checksums ---------------------------------------------------------
+
+/// RFC 1071 Internet checksum over `data` (one's-complement sum folded to
+/// 16 bits, then complemented).
+[[nodiscard]] std::uint16_t internet_checksum(ByteSpan data);
+/// TCP/UDP checksum including the IPv4 pseudo-header.
+[[nodiscard]] std::uint16_t transport_checksum(Ipv4Address src,
+                                               Ipv4Address dst,
+                                               IpProtocol protocol,
+                                               ByteSpan segment);
+
+// --- serialization -------------------------------------------------------
+
+void write_ethernet(ByteBuffer& out, const EthernetHeader& eth);
+/// Writes the IPv4 header with its checksum computed (checksum field in the
+/// input struct is ignored). `ihl` must be 5 (options unsupported).
+void write_ipv4(ByteBuffer& out, const Ipv4Header& ip);
+/// Writes the TCP header; checksum field is taken from the struct (use
+/// `transport_checksum` to fill it, or leave 0 for simulated packets).
+void write_tcp(ByteBuffer& out, const TcpHeader& tcp);
+void write_udp(ByteBuffer& out, const UdpHeader& udp);
+void write_icmp(ByteBuffer& out, const IcmpHeader& icmp);
+
+// --- parsing -----------------------------------------------------------
+
+[[nodiscard]] std::optional<EthernetHeader> parse_ethernet(ByteSpan frame);
+/// Validates version, IHL and total_length against the available bytes.
+[[nodiscard]] std::optional<Ipv4Header> parse_ipv4(ByteSpan packet);
+[[nodiscard]] std::optional<TcpHeader> parse_tcp(ByteSpan segment);
+[[nodiscard]] std::optional<UdpHeader> parse_udp(ByteSpan datagram);
+[[nodiscard]] std::optional<IcmpHeader> parse_icmp(ByteSpan message);
+
+/// Verifies the IPv4 header checksum of a serialized header.
+[[nodiscard]] bool verify_ipv4_checksum(ByteSpan packet);
+
+}  // namespace syndog::net

@@ -1,0 +1,211 @@
+#include "syndog/net/packet.hpp"
+
+#include <stdexcept>
+
+#include "syndog/util/strings.hpp"
+
+namespace syndog::net {
+
+std::size_t Packet::frame_bytes() const {
+  return EthernetHeader::kSize + ip.total_length;
+}
+
+std::string Packet::summary() const {
+  std::string transport;
+  if (tcp) {
+    transport = util::strprintf(
+        "%s:%u > %s:%u [%s] seq=%u ack=%u", ip.src.to_string().c_str(),
+        tcp->src_port, ip.dst.to_string().c_str(), tcp->dst_port,
+        tcp->flags.to_string().c_str(), tcp->seq, tcp->ack);
+  } else if (udp) {
+    transport = util::strprintf("%s:%u > %s:%u UDP len=%u",
+                                ip.src.to_string().c_str(), udp->src_port,
+                                ip.dst.to_string().c_str(), udp->dst_port,
+                                udp->length);
+  } else if (icmp) {
+    transport = util::strprintf("%s > %s ICMP type=%u code=%u",
+                                ip.src.to_string().c_str(),
+                                ip.dst.to_string().c_str(), icmp->type,
+                                icmp->code);
+  } else {
+    transport = util::strprintf("%s > %s proto=%u",
+                                ip.src.to_string().c_str(),
+                                ip.dst.to_string().c_str(), ip.protocol);
+  }
+  return transport + util::strprintf(" (%zu bytes)", frame_bytes());
+}
+
+Packet make_tcp_packet(const TcpPacketSpec& spec) {
+  Packet pkt;
+  pkt.eth.src = spec.src_mac;
+  pkt.eth.dst = spec.dst_mac;
+  pkt.eth.ether_type = static_cast<std::uint16_t>(EtherType::kIpv4);
+
+  pkt.ip.src = spec.src_ip;
+  pkt.ip.dst = spec.dst_ip;
+  pkt.ip.ttl = spec.ttl;
+  pkt.ip.protocol = static_cast<std::uint8_t>(IpProtocol::kTcp);
+
+  TcpHeader tcp;
+  tcp.src_port = spec.src_port;
+  tcp.dst_port = spec.dst_port;
+  tcp.seq = spec.seq;
+  tcp.ack = spec.ack;
+  tcp.flags = spec.flags;
+  pkt.tcp = tcp;
+
+  pkt.payload_bytes = spec.payload_bytes;
+  const std::size_t ip_len =
+      Ipv4Header::kMinSize + tcp.header_bytes() + spec.payload_bytes;
+  if (ip_len > UINT16_MAX) {
+    throw std::invalid_argument("make_tcp_packet: payload too large");
+  }
+  pkt.ip.total_length = static_cast<std::uint16_t>(ip_len);
+  return pkt;
+}
+
+Packet make_syn(const TcpPacketSpec& spec) {
+  TcpPacketSpec s = spec;
+  s.flags = TcpFlags::syn_only();
+  s.ack = 0;
+  return make_tcp_packet(s);
+}
+
+Packet make_syn_ack(const TcpPacketSpec& spec) {
+  TcpPacketSpec s = spec;
+  s.flags = TcpFlags::syn_ack();
+  return make_tcp_packet(s);
+}
+
+Packet make_udp_packet(MacAddress src_mac, MacAddress dst_mac,
+                       Ipv4Address src_ip, Ipv4Address dst_ip,
+                       std::uint16_t src_port, std::uint16_t dst_port,
+                       std::size_t payload_bytes) {
+  Packet pkt;
+  pkt.eth.src = src_mac;
+  pkt.eth.dst = dst_mac;
+  pkt.ip.src = src_ip;
+  pkt.ip.dst = dst_ip;
+  pkt.ip.protocol = static_cast<std::uint8_t>(IpProtocol::kUdp);
+
+  UdpHeader udp;
+  udp.src_port = src_port;
+  udp.dst_port = dst_port;
+  const std::size_t udp_len = UdpHeader::kSize + payload_bytes;
+  if (Ipv4Header::kMinSize + udp_len > UINT16_MAX) {
+    throw std::invalid_argument("make_udp_packet: payload too large");
+  }
+  udp.length = static_cast<std::uint16_t>(udp_len);
+  pkt.udp = udp;
+  pkt.payload_bytes = payload_bytes;
+  pkt.ip.total_length =
+      static_cast<std::uint16_t>(Ipv4Header::kMinSize + udp_len);
+  return pkt;
+}
+
+ByteBuffer encode_frame(const Packet& packet) {
+  ByteBuffer out;
+  out.reserve(packet.frame_bytes());
+  write_ethernet(out, packet.eth);
+  write_ipv4(out, packet.ip);
+
+  if (packet.tcp) {
+    // Render the TCP segment separately to compute its checksum over the
+    // pseudo-header + segment (payload rendered as zeros).
+    TcpHeader tcp = *packet.tcp;
+    tcp.checksum = 0;
+    ByteBuffer segment;
+    segment.reserve(tcp.header_bytes() + packet.payload_bytes);
+    write_tcp(segment, tcp);
+    segment.resize(segment.size() + packet.payload_bytes, 0);
+    tcp.checksum = transport_checksum(packet.ip.src, packet.ip.dst,
+                                      IpProtocol::kTcp, segment);
+    segment[16] = static_cast<std::uint8_t>(tcp.checksum >> 8);
+    segment[17] = static_cast<std::uint8_t>(tcp.checksum);
+    out.insert(out.end(), segment.begin(), segment.end());
+  } else if (packet.udp) {
+    UdpHeader udp = *packet.udp;
+    udp.checksum = 0;
+    ByteBuffer datagram;
+    datagram.reserve(udp.length);
+    write_udp(datagram, udp);
+    datagram.resize(udp.length, 0);
+    udp.checksum = transport_checksum(packet.ip.src, packet.ip.dst,
+                                      IpProtocol::kUdp, datagram);
+    if (udp.checksum == 0) udp.checksum = 0xffff;  // RFC 768: 0 means none
+    datagram[6] = static_cast<std::uint8_t>(udp.checksum >> 8);
+    datagram[7] = static_cast<std::uint8_t>(udp.checksum);
+    out.insert(out.end(), datagram.begin(), datagram.end());
+  } else if (packet.icmp) {
+    IcmpHeader icmp = *packet.icmp;
+    icmp.checksum = 0;
+    ByteBuffer message;
+    write_icmp(message, icmp);
+    message.resize(IcmpHeader::kSize + packet.payload_bytes, 0);
+    icmp.checksum = internet_checksum(message);
+    message[2] = static_cast<std::uint8_t>(icmp.checksum >> 8);
+    message[3] = static_cast<std::uint8_t>(icmp.checksum);
+    out.insert(out.end(), message.begin(), message.end());
+  } else {
+    // Opaque payload for unsupported protocols.
+    out.resize(out.size() +
+                   (packet.ip.total_length - packet.ip.header_bytes()),
+               0);
+  }
+  return out;
+}
+
+std::optional<Packet> decode_frame(ByteSpan frame) {
+  const auto eth = parse_ethernet(frame);
+  if (!eth) return std::nullopt;
+  if (eth->ether_type != static_cast<std::uint16_t>(EtherType::kIpv4)) {
+    return std::nullopt;
+  }
+  const ByteSpan ip_bytes = frame.subspan(EthernetHeader::kSize);
+  const auto ip = parse_ipv4(ip_bytes);
+  if (!ip) return std::nullopt;
+  if (ip->total_length > ip_bytes.size()) return std::nullopt;
+
+  Packet pkt;
+  pkt.eth = *eth;
+  pkt.ip = *ip;
+
+  // Only the first fragment carries the transport header.
+  if (ip->fragment_offset() != 0) {
+    pkt.payload_bytes = ip->total_length - ip->header_bytes();
+    return pkt;
+  }
+
+  const ByteSpan transport =
+      ip_bytes.subspan(ip->header_bytes(),
+                       ip->total_length - ip->header_bytes());
+  switch (ip->protocol) {
+    case static_cast<std::uint8_t>(IpProtocol::kTcp): {
+      const auto tcp = parse_tcp(transport);
+      if (!tcp) return std::nullopt;
+      pkt.tcp = tcp;
+      pkt.payload_bytes = transport.size() - tcp->header_bytes();
+      break;
+    }
+    case static_cast<std::uint8_t>(IpProtocol::kUdp): {
+      const auto udp = parse_udp(transport);
+      if (!udp) return std::nullopt;
+      pkt.udp = udp;
+      pkt.payload_bytes = transport.size() - UdpHeader::kSize;
+      break;
+    }
+    case static_cast<std::uint8_t>(IpProtocol::kIcmp): {
+      const auto icmp = parse_icmp(transport);
+      if (!icmp) return std::nullopt;
+      pkt.icmp = icmp;
+      pkt.payload_bytes = transport.size() - IcmpHeader::kSize;
+      break;
+    }
+    default:
+      pkt.payload_bytes = transport.size();
+      break;
+  }
+  return pkt;
+}
+
+}  // namespace syndog::net

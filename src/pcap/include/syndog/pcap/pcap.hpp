@@ -1,0 +1,99 @@
+// Classic libpcap capture-file I/O, implemented from scratch.
+//
+// Synthetic traces round-trip through real `.pcap` files so the example
+// tools behave like ordinary libpcap utilities (and outputs can be opened
+// in tcpdump/wireshark). Supports the standard magic 0xa1b2c3d4
+// (microsecond) and 0xa1b23c4d (nanosecond) in either byte order.
+#pragma once
+
+#include <cstdint>
+#include <istream>
+#include <optional>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "syndog/net/wire.hpp"
+#include "syndog/util/time.hpp"
+
+namespace syndog::pcap {
+
+/// Link types we write/accept; Ethernet is what leaf-router captures use.
+enum class LinkType : std::uint32_t {
+  kEthernet = 1,
+  kRawIp = 101,
+};
+
+struct FileHeader {
+  static constexpr std::uint32_t kMagicMicros = 0xa1b2c3d4;
+  static constexpr std::uint32_t kMagicNanos = 0xa1b23c4d;
+
+  std::uint16_t version_major = 2;
+  std::uint16_t version_minor = 4;
+  std::int32_t thiszone = 0;
+  std::uint32_t sigfigs = 0;
+  std::uint32_t snaplen = 65535;
+  LinkType link_type = LinkType::kEthernet;
+  bool nanosecond = false;   ///< timestamp resolution of the file
+  bool swapped = false;      ///< file byte order differs from host (read side)
+};
+
+struct Record {
+  util::SimTime timestamp;
+  std::uint32_t orig_len = 0;  ///< length on the wire (>= data.size())
+  net::ByteBuffer data;        ///< captured bytes (possibly snapped)
+};
+
+/// Streams records into a pcap file. The stream must outlive the writer.
+/// Errors (I/O failure, oversized record) throw std::runtime_error.
+class Writer {
+ public:
+  /// Writes the file header immediately.
+  Writer(std::ostream& out, LinkType link_type = LinkType::kEthernet,
+         bool nanosecond = false, std::uint32_t snaplen = 65535);
+
+  /// Appends one record; data beyond snaplen is truncated (orig_len keeps
+  /// the full size, like a real capture with -s).
+  void write(util::SimTime timestamp, net::ByteSpan frame);
+
+  [[nodiscard]] std::uint64_t records_written() const { return records_; }
+
+ private:
+  std::ostream& out_;
+  FileHeader header_;
+  std::uint64_t records_ = 0;
+};
+
+/// Reads records from a pcap file, tolerating either byte order and either
+/// timestamp resolution. A malformed header throws std::runtime_error;
+/// a truncated final record is reported via truncated().
+class Reader {
+ public:
+  explicit Reader(std::istream& in);
+
+  [[nodiscard]] const FileHeader& header() const { return header_; }
+  /// Next record, or nullopt at end of file.
+  [[nodiscard]] std::optional<Record> next();
+  /// Remaining records in one vector.
+  [[nodiscard]] std::vector<Record> read_all();
+  [[nodiscard]] std::uint64_t records_read() const { return records_; }
+  /// True if the file ended mid-record (damaged capture).
+  [[nodiscard]] bool truncated() const { return truncated_; }
+
+ private:
+  [[nodiscard]] std::uint32_t fix32(std::uint32_t v) const;
+  [[nodiscard]] std::uint16_t fix16(std::uint16_t v) const;
+
+  std::istream& in_;
+  FileHeader header_;
+  std::uint64_t records_ = 0;
+  bool truncated_ = false;
+};
+
+/// Convenience wrappers over file paths.
+void write_file(const std::string& path, const std::vector<Record>& records,
+                LinkType link_type = LinkType::kEthernet,
+                bool nanosecond = false);
+[[nodiscard]] std::vector<Record> read_file(const std::string& path);
+
+}  // namespace syndog::pcap

@@ -1,0 +1,209 @@
+#include "syndog/pcap/pcap.hpp"
+
+#include <bit>
+#include <cstring>
+#include <fstream>
+#include <stdexcept>
+
+namespace syndog::pcap {
+
+namespace {
+
+// pcap files are written in the *host* byte order of the capturing machine;
+// we always emit little-endian (the dominant convention) and byte-swap on
+// read when the magic indicates the other order.
+
+void put_le16(std::ostream& out, std::uint16_t v) {
+  const char bytes[2] = {static_cast<char>(v), static_cast<char>(v >> 8)};
+  out.write(bytes, 2);
+}
+
+void put_le32(std::ostream& out, std::uint32_t v) {
+  const char bytes[4] = {static_cast<char>(v), static_cast<char>(v >> 8),
+                         static_cast<char>(v >> 16),
+                         static_cast<char>(v >> 24)};
+  out.write(bytes, 4);
+}
+
+bool get_le32(std::istream& in, std::uint32_t& v) {
+  unsigned char bytes[4];
+  in.read(reinterpret_cast<char*>(bytes), 4);
+  if (in.gcount() != 4) return false;
+  v = std::uint32_t{bytes[0]} | (std::uint32_t{bytes[1]} << 8) |
+      (std::uint32_t{bytes[2]} << 16) | (std::uint32_t{bytes[3]} << 24);
+  return true;
+}
+
+bool get_le16(std::istream& in, std::uint16_t& v) {
+  unsigned char bytes[2];
+  in.read(reinterpret_cast<char*>(bytes), 2);
+  if (in.gcount() != 2) return false;
+  v = static_cast<std::uint16_t>(std::uint16_t{bytes[0]} |
+                                 (std::uint16_t{bytes[1]} << 8));
+  return true;
+}
+
+constexpr std::uint32_t bswap32(std::uint32_t v) {
+  return ((v & 0xff) << 24) | ((v & 0xff00) << 8) | ((v >> 8) & 0xff00) |
+         (v >> 24);
+}
+
+constexpr std::uint16_t bswap16(std::uint16_t v) {
+  return static_cast<std::uint16_t>((v << 8) | (v >> 8));
+}
+
+}  // namespace
+
+Writer::Writer(std::ostream& out, LinkType link_type, bool nanosecond,
+               std::uint32_t snaplen)
+    : out_(out) {
+  header_.link_type = link_type;
+  header_.nanosecond = nanosecond;
+  header_.snaplen = snaplen;
+  put_le32(out_, nanosecond ? FileHeader::kMagicNanos
+                            : FileHeader::kMagicMicros);
+  put_le16(out_, header_.version_major);
+  put_le16(out_, header_.version_minor);
+  put_le32(out_, static_cast<std::uint32_t>(header_.thiszone));
+  put_le32(out_, header_.sigfigs);
+  put_le32(out_, header_.snaplen);
+  put_le32(out_, static_cast<std::uint32_t>(header_.link_type));
+  if (!out_) throw std::runtime_error("pcap::Writer: header write failed");
+}
+
+void Writer::write(util::SimTime timestamp, net::ByteSpan frame) {
+  if (timestamp < util::SimTime::zero()) {
+    throw std::runtime_error("pcap::Writer: negative timestamp");
+  }
+  const std::int64_t ns = timestamp.ns();
+  const auto sec = static_cast<std::uint32_t>(ns / 1'000'000'000);
+  const std::int64_t frac_ns = ns % 1'000'000'000;
+  const auto frac = static_cast<std::uint32_t>(
+      header_.nanosecond ? frac_ns : frac_ns / 1'000);
+
+  const auto incl =
+      static_cast<std::uint32_t>(std::min<std::size_t>(frame.size(),
+                                                       header_.snaplen));
+  put_le32(out_, sec);
+  put_le32(out_, frac);
+  put_le32(out_, incl);
+  put_le32(out_, static_cast<std::uint32_t>(frame.size()));
+  out_.write(reinterpret_cast<const char*>(frame.data()), incl);
+  if (!out_) throw std::runtime_error("pcap::Writer: record write failed");
+  ++records_;
+}
+
+Reader::Reader(std::istream& in) : in_(in) {
+  std::uint32_t magic = 0;
+  if (!get_le32(in_, magic)) {
+    throw std::runtime_error("pcap::Reader: empty file");
+  }
+  switch (magic) {
+    case FileHeader::kMagicMicros:
+      break;
+    case FileHeader::kMagicNanos:
+      header_.nanosecond = true;
+      break;
+    case bswap32(FileHeader::kMagicMicros):
+      header_.swapped = true;
+      break;
+    case bswap32(FileHeader::kMagicNanos):
+      header_.swapped = true;
+      header_.nanosecond = true;
+      break;
+    default:
+      throw std::runtime_error("pcap::Reader: bad magic number");
+  }
+  std::uint16_t vmaj = 0;
+  std::uint16_t vmin = 0;
+  std::uint32_t thiszone = 0;
+  std::uint32_t sigfigs = 0;
+  std::uint32_t snaplen = 0;
+  std::uint32_t link = 0;
+  if (!get_le16(in_, vmaj) || !get_le16(in_, vmin) ||
+      !get_le32(in_, thiszone) || !get_le32(in_, sigfigs) ||
+      !get_le32(in_, snaplen) || !get_le32(in_, link)) {
+    throw std::runtime_error("pcap::Reader: truncated file header");
+  }
+  header_.version_major = fix16(vmaj);
+  header_.version_minor = fix16(vmin);
+  header_.thiszone = static_cast<std::int32_t>(fix32(thiszone));
+  header_.sigfigs = fix32(sigfigs);
+  header_.snaplen = fix32(snaplen);
+  header_.link_type = static_cast<LinkType>(fix32(link));
+  if (header_.version_major != 2) {
+    throw std::runtime_error("pcap::Reader: unsupported pcap version " +
+                             std::to_string(header_.version_major));
+  }
+}
+
+std::uint32_t Reader::fix32(std::uint32_t v) const {
+  return header_.swapped ? bswap32(v) : v;
+}
+
+std::uint16_t Reader::fix16(std::uint16_t v) const {
+  return header_.swapped ? bswap16(v) : v;
+}
+
+std::optional<Record> Reader::next() {
+  std::uint32_t sec = 0;
+  if (!get_le32(in_, sec)) return std::nullopt;  // clean EOF
+  std::uint32_t frac = 0;
+  std::uint32_t incl = 0;
+  std::uint32_t orig = 0;
+  if (!get_le32(in_, frac) || !get_le32(in_, incl) || !get_le32(in_, orig)) {
+    truncated_ = true;
+    return std::nullopt;
+  }
+  sec = fix32(sec);
+  frac = fix32(frac);
+  incl = fix32(incl);
+  orig = fix32(orig);
+  if (incl > header_.snaplen + 65536) {
+    // Sanity bound: a wildly large length means a corrupt record header.
+    truncated_ = true;
+    return std::nullopt;
+  }
+
+  Record rec;
+  rec.orig_len = orig;
+  rec.data.resize(incl);
+  in_.read(reinterpret_cast<char*>(rec.data.data()), incl);
+  if (static_cast<std::uint32_t>(in_.gcount()) != incl) {
+    truncated_ = true;
+    return std::nullopt;
+  }
+  const std::int64_t frac_ns =
+      header_.nanosecond ? frac : std::int64_t{frac} * 1'000;
+  rec.timestamp =
+      util::SimTime::nanoseconds(std::int64_t{sec} * 1'000'000'000 + frac_ns);
+  ++records_;
+  return rec;
+}
+
+std::vector<Record> Reader::read_all() {
+  std::vector<Record> out;
+  while (auto rec = next()) {
+    out.push_back(std::move(*rec));
+  }
+  return out;
+}
+
+void write_file(const std::string& path, const std::vector<Record>& records,
+                LinkType link_type, bool nanosecond) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) throw std::runtime_error("pcap: cannot open for write: " + path);
+  Writer writer(out, link_type, nanosecond);
+  for (const Record& rec : records) {
+    writer.write(rec.timestamp, rec.data);
+  }
+}
+
+std::vector<Record> read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw std::runtime_error("pcap: cannot open for read: " + path);
+  Reader reader(in);
+  return reader.read_all();
+}
+
+}  // namespace syndog::pcap

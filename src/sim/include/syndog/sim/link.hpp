@@ -1,0 +1,58 @@
+// Point-to-point link model.
+//
+// Unidirectional channel with propagation delay, optional serialization
+// (bandwidth) delay, random loss, and a bounded transmit queue. Losses on
+// the SYN forwarding path are one of the paper's two sources of
+// SYN–SYN/ACK discrepancy; the loss knob reproduces it in the DES.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "syndog/net/packet.hpp"
+#include "syndog/sim/scheduler.hpp"
+#include "syndog/util/rng.hpp"
+
+namespace syndog::sim {
+
+struct LinkParams {
+  util::SimTime delay = util::SimTime::milliseconds(10);
+  /// Bits per second; 0 disables serialization delay.
+  double bandwidth_bps = 0.0;
+  double loss_probability = 0.0;
+  /// Max packets in flight/queued before tail drop; 0 = unbounded.
+  std::size_t queue_limit = 0;
+};
+
+class Link {
+ public:
+  using Deliver = std::function<void(const net::Packet&)>;
+
+  Link(Scheduler& scheduler, LinkParams params, Deliver deliver,
+       std::uint64_t seed);
+
+  /// Queues a packet for transmission; may drop (loss or full queue).
+  void send(const net::Packet& packet);
+
+  [[nodiscard]] std::uint64_t sent() const { return sent_; }
+  [[nodiscard]] std::uint64_t delivered() const { return delivered_; }
+  [[nodiscard]] std::uint64_t lost() const { return lost_; }
+  [[nodiscard]] std::uint64_t dropped_queue_full() const {
+    return dropped_queue_full_;
+  }
+
+ private:
+  Scheduler& scheduler_;
+  LinkParams params_;
+  Deliver deliver_;
+  util::Rng rng_;
+  /// Time the transmitter becomes free (serialization model).
+  util::SimTime tx_free_at_;
+  std::size_t in_flight_ = 0;
+  std::uint64_t sent_ = 0;
+  std::uint64_t delivered_ = 0;
+  std::uint64_t lost_ = 0;
+  std::uint64_t dropped_queue_full_ = 0;
+};
+
+}  // namespace syndog::sim

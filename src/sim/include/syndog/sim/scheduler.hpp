@@ -1,0 +1,72 @@
+// Discrete-event scheduler.
+//
+// A binary-heap event queue over SimTime. Ties are broken by insertion
+// order so runs are fully deterministic. Cancellation is lazy: cancelled
+// events stay in the heap but are skipped when popped.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <queue>
+#include <unordered_set>
+#include <vector>
+
+#include "syndog/util/time.hpp"
+
+namespace syndog::sim {
+
+using EventId = std::uint64_t;
+
+class Scheduler {
+ public:
+  using Callback = std::function<void()>;
+
+  [[nodiscard]] util::SimTime now() const { return now_; }
+
+  /// Schedules `fn` at absolute time `at` (must be >= now). Returns an id
+  /// usable with cancel().
+  EventId schedule_at(util::SimTime at, Callback fn);
+  EventId schedule_after(util::SimTime delay, Callback fn) {
+    return schedule_at(now_ + delay, std::move(fn));
+  }
+
+  /// Cancels a pending event; cancelling an already-run or unknown id is a
+  /// harmless no-op.
+  void cancel(EventId id);
+
+  /// Runs the next pending event; returns false when the queue is empty.
+  bool step();
+  /// Runs events with time <= end; advances now() to end. Returns the
+  /// number of events executed.
+  std::size_t run_until(util::SimTime end);
+  /// Drains the queue (bounded by `max_events` as a runaway guard).
+  std::size_t run_all(std::size_t max_events = SIZE_MAX);
+
+  [[nodiscard]] std::size_t pending() const {
+    return queue_.size() - cancelled_.size();
+  }
+  [[nodiscard]] std::uint64_t executed() const { return executed_; }
+
+ private:
+  struct Entry {
+    util::SimTime at;
+    EventId id;
+    // Heap entries need value semantics; the callback lives in a separate
+    // map? No: store callback here, shared nothing.
+    std::shared_ptr<Callback> fn;
+
+    bool operator>(const Entry& rhs) const {
+      if (at != rhs.at) return at > rhs.at;
+      return id > rhs.id;
+    }
+  };
+
+  std::priority_queue<Entry, std::vector<Entry>, std::greater<>> queue_;
+  std::unordered_set<EventId> cancelled_;
+  util::SimTime now_;
+  EventId next_id_ = 1;
+  std::uint64_t executed_ = 0;
+};
+
+}  // namespace syndog::sim

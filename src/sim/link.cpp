@@ -1,0 +1,55 @@
+#include "syndog/sim/link.hpp"
+
+#include <stdexcept>
+
+namespace syndog::sim {
+
+Link::Link(Scheduler& scheduler, LinkParams params, Deliver deliver,
+           std::uint64_t seed)
+    : scheduler_(scheduler), params_(params), deliver_(std::move(deliver)),
+      rng_(seed) {
+  if (!deliver_) {
+    throw std::invalid_argument("Link: deliver callback required");
+  }
+  if (params_.loss_probability < 0.0 || params_.loss_probability >= 1.0) {
+    throw std::invalid_argument("Link: loss_probability in [0,1)");
+  }
+  if (params_.bandwidth_bps < 0.0) {
+    throw std::invalid_argument("Link: bandwidth must be >= 0");
+  }
+}
+
+void Link::send(const net::Packet& packet) {
+  ++sent_;
+  if (params_.queue_limit != 0 && in_flight_ >= params_.queue_limit) {
+    ++dropped_queue_full_;
+    return;
+  }
+  if (params_.loss_probability > 0.0 &&
+      rng_.bernoulli(params_.loss_probability)) {
+    ++lost_;
+    return;
+  }
+
+  util::SimTime depart = scheduler_.now();
+  if (params_.bandwidth_bps > 0.0) {
+    // Serialize after the previous packet finishes.
+    const double tx_seconds =
+        static_cast<double>(packet.frame_bytes()) * 8.0 /
+        params_.bandwidth_bps;
+    const util::SimTime start = std::max(depart, tx_free_at_);
+    tx_free_at_ = start + util::SimTime::from_seconds(tx_seconds);
+    depart = tx_free_at_;
+  }
+
+  ++in_flight_;
+  // Copy the packet into the event; the caller's buffer may not outlive it.
+  scheduler_.schedule_at(depart + params_.delay,
+                         [this, packet]() {
+                           --in_flight_;
+                           ++delivered_;
+                           deliver_(packet);
+                         });
+}
+
+}  // namespace syndog::sim

@@ -1,0 +1,72 @@
+#include "syndog/sim/router.hpp"
+
+#include <stdexcept>
+
+namespace syndog::sim {
+
+LeafRouter::LeafRouter(net::Ipv4Prefix stub_prefix, net::MacAddress mac)
+    : stub_prefix_(stub_prefix), mac_(mac) {}
+
+void LeafRouter::attach_host(net::Ipv4Address ip, Deliver deliver) {
+  if (!stub_prefix_.contains(ip)) {
+    throw std::invalid_argument("LeafRouter: host " + ip.to_string() +
+                                " outside stub prefix " +
+                                stub_prefix_.to_string());
+  }
+  if (!deliver) {
+    throw std::invalid_argument("LeafRouter: deliver callback required");
+  }
+  hosts_[ip.value()] = std::move(deliver);
+}
+
+void LeafRouter::set_uplink(Deliver deliver) {
+  uplink_ = std::move(deliver);
+}
+
+void LeafRouter::add_outbound_tap(Tap tap) {
+  outbound_taps_.push_back(std::move(tap));
+}
+
+void LeafRouter::add_inbound_tap(Tap tap) {
+  inbound_taps_.push_back(std::move(tap));
+}
+
+void LeafRouter::forward_from_intranet(util::SimTime now,
+                                       const net::Packet& packet) {
+  // Local-to-local traffic never crosses the leaf router's interfaces.
+  if (stub_prefix_.contains(packet.ip.dst)) {
+    if (const auto it = hosts_.find(packet.ip.dst.value());
+        it != hosts_.end()) {
+      it->second(packet);
+    } else {
+      ++stats_.dropped_no_route;
+    }
+    return;
+  }
+
+  for (const Tap& tap : outbound_taps_) tap(now, packet);
+
+  if (ingress_filtering_ && !stub_prefix_.contains(packet.ip.src)) {
+    ++stats_.dropped_ingress_filter;
+    if (on_ingress_violation_) on_ingress_violation_(now, packet);
+    return;
+  }
+  if (uplink_) {
+    ++stats_.forwarded_outbound;
+    uplink_(packet);
+  }
+}
+
+void LeafRouter::forward_from_internet(util::SimTime now,
+                                       const net::Packet& packet) {
+  for (const Tap& tap : inbound_taps_) tap(now, packet);
+  const auto it = hosts_.find(packet.ip.dst.value());
+  if (it == hosts_.end()) {
+    ++stats_.dropped_no_route;
+    return;
+  }
+  ++stats_.forwarded_inbound;
+  it->second(packet);
+}
+
+}  // namespace syndog::sim

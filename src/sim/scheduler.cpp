@@ -1,0 +1,55 @@
+#include "syndog/sim/scheduler.hpp"
+
+#include <memory>
+#include <stdexcept>
+
+namespace syndog::sim {
+
+EventId Scheduler::schedule_at(util::SimTime at, Callback fn) {
+  if (at < now_) {
+    throw std::invalid_argument("Scheduler: cannot schedule in the past");
+  }
+  const EventId id = next_id_++;
+  queue_.push(Entry{at, id, std::make_shared<Callback>(std::move(fn))});
+  return id;
+}
+
+void Scheduler::cancel(EventId id) {
+  if (id == 0 || id >= next_id_) return;
+  cancelled_.insert(id);
+}
+
+bool Scheduler::step() {
+  while (!queue_.empty()) {
+    Entry entry = queue_.top();
+    queue_.pop();
+    if (const auto it = cancelled_.find(entry.id); it != cancelled_.end()) {
+      cancelled_.erase(it);
+      continue;
+    }
+    now_ = entry.at;
+    ++executed_;
+    (*entry.fn)();
+    return true;
+  }
+  return false;
+}
+
+std::size_t Scheduler::run_until(util::SimTime end) {
+  std::size_t count = 0;
+  while (!queue_.empty() && queue_.top().at <= end) {
+    if (step()) ++count;
+  }
+  if (now_ < end) now_ = end;
+  return count;
+}
+
+std::size_t Scheduler::run_all(std::size_t max_events) {
+  std::size_t count = 0;
+  while (count < max_events && step()) {
+    ++count;
+  }
+  return count;
+}
+
+}  // namespace syndog::sim

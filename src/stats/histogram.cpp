@@ -1,0 +1,77 @@
+#include "syndog/stats/histogram.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+#include <stdexcept>
+
+#include "syndog/util/strings.hpp"
+
+namespace syndog::stats {
+
+Histogram::Histogram(double lo, double hi, std::size_t bins)
+    : lo_(lo), hi_(hi), width_((hi - lo) / static_cast<double>(bins)),
+      counts_(bins, 0) {
+  if (!(hi > lo) || bins == 0) {
+    throw std::invalid_argument("Histogram: require hi > lo and bins > 0");
+  }
+}
+
+void Histogram::add(double x) {
+  ++total_;
+  if (x < lo_) {
+    ++underflow_;
+    return;
+  }
+  if (x >= hi_) {
+    ++overflow_;
+    return;
+  }
+  const auto bin = static_cast<std::size_t>((x - lo_) / width_);
+  ++counts_[std::min(bin, counts_.size() - 1)];
+}
+
+std::int64_t Histogram::count_in_bin(std::size_t bin) const {
+  return counts_.at(bin);
+}
+
+double Histogram::bin_center(std::size_t bin) const {
+  if (bin >= counts_.size()) {
+    throw std::out_of_range("Histogram::bin_center");
+  }
+  return lo_ + (static_cast<double>(bin) + 0.5) * width_;
+}
+
+double Histogram::cumulative_fraction(std::size_t bin) const {
+  const std::int64_t in_range = total_ - underflow_ - overflow_;
+  if (in_range == 0) return 0.0;
+  std::int64_t acc = 0;
+  for (std::size_t i = 0; i <= bin && i < counts_.size(); ++i) {
+    acc += counts_[i];
+  }
+  return static_cast<double>(acc) / static_cast<double>(in_range);
+}
+
+std::string Histogram::to_string(int max_bar_width) const {
+  std::int64_t peak = 1;
+  for (std::int64_t c : counts_) peak = std::max(peak, c);
+  std::ostringstream out;
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    const int bar = static_cast<int>(
+        std::lround(static_cast<double>(counts_[i]) /
+                    static_cast<double>(peak) * max_bar_width));
+    out << util::strprintf("%12s | %-*s %lld\n",
+                           util::format_double(bin_center(i), 3).c_str(),
+                           max_bar_width,
+                           std::string(static_cast<std::size_t>(bar), '#')
+                               .c_str(),
+                           static_cast<long long>(counts_[i]));
+  }
+  if (underflow_ != 0 || overflow_ != 0) {
+    out << "  (underflow " << underflow_ << ", overflow " << overflow_
+        << ")\n";
+  }
+  return out.str();
+}
+
+}  // namespace syndog::stats

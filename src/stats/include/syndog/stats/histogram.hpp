@@ -1,0 +1,42 @@
+// Fixed-bin histogram with overflow/underflow tracking.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace syndog::stats {
+
+/// Equal-width histogram on [lo, hi) with `bins` buckets. Samples outside
+/// the range are counted in dedicated under/overflow buckets so totals are
+/// always conserved.
+class Histogram {
+ public:
+  Histogram(double lo, double hi, std::size_t bins);
+
+  void add(double x);
+
+  [[nodiscard]] std::size_t bin_count() const { return counts_.size(); }
+  [[nodiscard]] std::int64_t count_in_bin(std::size_t bin) const;
+  [[nodiscard]] std::int64_t underflow() const { return underflow_; }
+  [[nodiscard]] std::int64_t overflow() const { return overflow_; }
+  [[nodiscard]] std::int64_t total() const { return total_; }
+  /// Center of bin `bin`.
+  [[nodiscard]] double bin_center(std::size_t bin) const;
+  [[nodiscard]] double bin_width() const { return width_; }
+  /// Fraction of in-range samples at or below the upper edge of `bin`.
+  [[nodiscard]] double cumulative_fraction(std::size_t bin) const;
+  /// Multi-line bar rendering for bench output.
+  [[nodiscard]] std::string to_string(int max_bar_width = 50) const;
+
+ private:
+  double lo_;
+  double hi_;
+  double width_;
+  std::vector<std::int64_t> counts_;
+  std::int64_t underflow_ = 0;
+  std::int64_t overflow_ = 0;
+  std::int64_t total_ = 0;
+};
+
+}  // namespace syndog::stats

@@ -1,0 +1,52 @@
+// Quantile estimation.
+//
+// P2Quantile is the Jain/Chlamtac P-square streaming estimator: O(1) memory,
+// used by the evaluation harness to report detection-delay percentiles
+// without storing every trial. ExactQuantiles stores samples and is used in
+// tests as the reference.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+namespace syndog::stats {
+
+/// Streaming estimate of a single quantile `q` in (0, 1) using five markers.
+class P2Quantile {
+ public:
+  explicit P2Quantile(double q);
+
+  void add(double x);
+  /// Current estimate; exact while fewer than 5 samples have been seen.
+  [[nodiscard]] double value() const;
+  [[nodiscard]] std::int64_t count() const { return count_; }
+
+ private:
+  [[nodiscard]] double parabolic(int i, double d) const;
+  [[nodiscard]] double linear(int i, int d) const;
+
+  double q_;
+  std::int64_t count_ = 0;
+  std::array<double, 5> heights_{};
+  std::array<double, 5> positions_{};
+  std::array<double, 5> desired_{};
+  std::array<double, 5> increments_{};
+};
+
+/// Exact quantiles over retained samples (test oracle / small data sets).
+class ExactQuantiles {
+ public:
+  void add(double x) { samples_.push_back(x); }
+  void add_all(const std::vector<double>& xs);
+  /// Linear-interpolated quantile, q in [0, 1]. Empty -> 0.
+  [[nodiscard]] double quantile(double q) const;
+  [[nodiscard]] double median() const { return quantile(0.5); }
+  [[nodiscard]] std::size_t count() const { return samples_.size(); }
+
+ private:
+  mutable std::vector<double> samples_;
+  mutable bool sorted_ = false;
+};
+
+}  // namespace syndog::stats

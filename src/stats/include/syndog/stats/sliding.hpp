@@ -1,0 +1,46 @@
+// Sliding-window statistics.
+//
+// Fixed-capacity window over the last W samples with O(1) amortized
+// mean/variance (running sums) and min/max (monotonic deques). Used by
+// monitoring-side consumers that want "the last ten minutes" rather than
+// an exponential decay — e.g. the calibration tool's burstiness profile.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <stdexcept>
+
+namespace syndog::stats {
+
+class SlidingWindow {
+ public:
+  explicit SlidingWindow(std::size_t capacity);
+
+  void add(double x);
+
+  [[nodiscard]] std::size_t size() const { return samples_.size(); }
+  [[nodiscard]] std::size_t capacity() const { return capacity_; }
+  [[nodiscard]] bool full() const { return samples_.size() == capacity_; }
+  /// Statistics over the samples currently in the window (0 when empty).
+  [[nodiscard]] double mean() const;
+  [[nodiscard]] double variance() const;
+  [[nodiscard]] double stddev() const;
+  [[nodiscard]] double min() const;
+  [[nodiscard]] double max() const;
+  /// Oldest and newest retained samples (throws when empty).
+  [[nodiscard]] double front() const;
+  [[nodiscard]] double back() const;
+  void clear();
+
+ private:
+  void evict();
+
+  std::size_t capacity_;
+  std::deque<double> samples_;
+  std::deque<double> min_queue_;  ///< increasing front-to-back
+  std::deque<double> max_queue_;  ///< decreasing front-to-back
+  double sum_ = 0.0;
+  double sum_sq_ = 0.0;
+};
+
+}  // namespace syndog::stats

@@ -1,0 +1,34 @@
+#include "syndog/stats/online.hpp"
+
+#include <cmath>
+
+namespace syndog::stats {
+
+double OnlineStats::stddev() const { return std::sqrt(variance()); }
+
+double OnlineStats::cv() const {
+  const double m = mean();
+  return m == 0.0 ? 0.0 : stddev() / m;
+}
+
+void OnlineStats::merge(const OnlineStats& other) {
+  if (other.count_ == 0) return;
+  if (count_ == 0) {
+    *this = other;
+    return;
+  }
+  const double na = static_cast<double>(count_);
+  const double nb = static_cast<double>(other.count_);
+  const double delta = other.mean_ - mean_;
+  const double total = na + nb;
+  mean_ += delta * nb / total;
+  m2_ += other.m2_ + delta * delta * na * nb / total;
+  count_ += other.count_;
+  sum_ += other.sum_;
+  if (other.min_ < min_) min_ = other.min_;
+  if (other.max_ > max_) max_ = other.max_;
+}
+
+double EwmaMeanVar::stddev() const { return std::sqrt(variance()); }
+
+}  // namespace syndog::stats

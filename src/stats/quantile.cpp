@@ -1,0 +1,116 @@
+#include "syndog/stats/quantile.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace syndog::stats {
+
+P2Quantile::P2Quantile(double q) : q_(q) {
+  if (!(q > 0.0 && q < 1.0)) {
+    throw std::invalid_argument("P2Quantile: q must lie strictly in (0,1)");
+  }
+  desired_ = {1.0, 1.0 + 2.0 * q, 1.0 + 4.0 * q, 3.0 + 2.0 * q, 5.0};
+  increments_ = {0.0, q / 2.0, q, (1.0 + q) / 2.0, 1.0};
+  positions_ = {1.0, 2.0, 3.0, 4.0, 5.0};
+}
+
+double P2Quantile::parabolic(int i, double d) const {
+  const auto& h = heights_;
+  const auto& n = positions_;
+  return h[i] +
+         d / (n[i + 1] - n[i - 1]) *
+             ((n[i] - n[i - 1] + d) * (h[i + 1] - h[i]) /
+                  (n[i + 1] - n[i]) +
+              (n[i + 1] - n[i] - d) * (h[i] - h[i - 1]) /
+                  (n[i] - n[i - 1]));
+}
+
+double P2Quantile::linear(int i, int d) const {
+  return heights_[i] + d * (heights_[i + d] - heights_[i]) /
+                           (positions_[i + d] - positions_[i]);
+}
+
+void P2Quantile::add(double x) {
+  if (count_ < 5) {
+    heights_[static_cast<std::size_t>(count_)] = x;
+    ++count_;
+    if (count_ == 5) {
+      std::sort(heights_.begin(), heights_.end());
+    }
+    return;
+  }
+  ++count_;
+
+  int k;
+  if (x < heights_[0]) {
+    heights_[0] = x;
+    k = 0;
+  } else if (x < heights_[1]) {
+    k = 0;
+  } else if (x < heights_[2]) {
+    k = 1;
+  } else if (x < heights_[3]) {
+    k = 2;
+  } else if (x <= heights_[4]) {
+    k = 3;
+  } else {
+    heights_[4] = x;
+    k = 3;
+  }
+
+  for (int i = k + 1; i < 5; ++i) positions_[i] += 1.0;
+  for (int i = 0; i < 5; ++i) desired_[i] += increments_[i];
+
+  for (int i = 1; i <= 3; ++i) {
+    const double d = desired_[i] - positions_[i];
+    if ((d >= 1.0 && positions_[i + 1] - positions_[i] > 1.0) ||
+        (d <= -1.0 && positions_[i - 1] - positions_[i] < -1.0)) {
+      const int sign = d >= 0 ? 1 : -1;
+      const double candidate = parabolic(i, sign);
+      if (heights_[i - 1] < candidate && candidate < heights_[i + 1]) {
+        heights_[i] = candidate;
+      } else {
+        heights_[i] = linear(i, sign);
+      }
+      positions_[i] += sign;
+    }
+  }
+}
+
+double P2Quantile::value() const {
+  if (count_ == 0) return 0.0;
+  if (count_ < 5) {
+    // Exact quantile over what we have.
+    std::array<double, 5> copy = heights_;
+    std::sort(copy.begin(), copy.begin() + count_);
+    const double idx = q_ * static_cast<double>(count_ - 1);
+    const auto lo = static_cast<std::size_t>(idx);
+    const std::size_t hi =
+        std::min<std::size_t>(lo + 1, static_cast<std::size_t>(count_ - 1));
+    const double frac = idx - static_cast<double>(lo);
+    return copy[lo] + frac * (copy[hi] - copy[lo]);
+  }
+  return heights_[2];
+}
+
+void ExactQuantiles::add_all(const std::vector<double>& xs) {
+  samples_.insert(samples_.end(), xs.begin(), xs.end());
+  sorted_ = false;
+}
+
+double ExactQuantiles::quantile(double q) const {
+  if (samples_.empty()) return 0.0;
+  if (!sorted_) {
+    std::sort(samples_.begin(), samples_.end());
+    sorted_ = true;
+  }
+  const double clamped = std::clamp(q, 0.0, 1.0);
+  const double idx = clamped * static_cast<double>(samples_.size() - 1);
+  const auto lo = static_cast<std::size_t>(idx);
+  const std::size_t hi = std::min(lo + 1, samples_.size() - 1);
+  const double frac = idx - static_cast<double>(lo);
+  return samples_[lo] + frac * (samples_[hi] - samples_[lo]);
+}
+
+}  // namespace syndog::stats

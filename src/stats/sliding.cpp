@@ -1,0 +1,86 @@
+#include "syndog/stats/sliding.hpp"
+
+#include <cmath>
+
+namespace syndog::stats {
+
+SlidingWindow::SlidingWindow(std::size_t capacity) : capacity_(capacity) {
+  if (capacity_ == 0) {
+    throw std::invalid_argument("SlidingWindow: capacity must be >= 1");
+  }
+}
+
+void SlidingWindow::evict() {
+  const double old = samples_.front();
+  samples_.pop_front();
+  sum_ -= old;
+  sum_sq_ -= old * old;
+  if (!min_queue_.empty() && min_queue_.front() == old) {
+    min_queue_.pop_front();
+  }
+  if (!max_queue_.empty() && max_queue_.front() == old) {
+    max_queue_.pop_front();
+  }
+}
+
+void SlidingWindow::add(double x) {
+  if (samples_.size() == capacity_) evict();
+  samples_.push_back(x);
+  sum_ += x;
+  sum_sq_ += x * x;
+  while (!min_queue_.empty() && min_queue_.back() > x) {
+    min_queue_.pop_back();
+  }
+  min_queue_.push_back(x);
+  while (!max_queue_.empty() && max_queue_.back() < x) {
+    max_queue_.pop_back();
+  }
+  max_queue_.push_back(x);
+}
+
+double SlidingWindow::mean() const {
+  if (samples_.empty()) return 0.0;
+  return sum_ / static_cast<double>(samples_.size());
+}
+
+double SlidingWindow::variance() const {
+  if (samples_.size() < 2) return 0.0;
+  const double m = mean();
+  // Guard against catastrophic cancellation producing a tiny negative.
+  return std::max(0.0,
+                  sum_sq_ / static_cast<double>(samples_.size()) - m * m);
+}
+
+double SlidingWindow::stddev() const { return std::sqrt(variance()); }
+
+double SlidingWindow::min() const {
+  return min_queue_.empty() ? 0.0 : min_queue_.front();
+}
+
+double SlidingWindow::max() const {
+  return max_queue_.empty() ? 0.0 : max_queue_.front();
+}
+
+double SlidingWindow::front() const {
+  if (samples_.empty()) {
+    throw std::out_of_range("SlidingWindow: empty");
+  }
+  return samples_.front();
+}
+
+double SlidingWindow::back() const {
+  if (samples_.empty()) {
+    throw std::out_of_range("SlidingWindow: empty");
+  }
+  return samples_.back();
+}
+
+void SlidingWindow::clear() {
+  samples_.clear();
+  min_queue_.clear();
+  max_queue_.clear();
+  sum_ = 0.0;
+  sum_sq_ = 0.0;
+}
+
+}  // namespace syndog::stats

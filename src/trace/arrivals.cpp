@@ -1,0 +1,204 @@
+#include "syndog/trace/arrivals.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+#include <stdexcept>
+
+namespace syndog::trace {
+
+namespace {
+void require_positive(double v, const char* what) {
+  if (!(v > 0.0)) {
+    throw std::invalid_argument(std::string(what) + " must be positive");
+  }
+}
+}  // namespace
+
+// --- PoissonArrivals -------------------------------------------------------
+
+PoissonArrivals::PoissonArrivals(double rate_per_second)
+    : rate_(rate_per_second) {
+  require_positive(rate_, "PoissonArrivals: rate");
+}
+
+std::vector<util::SimTime> PoissonArrivals::generate(util::SimTime duration,
+                                                     util::Rng& rng) const {
+  std::vector<util::SimTime> out;
+  out.reserve(static_cast<std::size_t>(rate_ * duration.to_seconds() * 1.1) +
+              16);
+  double t = 0.0;
+  const double end = duration.to_seconds();
+  while (true) {
+    t += rng.exponential_mean(1.0 / rate_);
+    if (t >= end) break;
+    out.push_back(util::SimTime::from_seconds(t));
+  }
+  return out;
+}
+
+// --- MmppArrivals ----------------------------------------------------------
+
+MmppArrivals::MmppArrivals(double rate0, double rate1, double mean_sojourn0_s,
+                           double mean_sojourn1_s)
+    : rate0_(rate0), rate1_(rate1), sojourn0_(mean_sojourn0_s),
+      sojourn1_(mean_sojourn1_s) {
+  require_positive(rate0_, "MmppArrivals: rate0");
+  require_positive(rate1_, "MmppArrivals: rate1");
+  require_positive(sojourn0_, "MmppArrivals: mean_sojourn0");
+  require_positive(sojourn1_, "MmppArrivals: mean_sojourn1");
+}
+
+std::vector<util::SimTime> MmppArrivals::generate(util::SimTime duration,
+                                                  util::Rng& rng) const {
+  std::vector<util::SimTime> out;
+  const double end = duration.to_seconds();
+  double t = 0.0;
+  int state = rng.bernoulli(sojourn1_ / (sojourn0_ + sojourn1_)) ? 1 : 0;
+  while (t < end) {
+    const double sojourn =
+        rng.exponential_mean(state == 0 ? sojourn0_ : sojourn1_);
+    const double segment_end = std::min(end, t + sojourn);
+    const double rate = state == 0 ? rate0_ : rate1_;
+    double at = t;
+    while (true) {
+      at += rng.exponential_mean(1.0 / rate);
+      if (at >= segment_end) break;
+      out.push_back(util::SimTime::from_seconds(at));
+    }
+    t = segment_end;
+    state = 1 - state;
+  }
+  return out;
+}
+
+double MmppArrivals::mean_rate() const {
+  // Stationary state probabilities are proportional to the mean sojourns.
+  return (rate0_ * sojourn0_ + rate1_ * sojourn1_) / (sojourn0_ + sojourn1_);
+}
+
+// --- ParetoOnOffArrivals ---------------------------------------------------
+
+ParetoOnOffArrivals::ParetoOnOffArrivals(Params params) : params_(params) {
+  if (params_.sources <= 0) {
+    throw std::invalid_argument("ParetoOnOff: sources must be positive");
+  }
+  require_positive(params_.per_source_on_rate, "ParetoOnOff: on rate");
+  if (!(params_.pareto_shape > 1.0)) {
+    throw std::invalid_argument(
+        "ParetoOnOff: shape must exceed 1 (finite mean)");
+  }
+  require_positive(params_.mean_on_s, "ParetoOnOff: mean_on");
+  require_positive(params_.mean_off_s, "ParetoOnOff: mean_off");
+}
+
+double ParetoOnOffArrivals::xm_for_mean(double mean, double shape) {
+  // Pareto mean = shape*xm/(shape-1)  =>  xm = mean*(shape-1)/shape.
+  return mean * (shape - 1.0) / shape;
+}
+
+std::vector<util::SimTime> ParetoOnOffArrivals::generate(
+    util::SimTime duration, util::Rng& rng) const {
+  std::vector<util::SimTime> out;
+  const double end = duration.to_seconds();
+  const double xm_on = xm_for_mean(params_.mean_on_s, params_.pareto_shape);
+  const double xm_off = xm_for_mean(params_.mean_off_s, params_.pareto_shape);
+
+  for (int s = 0; s < params_.sources; ++s) {
+    // Start each source at a random phase: ON with the stationary
+    // probability, partway through the current period.
+    const double p_on =
+        params_.mean_on_s / (params_.mean_on_s + params_.mean_off_s);
+    bool on = rng.bernoulli(p_on);
+    double t = -rng.uniform() *
+               (on ? params_.mean_on_s : params_.mean_off_s);
+    while (t < end) {
+      const double len = rng.pareto(params_.pareto_shape, on ? xm_on
+                                                             : xm_off);
+      const double segment_end = std::min(end, t + len);
+      if (on) {
+        double at = std::max(t, 0.0);
+        while (true) {
+          at += rng.exponential_mean(1.0 / params_.per_source_on_rate);
+          if (at >= segment_end) break;
+          out.push_back(util::SimTime::from_seconds(at));
+        }
+      }
+      t += len;
+      on = !on;
+    }
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+double ParetoOnOffArrivals::mean_rate() const {
+  const double p_on =
+      params_.mean_on_s / (params_.mean_on_s + params_.mean_off_s);
+  return params_.sources * p_on * params_.per_source_on_rate;
+}
+
+// --- WeibullRenewalArrivals --------------------------------------------------
+
+WeibullRenewalArrivals::WeibullRenewalArrivals(double rate_per_second,
+                                               double shape)
+    : rate_(rate_per_second), shape_(shape) {
+  require_positive(rate_, "WeibullRenewal: rate");
+  require_positive(shape_, "WeibullRenewal: shape");
+  // Weibull mean = scale * Gamma(1 + 1/shape); choose scale for mean 1/rate.
+  scale_ = (1.0 / rate_) / std::tgamma(1.0 + 1.0 / shape_);
+}
+
+std::vector<util::SimTime> WeibullRenewalArrivals::generate(
+    util::SimTime duration, util::Rng& rng) const {
+  std::vector<util::SimTime> out;
+  const double end = duration.to_seconds();
+  double t = 0.0;
+  while (true) {
+    t += rng.weibull(shape_, scale_);
+    if (t >= end) break;
+    out.push_back(util::SimTime::from_seconds(t));
+  }
+  return out;
+}
+
+// --- DiurnalModulation -------------------------------------------------------
+
+DiurnalModulation::DiurnalModulation(
+    std::shared_ptr<const ArrivalModel> inner, double amplitude,
+    util::SimTime period)
+    : inner_(std::move(inner)), amplitude_(amplitude), period_(period) {
+  if (!inner_) {
+    throw std::invalid_argument("DiurnalModulation: inner model required");
+  }
+  if (!(amplitude_ >= 0.0 && amplitude_ < 1.0)) {
+    throw std::invalid_argument("DiurnalModulation: amplitude in [0,1)");
+  }
+  if (period_ <= util::SimTime::zero()) {
+    throw std::invalid_argument("DiurnalModulation: period must be positive");
+  }
+}
+
+std::vector<util::SimTime> DiurnalModulation::generate(
+    util::SimTime duration, util::Rng& rng) const {
+  // Thinning: keep an arrival at time t with probability
+  // (1 + A*sin(2*pi*t/P)) / (1 + A), so the inner model's rate is the peak.
+  const std::vector<util::SimTime> base = inner_->generate(duration, rng);
+  std::vector<util::SimTime> out;
+  out.reserve(base.size());
+  const double period_s = period_.to_seconds();
+  for (util::SimTime at : base) {
+    const double phase = 2.0 * std::numbers::pi * at.to_seconds() / period_s;
+    const double accept =
+        (1.0 + amplitude_ * std::sin(phase)) / (1.0 + amplitude_);
+    if (rng.uniform() < accept) out.push_back(at);
+  }
+  return out;
+}
+
+double DiurnalModulation::mean_rate() const {
+  // Over whole periods the sine averages out; thinning scales by 1/(1+A).
+  return inner_->mean_rate() / (1.0 + amplitude_);
+}
+
+}  // namespace syndog::trace

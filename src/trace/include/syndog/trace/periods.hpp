@@ -1,0 +1,53 @@
+// Per-observation-period count extraction.
+//
+// SYN-dog's sniffers reduce a packet stream to four counters per period
+// t0: outgoing SYNs, incoming SYN/ACKs (the pair the detector uses at the
+// first mile), and the mirror pair for inbound connections. This header
+// performs the same reduction directly on ConnectionTrace objects — the
+// trace-driven-simulation path of the paper's evaluation.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "syndog/trace/handshake.hpp"
+#include "syndog/util/time.hpp"
+
+namespace syndog::trace {
+
+struct PeriodSeries {
+  util::SimTime period;  ///< t0
+  /// One entry per observation period, index n = [n*t0, (n+1)*t0).
+  std::vector<std::int64_t> out_syn;
+  std::vector<std::int64_t> in_syn_ack;
+  std::vector<std::int64_t> in_syn;
+  std::vector<std::int64_t> out_syn_ack;
+
+  [[nodiscard]] std::size_t size() const { return out_syn.size(); }
+
+  /// Totals across directions (what the LBL/Harvard bidirectional figures
+  /// plot: "SYN" and "SYN/ACK" collected from both directions).
+  [[nodiscard]] std::vector<std::int64_t> syn_both_directions() const;
+  [[nodiscard]] std::vector<std::int64_t> syn_ack_both_directions() const;
+
+  /// Adds `extra` SYNs to the outbound-SYN counter of each period
+  /// (attack-traffic injection); sizes must match.
+  void add_outbound_syns(const std::vector<std::int64_t>& extra);
+
+  [[nodiscard]] static std::vector<double> to_double(
+      const std::vector<std::int64_t>& xs);
+};
+
+/// Buckets a trace's router events into periods of length t0 over
+/// [0, trace.duration). SYN/ACKs landing past the end are dropped, matching
+/// a finite capture.
+[[nodiscard]] PeriodSeries extract_periods(const ConnectionTrace& trace,
+                                           util::SimTime period);
+
+/// Buckets raw event times (e.g. flood SYN emissions) into periods aligned
+/// with a series of `num_periods` periods of length `period`.
+[[nodiscard]] std::vector<std::int64_t> bucket_times(
+    const std::vector<util::SimTime>& times, util::SimTime period,
+    std::size_t num_periods);
+
+}  // namespace syndog::trace

@@ -1,0 +1,91 @@
+// Synthetic site presets standing in for the paper's four trace sets.
+//
+// The original captures (LBL 1994, Harvard 1997, UNC 2000, Auckland 2000)
+// are not redistributable, so each preset is calibrated to the statistics
+// the paper's figures and tables imply — see DESIGN.md §5 for the
+// derivation. What the detector consumes is per-period SYN / SYN-ACK
+// counts, so matching K-bar (mean SYN/ACKs per period), the normal-mode
+// normalized difference c, duration, directionality, and count burstiness
+// reproduces the detector-relevant behaviour of the originals.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "syndog/trace/arrivals.hpp"
+#include "syndog/trace/handshake.hpp"
+#include "syndog/trace/periods.hpp"
+
+namespace syndog::trace {
+
+enum class SiteId { kLbl, kHarvard, kUnc, kAuckland };
+
+/// Which arrival process generates connection starts; the ablation bench
+/// sweeps this to demonstrate model-insensitivity (paper §3.2).
+enum class ArrivalKind { kPoisson, kMmpp, kParetoOnOff, kWeibull };
+
+[[nodiscard]] std::string_view to_string(SiteId site);
+[[nodiscard]] std::string_view to_string(ArrivalKind kind);
+
+struct SiteSpec {
+  std::string name;
+  util::SimTime duration;
+  /// Bidirectional sites (LBL, Harvard) carry client traffic in both
+  /// directions and the paper plots both directions' SYN / SYN/ACK
+  /// combined; unidirectional pairs (UNC, Auckland) are plotted as
+  /// outgoing-SYN vs incoming-SYN/ACK.
+  bool bidirectional = false;
+  double outbound_rate = 1.0;  ///< mean outbound connection attempts /s
+  double inbound_rate = 0.0;   ///< mean inbound connection attempts /s
+  ArrivalKind arrival_kind = ArrivalKind::kParetoOnOff;
+  /// ON/OFF source count for the Pareto model: fewer sources = burstier
+  /// per-period counts (relative fluctuation ~ 1/sqrt(sources)).
+  int onoff_sources = 50;
+  HandshakeParams handshake;
+  /// Transient disruption events (remote outages / congestion windows):
+  /// Poisson rate, mean length, and the elevated no-answer probability in
+  /// effect during one. These produce the rare small {yn} spikes of
+  /// Fig. 5; magnitudes are calibrated per site in site.cpp.
+  double disruptions_per_hour = 0.0;
+  double disruption_mean_s = 20.0;
+  double disruption_max_s = 40.0;
+  double disruption_p = 0.5;
+
+  /// Calibration targets implied by the paper (see DESIGN.md §5); tests
+  /// check generated traces stay near them.
+  double expected_syn_ack_per_period = 0.0;  ///< K-bar at t0 = 20 s
+  double expected_c = 0.0;                   ///< E[(SYN-SYNACK)/K]
+};
+
+/// The calibrated preset for each site.
+[[nodiscard]] SiteSpec site_spec(SiteId site);
+
+/// Builds the arrival model a spec (or an ablation override) asks for,
+/// with the given mean rate.
+[[nodiscard]] std::unique_ptr<ArrivalModel> make_arrival_model(
+    ArrivalKind kind, double rate_per_second, int onoff_sources);
+
+/// Generates the full background trace of a site: outbound connections,
+/// plus inbound ones when the site carries them. Deterministic in `seed`.
+[[nodiscard]] ConnectionTrace generate_site_trace(const SiteSpec& spec,
+                                                  std::uint64_t seed);
+
+/// The paper's observation period.
+inline constexpr util::SimTime kObservationPeriod = util::SimTime::seconds(20);
+
+/// A flash crowd: a surge of *legitimate* connections (every SYN earns
+/// its SYN/ACK) at `multiplier`x the site's base outbound rate during
+/// [start, start+duration). Because both counters rise together, the
+/// normalized difference stays near c and SYN-dog must stay quiet — the
+/// discrimination a raw SYN-rate threshold cannot make. (The flash-crowd
+/// bench also shows the one caveat: an extreme, instant surge transiently
+/// inflates Xn until the K estimate catches up.)
+/// The returned trace covers [0, spec.duration) with activity only inside
+/// the surge window; merge it with the background trace.
+[[nodiscard]] ConnectionTrace generate_flash_crowd(const SiteSpec& spec,
+                                                   util::SimTime start,
+                                                   util::SimTime duration,
+                                                   double multiplier,
+                                                   std::uint64_t seed);
+
+}  // namespace syndog::trace

@@ -1,0 +1,96 @@
+#include "syndog/trace/periods.hpp"
+
+#include <stdexcept>
+
+namespace syndog::trace {
+
+namespace {
+std::vector<std::int64_t> sum_vectors(const std::vector<std::int64_t>& a,
+                                      const std::vector<std::int64_t>& b) {
+  std::vector<std::int64_t> out(a.size());
+  for (std::size_t i = 0; i < a.size(); ++i) out[i] = a[i] + b[i];
+  return out;
+}
+}  // namespace
+
+std::vector<std::int64_t> PeriodSeries::syn_both_directions() const {
+  return sum_vectors(out_syn, in_syn);
+}
+
+std::vector<std::int64_t> PeriodSeries::syn_ack_both_directions() const {
+  return sum_vectors(in_syn_ack, out_syn_ack);
+}
+
+void PeriodSeries::add_outbound_syns(const std::vector<std::int64_t>& extra) {
+  if (extra.size() != out_syn.size()) {
+    throw std::invalid_argument("add_outbound_syns: size mismatch");
+  }
+  for (std::size_t i = 0; i < extra.size(); ++i) out_syn[i] += extra[i];
+}
+
+std::vector<double> PeriodSeries::to_double(
+    const std::vector<std::int64_t>& xs) {
+  std::vector<double> out(xs.size());
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    out[i] = static_cast<double>(xs[i]);
+  }
+  return out;
+}
+
+PeriodSeries extract_periods(const ConnectionTrace& trace,
+                             util::SimTime period) {
+  if (period <= util::SimTime::zero()) {
+    throw std::invalid_argument("extract_periods: period must be positive");
+  }
+  PeriodSeries series;
+  series.period = period;
+  const auto num_periods =
+      static_cast<std::size_t>(trace.duration / period);
+  series.out_syn.assign(num_periods, 0);
+  series.in_syn_ack.assign(num_periods, 0);
+  series.in_syn.assign(num_periods, 0);
+  series.out_syn_ack.assign(num_periods, 0);
+
+  const auto bucket_of = [&](util::SimTime at) -> std::ptrdiff_t {
+    if (at < util::SimTime::zero()) return -1;
+    const auto idx = static_cast<std::size_t>(at / period);
+    return idx < num_periods ? static_cast<std::ptrdiff_t>(idx) : -1;
+  };
+
+  for (const Handshake& hs : trace.handshakes) {
+    // An outbound connection's SYNs leave the stub (counted by the
+    // outbound sniffer) and its SYN/ACK returns (inbound sniffer); an
+    // inbound connection is the mirror image.
+    auto& syn_counts = hs.direction == Direction::kOutbound ? series.out_syn
+                                                            : series.in_syn;
+    auto& ack_counts = hs.direction == Direction::kOutbound
+                           ? series.in_syn_ack
+                           : series.out_syn_ack;
+    for (util::SimTime at : hs.syn_times) {
+      const std::ptrdiff_t b = bucket_of(at);
+      if (b >= 0) ++syn_counts[static_cast<std::size_t>(b)];
+    }
+    if (hs.syn_ack_time) {
+      const std::ptrdiff_t b = bucket_of(*hs.syn_ack_time);
+      if (b >= 0) ++ack_counts[static_cast<std::size_t>(b)];
+    }
+  }
+  return series;
+}
+
+std::vector<std::int64_t> bucket_times(const std::vector<util::SimTime>& times,
+                                       util::SimTime period,
+                                       std::size_t num_periods) {
+  if (period <= util::SimTime::zero()) {
+    throw std::invalid_argument("bucket_times: period must be positive");
+  }
+  std::vector<std::int64_t> out(num_periods, 0);
+  for (util::SimTime at : times) {
+    if (at < util::SimTime::zero()) continue;
+    const auto idx = static_cast<std::size_t>(at / period);
+    if (idx < num_periods) ++out[idx];
+  }
+  return out;
+}
+
+}  // namespace syndog::trace

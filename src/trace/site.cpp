@@ -1,0 +1,203 @@
+#include "syndog/trace/site.hpp"
+
+#include <stdexcept>
+
+namespace syndog::trace {
+
+std::string_view to_string(SiteId site) {
+  switch (site) {
+    case SiteId::kLbl:
+      return "LBL";
+    case SiteId::kHarvard:
+      return "Harvard";
+    case SiteId::kUnc:
+      return "UNC";
+    case SiteId::kAuckland:
+      return "Auckland";
+  }
+  return "?";
+}
+
+std::string_view to_string(ArrivalKind kind) {
+  switch (kind) {
+    case ArrivalKind::kPoisson:
+      return "poisson";
+    case ArrivalKind::kMmpp:
+      return "mmpp";
+    case ArrivalKind::kParetoOnOff:
+      return "pareto-onoff";
+    case ArrivalKind::kWeibull:
+      return "weibull";
+  }
+  return "?";
+}
+
+SiteSpec site_spec(SiteId site) {
+  SiteSpec spec;
+  spec.name = to_string(site);
+  switch (site) {
+    case SiteId::kLbl:
+      // 1994 wide-area access link: one hour, bidirectional, low volume
+      // (Fig. 3(a): ~5-50 SYNs per period), relatively lossy era.
+      spec.duration = util::SimTime::hours(1);
+      spec.bidirectional = true;
+      spec.outbound_rate = 0.75;
+      spec.inbound_rate = 0.50;
+      spec.onoff_sources = 10;
+      spec.handshake.no_answer_probability = 0.08;
+      spec.disruptions_per_hour = 1.0;
+      spec.disruption_mean_s = 20.0;
+      spec.disruption_max_s = 30.0;
+      spec.disruption_p = 0.25;
+      spec.expected_syn_ack_per_period = 15.0;   // outbound pair only
+      spec.expected_c = 0.087;
+      break;
+    case SiteId::kHarvard:
+      // 10 Mbps campus Ethernet, half hour, bidirectional, bursty
+      // (Fig. 3(b): ~200-700 SYNs per period across both directions).
+      spec.duration = util::SimTime::minutes(30);
+      spec.bidirectional = true;
+      spec.outbound_rate = 10.3;
+      spec.inbound_rate = 6.9;
+      spec.onoff_sources = 30;
+      spec.handshake.no_answer_probability = 0.05;
+      // Calibrated so the largest normal-mode spike of yn is ~0.05
+      // (paper Fig. 5(a)).
+      spec.disruptions_per_hour = 3.0;
+      spec.disruption_mean_s = 10.0;
+      spec.disruption_max_s = 18.0;
+      spec.disruption_p = 0.3;
+      spec.expected_syn_ack_per_period = 206.0;
+      spec.expected_c = 0.0526;
+      break;
+    case SiteId::kUnc:
+      // OC-12 campus uplink, half hour, unidirectional capture pair.
+      // Calibrated so K-bar ~ 2114/period and c ~ 0.05, which reproduces
+      // Table 2's f_min = 37 SYN/s and its detection delays (DESIGN.md §5).
+      spec.duration = util::SimTime::minutes(30);
+      spec.bidirectional = false;
+      spec.outbound_rate = 105.7;
+      spec.inbound_rate = 60.0;
+      spec.onoff_sources = 60;
+      spec.handshake.no_answer_probability = 0.047;
+      spec.disruptions_per_hour = 2.0;
+      spec.disruption_mean_s = 20.0;
+      spec.disruption_max_s = 30.0;
+      spec.disruption_p = 0.35;
+      spec.expected_syn_ack_per_period = 2114.0;
+      spec.expected_c = 0.0494;
+      break;
+    case SiteId::kAuckland:
+      // Medium-size university access link, three hours, unidirectional.
+      // Calibrated so K-bar ~ 107/period, giving Table 3's f_min = 1.75.
+      spec.duration = util::SimTime::hours(3);
+      spec.bidirectional = false;
+      spec.outbound_rate = 4.4;
+      spec.inbound_rate = 3.0;
+      spec.onoff_sources = 20;
+      spec.handshake.no_answer_probability = 0.02;
+      // Calibrated so the largest normal-mode spike of yn is ~0.26
+      // (paper Fig. 5(c)).
+      spec.disruptions_per_hour = 2.0;
+      spec.disruption_mean_s = 22.0;
+      spec.disruption_max_s = 32.0;
+      spec.disruption_p = 0.33;
+      spec.expected_syn_ack_per_period = 88.0;
+      spec.expected_c = 0.0204;
+      break;
+  }
+  return spec;
+}
+
+std::unique_ptr<ArrivalModel> make_arrival_model(ArrivalKind kind,
+                                                 double rate_per_second,
+                                                 int onoff_sources) {
+  if (!(rate_per_second > 0.0)) {
+    throw std::invalid_argument("make_arrival_model: rate must be positive");
+  }
+  switch (kind) {
+    case ArrivalKind::kPoisson:
+      return std::make_unique<PoissonArrivals>(rate_per_second);
+    case ArrivalKind::kMmpp:
+      // Quiet state at half rate, busy state at double rate; stationary
+      // mean equals the requested rate (sojourns 60 s / 30 s).
+      return std::make_unique<MmppArrivals>(0.5 * rate_per_second,
+                                            2.0 * rate_per_second, 60.0,
+                                            30.0);
+    case ArrivalKind::kParetoOnOff: {
+      // Duty cycle 1/3 (mean ON 40 s, OFF 80 s); per-source ON rate chosen
+      // so the superposed mean is the requested rate.
+      ParetoOnOffArrivals::Params p;
+      p.sources = onoff_sources;
+      p.mean_on_s = 40.0;
+      p.mean_off_s = 80.0;
+      p.pareto_shape = 1.5;
+      p.per_source_on_rate =
+          rate_per_second * 3.0 / static_cast<double>(onoff_sources);
+      return std::make_unique<ParetoOnOffArrivals>(p);
+    }
+    case ArrivalKind::kWeibull:
+      // Shape < 1: heavy-tailed gaps, clustered arrivals.
+      return std::make_unique<WeibullRenewalArrivals>(rate_per_second, 0.6);
+  }
+  throw std::invalid_argument("make_arrival_model: unknown kind");
+}
+
+ConnectionTrace generate_site_trace(const SiteSpec& spec,
+                                    std::uint64_t seed) {
+  util::Rng out_rng = util::Rng::child(seed, 1);
+  const std::unique_ptr<ArrivalModel> out_model = make_arrival_model(
+      spec.arrival_kind, spec.outbound_rate, spec.onoff_sources);
+  const LossProcess out_loss = LossProcess::with_random_disruptions(
+      spec.handshake.no_answer_probability, spec.duration,
+      spec.disruptions_per_hour, spec.disruption_mean_s, spec.disruption_p,
+      out_rng, spec.disruption_max_s);
+  ConnectionTrace trace =
+      generate_trace(*out_model, spec.duration, spec.handshake, out_loss,
+                     Direction::kOutbound, out_rng);
+
+  if (spec.inbound_rate > 0.0) {
+    util::Rng in_rng = util::Rng::child(seed, 2);
+    const std::unique_ptr<ArrivalModel> in_model = make_arrival_model(
+        spec.arrival_kind, spec.inbound_rate, spec.onoff_sources);
+    const LossProcess in_loss = LossProcess::with_random_disruptions(
+        spec.handshake.no_answer_probability, spec.duration,
+        spec.disruptions_per_hour, spec.disruption_mean_s,
+        spec.disruption_p, in_rng, spec.disruption_max_s);
+    ConnectionTrace inbound =
+        generate_trace(*in_model, spec.duration, spec.handshake, in_loss,
+                       Direction::kInbound, in_rng);
+    trace = merge_traces(std::move(trace), std::move(inbound));
+  }
+  return trace;
+}
+
+ConnectionTrace generate_flash_crowd(const SiteSpec& spec,
+                                     util::SimTime start,
+                                     util::SimTime duration,
+                                     double multiplier, std::uint64_t seed) {
+  if (multiplier <= 1.0) {
+    throw std::invalid_argument(
+        "generate_flash_crowd: multiplier must exceed 1");
+  }
+  if (start < util::SimTime::zero() || duration <= util::SimTime::zero() ||
+      start + duration > spec.duration) {
+    throw std::invalid_argument(
+        "generate_flash_crowd: surge window outside the trace");
+  }
+  // The surge adds (multiplier - 1) times the base rate on top of the
+  // background the caller already has.
+  util::Rng rng = util::Rng::child(seed, 0xf1a5);
+  const PoissonArrivals surge(spec.outbound_rate * (multiplier - 1.0));
+  ConnectionTrace trace = generate_trace(surge, duration, spec.handshake,
+                                         Direction::kOutbound, rng);
+  // Shift the window into place and stretch the trace to full length.
+  for (Handshake& hs : trace.handshakes) {
+    for (util::SimTime& at : hs.syn_times) at += start;
+    if (hs.syn_ack_time) *hs.syn_ack_time += start;
+  }
+  trace.duration = spec.duration;
+  return trace;
+}
+
+}  // namespace syndog::trace

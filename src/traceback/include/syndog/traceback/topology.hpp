@@ -1,0 +1,60 @@
+// Attack-path topology for IP traceback experiments.
+//
+// SYN-dog's headline advantage (paper §1) is locating flooding sources
+// *without resorting to expensive IP traceback*. To quantify "expensive",
+// this module provides the substrate traceback schemes run on: a router
+// topology with attack paths from spoofing sources to a victim, over
+// which we implement probabilistic packet marking (Savage et al.,
+// SIGCOMM'00 [23]) and hash-based SPIE (Snoeren et al., SIGCOMM'01 [27]).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "syndog/util/rng.hpp"
+
+namespace syndog::traceback {
+
+using RouterId = std::uint32_t;
+inline constexpr RouterId kNoRouter = UINT32_MAX;
+
+/// A reverse-tree topology rooted at the victim: every router has one
+/// next hop toward the victim, attackers sit behind leaf routers.
+class AttackTopology {
+ public:
+  struct Router {
+    RouterId id = kNoRouter;
+    RouterId next_hop = kNoRouter;  ///< toward the victim; kNoRouter at root
+    int distance_to_victim = 0;     ///< hops to the victim
+  };
+
+  /// Builds a random tree with `leaf_paths` distinct attacker paths of
+  /// length uniform in [min_depth, max_depth] hops; paths share suffixes
+  /// near the victim like real Internet routes (a new path branches off
+  /// an existing one at a random hop).
+  static AttackTopology random(int leaf_paths, int min_depth, int max_depth,
+                               util::Rng& rng);
+
+  /// Single linear path of `depth` hops (the classic analysis setting).
+  static AttackTopology chain(int depth);
+
+  [[nodiscard]] std::size_t router_count() const { return routers_.size(); }
+  [[nodiscard]] const Router& router(RouterId id) const;
+  /// Leaf routers with an attacker behind them.
+  [[nodiscard]] const std::vector<RouterId>& attacker_leaves() const {
+    return leaves_;
+  }
+  /// Path from a leaf to the victim: ordered router ids, leaf first.
+  [[nodiscard]] std::vector<RouterId> path_from(RouterId leaf) const;
+  [[nodiscard]] int max_depth() const { return max_depth_; }
+
+ private:
+  RouterId add_router(RouterId next_hop);
+
+  std::vector<Router> routers_;
+  std::vector<RouterId> leaves_;
+  int max_depth_ = 0;
+};
+
+}  // namespace syndog::traceback

@@ -1,0 +1,104 @@
+#include "syndog/traceback/spie.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace syndog::traceback {
+
+BloomFilter::BloomFilter(std::size_t bits, int hash_count)
+    : bits_(bits, false), hash_count_(hash_count) {
+  if (bits == 0 || hash_count < 1 || hash_count > 16) {
+    throw std::invalid_argument("BloomFilter: bad geometry");
+  }
+}
+
+std::size_t BloomFilter::bit_index(std::uint64_t digest, int round) const {
+  // Kirsch-Mitzenmacher double hashing from two SplitMix64 streams.
+  const std::uint64_t h1 = util::splitmix64(digest);
+  const std::uint64_t h2 = util::splitmix64(digest ^ 0x9e3779b97f4a7c15ULL);
+  return static_cast<std::size_t>(
+      (h1 + static_cast<std::uint64_t>(round) * (h2 | 1)) % bits_.size());
+}
+
+void BloomFilter::insert(std::uint64_t digest) {
+  for (int r = 0; r < hash_count_; ++r) {
+    bits_[bit_index(digest, r)] = true;
+  }
+  ++inserted_;
+}
+
+bool BloomFilter::maybe_contains(std::uint64_t digest) const {
+  for (int r = 0; r < hash_count_; ++r) {
+    if (!bits_[bit_index(digest, r)]) return false;
+  }
+  return true;
+}
+
+double BloomFilter::fill_ratio() const {
+  std::size_t set = 0;
+  for (const bool b : bits_) set += b ? 1 : 0;
+  return static_cast<double>(set) / static_cast<double>(bits_.size());
+}
+
+double BloomFilter::expected_false_positive_rate() const {
+  return std::pow(fill_ratio(), hash_count_);
+}
+
+void BloomFilter::clear() {
+  bits_.assign(bits_.size(), false);
+  inserted_ = 0;
+}
+
+SpieSystem::SpieSystem(const AttackTopology& topology, Params params)
+    : topology_(topology), params_(params) {
+  filters_.reserve(topology.router_count());
+  children_.resize(topology.router_count());
+  for (RouterId id = 0; id < topology.router_count(); ++id) {
+    filters_.emplace_back(params_.bits_per_router, params_.hash_count);
+    const RouterId parent = topology.router(id).next_hop;
+    if (parent == kNoRouter) {
+      roots_.push_back(id);
+    } else {
+      children_[parent].push_back(id);
+    }
+  }
+}
+
+std::uint64_t SpieSystem::forward_attack_packet(RouterId leaf,
+                                                util::Rng& rng) {
+  const std::uint64_t digest = rng.next_u64();
+  for (const RouterId hop : topology_.path_from(leaf)) {
+    filters_[hop].insert(digest);
+  }
+  return digest;
+}
+
+void SpieSystem::forward_cross_traffic(RouterId router,
+                                       std::uint64_t digest) {
+  filters_.at(router).insert(digest);
+}
+
+std::vector<RouterId> SpieSystem::trace(std::uint64_t digest) const {
+  std::vector<RouterId> on_path;
+  std::vector<RouterId> frontier;
+  for (const RouterId root : roots_) {
+    if (filters_[root].maybe_contains(digest)) frontier.push_back(root);
+  }
+  while (!frontier.empty()) {
+    const RouterId at = frontier.back();
+    frontier.pop_back();
+    on_path.push_back(at);
+    for (const RouterId child : children_[at]) {
+      if (filters_[child].maybe_contains(digest)) {
+        frontier.push_back(child);
+      }
+    }
+  }
+  return on_path;
+}
+
+std::size_t SpieSystem::total_state_bytes() const {
+  return filters_.size() * (params_.bits_per_router / 8);
+}
+
+}  // namespace syndog::traceback

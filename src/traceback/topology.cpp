@@ -1,0 +1,75 @@
+#include "syndog/traceback/topology.hpp"
+
+#include <stdexcept>
+
+namespace syndog::traceback {
+
+RouterId AttackTopology::add_router(RouterId next_hop) {
+  Router r;
+  r.id = static_cast<RouterId>(routers_.size());
+  r.next_hop = next_hop;
+  r.distance_to_victim =
+      next_hop == kNoRouter ? 1 : routers_[next_hop].distance_to_victim + 1;
+  max_depth_ = std::max(max_depth_, r.distance_to_victim);
+  routers_.push_back(r);
+  return r.id;
+}
+
+AttackTopology AttackTopology::chain(int depth) {
+  if (depth < 1) {
+    throw std::invalid_argument("AttackTopology::chain: depth must be >= 1");
+  }
+  AttackTopology topo;
+  RouterId prev = kNoRouter;
+  for (int d = 0; d < depth; ++d) {
+    prev = topo.add_router(prev);
+  }
+  topo.leaves_.push_back(prev);
+  return topo;
+}
+
+AttackTopology AttackTopology::random(int leaf_paths, int min_depth,
+                                      int max_depth, util::Rng& rng) {
+  if (leaf_paths < 1 || min_depth < 1 || max_depth < min_depth) {
+    throw std::invalid_argument("AttackTopology::random: bad parameters");
+  }
+  AttackTopology topo;
+  // First path: a straight chain.
+  {
+    const int depth =
+        static_cast<int>(rng.uniform_int(min_depth, max_depth));
+    RouterId prev = kNoRouter;
+    for (int d = 0; d < depth; ++d) prev = topo.add_router(prev);
+    topo.leaves_.push_back(prev);
+  }
+  // Subsequent paths branch off an existing router at a random point.
+  for (int p = 1; p < leaf_paths; ++p) {
+    const RouterId junction = static_cast<RouterId>(
+        rng.uniform_int(0, static_cast<std::int64_t>(topo.routers_.size()) -
+                               1));
+    const int total_depth =
+        static_cast<int>(rng.uniform_int(min_depth, max_depth));
+    const int extra =
+        std::max(1, total_depth - topo.routers_[junction].distance_to_victim);
+    RouterId prev = junction;
+    for (int d = 0; d < extra; ++d) prev = topo.add_router(prev);
+    topo.leaves_.push_back(prev);
+  }
+  return topo;
+}
+
+const AttackTopology::Router& AttackTopology::router(RouterId id) const {
+  return routers_.at(id);
+}
+
+std::vector<RouterId> AttackTopology::path_from(RouterId leaf) const {
+  std::vector<RouterId> path;
+  RouterId at = leaf;
+  while (at != kNoRouter) {
+    path.push_back(at);
+    at = routers_.at(at).next_hop;
+  }
+  return path;
+}
+
+}  // namespace syndog::traceback

@@ -1,0 +1,50 @@
+// Key-value configuration.
+//
+// Experiment binaries accept "key=value" overrides (from argv or a file with
+// one entry per line, '#' comments). Typed getters validate on read so a
+// typo'd value fails loudly at startup instead of producing a silent default.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace syndog::util {
+
+class Config {
+ public:
+  Config() = default;
+
+  /// Parses "key=value" lines; '#' starts a comment, blank lines ignored.
+  /// Throws std::invalid_argument on a malformed line.
+  [[nodiscard]] static Config from_text(std::string_view text);
+  /// Parses each argv element as one "key=value" entry.
+  [[nodiscard]] static Config from_args(int argc, const char* const* argv);
+
+  void set(std::string key, std::string value);
+  /// Later entries win; used to layer CLI overrides on top of defaults.
+  void merge(const Config& overrides);
+
+  [[nodiscard]] bool contains(std::string_view key) const;
+  [[nodiscard]] std::optional<std::string> get(std::string_view key) const;
+
+  /// Typed getters: return `fallback` when the key is absent; throw
+  /// std::invalid_argument when present but unparsable.
+  [[nodiscard]] std::string get_string(std::string_view key,
+                                       std::string fallback) const;
+  [[nodiscard]] std::int64_t get_int(std::string_view key,
+                                     std::int64_t fallback) const;
+  [[nodiscard]] double get_double(std::string_view key, double fallback) const;
+  [[nodiscard]] bool get_bool(std::string_view key, bool fallback) const;
+
+  [[nodiscard]] std::vector<std::string> keys() const;
+  [[nodiscard]] std::size_t size() const { return entries_.size(); }
+
+ private:
+  std::map<std::string, std::string, std::less<>> entries_;
+};
+
+}  // namespace syndog::util

@@ -1,0 +1,53 @@
+// Minimal leveled logger.
+//
+// The library itself logs nothing above Debug in hot paths; examples and the
+// bench harness use Info/Warn. The logger writes to stderr so experiment
+// output on stdout stays machine-parsable.
+#pragma once
+
+#include <sstream>
+#include <string>
+#include <string_view>
+
+namespace syndog::util {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+/// Process-wide log threshold; messages below it are discarded.
+void set_log_level(LogLevel level);
+[[nodiscard]] LogLevel log_level();
+
+/// Emits one formatted line to stderr if `level` passes the threshold.
+void log_line(LogLevel level, std::string_view component,
+              std::string_view message);
+
+/// Stream-style log statement:
+///   SYNDOG_LOG(Info, "sim") << "scheduled " << n << " events";
+/// The stream body is only evaluated when the level is enabled.
+class LogStatement {
+ public:
+  LogStatement(LogLevel level, std::string_view component)
+      : level_(level), component_(component) {}
+  ~LogStatement() { log_line(level_, component_, stream_.str()); }
+  LogStatement(const LogStatement&) = delete;
+  LogStatement& operator=(const LogStatement&) = delete;
+
+  template <typename T>
+  LogStatement& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::string component_;
+  std::ostringstream stream_;
+};
+
+}  // namespace syndog::util
+
+#define SYNDOG_LOG(level_name, component)                                  \
+  if (::syndog::util::LogLevel::k##level_name >=                           \
+      ::syndog::util::log_level())                                         \
+  ::syndog::util::LogStatement(::syndog::util::LogLevel::k##level_name,    \
+                               (component))

@@ -1,0 +1,74 @@
+// Presentation helpers for the experiment harness.
+//
+// Every bench binary reproduces a paper table or figure as text: tables are
+// rendered with TextTable, figure series with AsciiChart (a terminal line
+// chart), and everything can also be dumped as CSV for external plotting.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace syndog::util {
+
+/// Accumulates rows of strings and renders a boxed, column-aligned table.
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> header);
+
+  void add_row(std::vector<std::string> cells);
+  /// Convenience: formats arithmetic cells with format_double.
+  void add_row_values(const std::vector<double>& cells, int digits = 4);
+
+  [[nodiscard]] std::size_t row_count() const { return rows_.size(); }
+  [[nodiscard]] std::string to_string() const;
+  [[nodiscard]] std::string to_csv() const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Options controlling AsciiChart rendering.
+struct AsciiChartOptions {
+  int width = 100;    ///< plot columns (series is resampled to fit)
+  int height = 16;    ///< plot rows
+  double y_min = 0.0; ///< lower bound of the y axis
+  /// Upper bound of the y axis; <= y_min means auto-scale to the data.
+  double y_max = 0.0;
+  std::string x_label;
+  std::string y_label;
+};
+
+/// Renders one or more series as a terminal line chart. Multiple series are
+/// drawn with distinct glyphs ('*', '+', 'o', ...) and listed in a legend.
+class AsciiChart {
+ public:
+  explicit AsciiChart(AsciiChartOptions options) : options_(options) {}
+
+  void add_series(std::string name, std::vector<double> values);
+  /// Marks a horizontal reference line (e.g. the flooding threshold N).
+  void add_threshold(std::string name, double value);
+
+  [[nodiscard]] std::string to_string() const;
+
+ private:
+  AsciiChartOptions options_;
+  std::vector<std::pair<std::string, std::vector<double>>> series_;
+  std::vector<std::pair<std::string, double>> thresholds_;
+};
+
+/// Writes rows of (label, values...) as CSV text.
+class CsvWriter {
+ public:
+  explicit CsvWriter(std::vector<std::string> header);
+  void add_row(const std::vector<std::string>& cells);
+  [[nodiscard]] std::string to_string() const;
+
+ private:
+  static std::string escape(const std::string& cell);
+  std::string text_;
+  std::size_t columns_;
+};
+
+}  // namespace syndog::util

@@ -1,0 +1,29 @@
+#include "syndog/util/time.hpp"
+
+#include <cmath>
+#include <cstdio>
+
+namespace syndog::util {
+
+SimTime SimTime::from_seconds(double s) {
+  return SimTime{static_cast<std::int64_t>(std::llround(s * 1e9))};
+}
+
+std::string SimTime::to_string() const {
+  const bool neg = ns_ < 0;
+  std::int64_t abs_ns = neg ? -ns_ : ns_;
+  const std::int64_t total_ms = abs_ns / 1'000'000;
+  const std::int64_t ms = total_ms % 1000;
+  const std::int64_t total_s = total_ms / 1000;
+  const std::int64_t s = total_s % 60;
+  const std::int64_t m = (total_s / 60) % 60;
+  const std::int64_t h = total_s / 3600;
+  char buf[48];
+  std::snprintf(buf, sizeof(buf), "%s%lld:%02lld:%02lld.%03lld",
+                neg ? "-" : "", static_cast<long long>(h),
+                static_cast<long long>(m), static_cast<long long>(s),
+                static_cast<long long>(ms));
+  return buf;
+}
+
+}  // namespace syndog::util

@@ -1,0 +1,189 @@
+// Tests for the numerical ARL design tool and the cross-agent alarm
+// aggregator.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "syndog/attack/campaign.hpp"
+#include "syndog/core/aggregator.hpp"
+#include "syndog/core/agent.hpp"
+#include "syndog/detect/arl.hpp"
+#include "syndog/detect/cusum.hpp"
+#include "syndog/sim/multistub.hpp"
+#include "syndog/util/rng.hpp"
+
+namespace syndog {
+namespace {
+
+using util::SimTime;
+
+// --- ARL (Brook & Evans) -------------------------------------------------------
+
+/// Simulation reference for the Markov-chain ARL.
+double simulated_arl(double mean, double stddev, double a, double n,
+                     int runs, std::uint64_t seed) {
+  double total = 0.0;
+  for (int r = 0; r < runs; ++r) {
+    util::Rng rng(seed + static_cast<std::uint64_t>(r));
+    detect::NonParametricCusum cusum({a, n});
+    std::int64_t steps = 0;
+    while (!cusum.update(rng.normal(mean, stddev)).alarm) {
+      ++steps;
+      if (steps > 10'000'000) break;
+    }
+    total += static_cast<double>(steps + 1);
+  }
+  return total / runs;
+}
+
+TEST(ArlTest, MatchesSimulationInFalseAlarmRegime) {
+  // Pre-change regime: mean below the offset; ARL0 is large.
+  detect::ArlSpec spec;
+  spec.mean = 0.05;
+  spec.stddev = 0.25;
+  spec.offset = 0.35;
+  spec.threshold = 0.5;
+  const double numeric = detect::cusum_average_run_length(spec);
+  const double simulated = simulated_arl(0.05, 0.25, 0.35, 0.5, 300, 7);
+  EXPECT_NEAR(numeric, simulated, simulated * 0.15);
+  EXPECT_GT(numeric, 50.0);
+}
+
+TEST(ArlTest, MatchesSimulationInDetectionRegime) {
+  // Post-change: mean above the offset; ARL1 is the detection delay.
+  detect::ArlSpec spec;
+  spec.mean = 0.7;
+  spec.stddev = 0.1;
+  spec.offset = 0.35;
+  spec.threshold = 1.05;
+  const double numeric = detect::cusum_average_run_length(spec);
+  const double simulated = simulated_arl(0.7, 0.1, 0.35, 1.05, 500, 9);
+  EXPECT_NEAR(numeric, simulated, simulated * 0.1);
+  // And both should sit near the paper's design point N/(h-a) = 3.
+  EXPECT_NEAR(numeric, 3.0, 1.2);
+}
+
+TEST(ArlTest, Arl0GrowsExponentiallyWithThreshold) {
+  // The numerical method must reproduce Eq. (5)'s scaling.
+  detect::ArlSpec spec;
+  spec.mean = 0.05;
+  spec.stddev = 0.25;
+  spec.offset = 0.35;
+  double prev = 0.0;
+  double prev_ratio = 0.0;
+  for (const double n : {0.3, 0.5, 0.7, 0.9}) {
+    spec.threshold = n;
+    const double arl = detect::cusum_average_run_length(spec);
+    if (prev > 0.0) {
+      const double ratio = arl / prev;
+      EXPECT_GT(ratio, 2.0) << n;
+      if (prev_ratio > 0.0) {
+        // Roughly constant multiplicative growth per step.
+        EXPECT_NEAR(ratio, prev_ratio, prev_ratio * 0.5) << n;
+      }
+      prev_ratio = ratio;
+    }
+    prev = arl;
+  }
+}
+
+TEST(ArlTest, ResolutionConverges) {
+  detect::ArlSpec coarse;
+  coarse.mean = 0.1;
+  coarse.stddev = 0.2;
+  coarse.threshold = 0.8;
+  coarse.states = 50;
+  detect::ArlSpec fine = coarse;
+  fine.states = 400;
+  const double a = detect::cusum_average_run_length(coarse);
+  const double b = detect::cusum_average_run_length(fine);
+  EXPECT_NEAR(a, b, b * 0.1);
+}
+
+TEST(ArlTest, Validation) {
+  detect::ArlSpec bad;
+  bad.stddev = 0.0;
+  EXPECT_THROW((void)detect::cusum_average_run_length(bad),
+               std::invalid_argument);
+  bad = detect::ArlSpec{};
+  bad.states = 2;
+  EXPECT_THROW((void)detect::cusum_average_run_length(bad),
+               std::invalid_argument);
+}
+
+// --- AlarmAggregator ---------------------------------------------------------------
+
+TEST(AggregatorTest, EstimatesPerStubAndAggregateRates) {
+  core::AlarmAggregator agg(SimTime::seconds(20), /*assumed_c=*/0.05);
+  core::AlarmEvent ev;
+  ev.at = SimTime::minutes(5);
+  ev.report.delta = 1000.0 + 0.05 * 2000.0;  // flood 50 SYN/s + normal gap
+  ev.report.k_estimate = 2000.0;
+  agg.report("stub-a", ev);
+  EXPECT_EQ(agg.alarming_stubs(), 1u);
+  EXPECT_NEAR(agg.snapshot()[0].estimated_rate, 50.0, 1e-9);
+
+  core::AlarmEvent small;
+  small.at = SimTime::minutes(5);
+  small.report.delta = 400.0 + 0.05 * 2000.0;
+  small.report.k_estimate = 2000.0;
+  agg.report("stub-b", small);
+  EXPECT_NEAR(agg.estimated_aggregate_rate(), 70.0, 1e-9);
+  EXPECT_EQ(agg.snapshot()[0].stub_name, "stub-a");  // largest first
+
+  agg.clear("stub-a");
+  EXPECT_EQ(agg.alarming_stubs(), 1u);
+  EXPECT_NEAR(agg.estimated_aggregate_rate(), 20.0, 1e-9);
+}
+
+TEST(AggregatorTest, EndToEndAcrossAMultiStubCampaign) {
+  sim::MultiStubParams params;
+  params.stub_count = 3;
+  params.hosts_per_stub = 8;
+  sim::MultiStubSim net(params);
+
+  core::AlarmAggregator agg(core::SynDogParams{}.observation_period);
+  std::vector<std::unique_ptr<core::SynDogAgent>> agents;
+  for (int s = 0; s < 3; ++s) {
+    const std::string name = "stub-" + std::to_string(s);
+    agents.push_back(std::make_unique<core::SynDogAgent>(
+        net.router(s), net.scheduler(),
+        core::SynDogParams::paper_defaults(),
+        [&agg, name](const core::AlarmEvent& ev) { agg.report(name, ev); }));
+  }
+
+  attack::CampaignSpec campaign;
+  campaign.aggregate_rate = 150.0;  // 50 SYN/s per stub
+  campaign.stub_networks = 3;
+  campaign.start = SimTime::minutes(1);
+  campaign.duration = SimTime::minutes(4);
+  const attack::Campaign c(campaign, 5);
+  util::Rng rng(6);
+  for (int s = 0; s < 3; ++s) {
+    std::vector<SimTime> starts;
+    double t = 0.0;
+    while (t < 5 * 60.0) {
+      t += rng.exponential_mean(0.25);
+      starts.push_back(SimTime::from_seconds(t));
+    }
+    net.schedule_outbound_background(s, starts);
+    net.launch_flood(s, c.slaves_in_stub(s)[0].host_index %
+                            params.hosts_per_stub + 1,
+                     c.flood_times_in_stub(s),
+                     net::Ipv4Address(198, 51, 100, 10), 80,
+                     *net::Ipv4Prefix::parse("240.0.0.0/8"));
+  }
+  net.run_until(SimTime::minutes(5));
+
+  EXPECT_EQ(agg.alarming_stubs(), 3u);
+  // Aggregate estimate within ~35% of the true campaign rate (the first
+  // alarming period is partially flooded, biasing estimates low).
+  EXPECT_NEAR(agg.estimated_aggregate_rate(), 150.0, 55.0);
+  for (const auto& alarm : agg.snapshot()) {
+    EXPECT_FALSE(alarm.suspects.empty()) << alarm.stub_name;
+    EXPECT_NEAR(alarm.estimated_rate, 50.0, 25.0) << alarm.stub_name;
+  }
+}
+
+}  // namespace
+}  // namespace syndog

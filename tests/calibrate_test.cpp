@@ -1,0 +1,106 @@
+// Round-trip calibration: profile a site's counts, synthesize a spec
+// from the profile, regenerate, and re-profile — the loop must close.
+#include <gtest/gtest.h>
+
+#include "syndog/attack/flood.hpp"
+#include "syndog/core/syndog.hpp"
+#include "syndog/trace/calibrate.hpp"
+#include "syndog/trace/periods.hpp"
+
+namespace syndog::trace {
+namespace {
+
+SiteProfile profile_of(const SiteSpec& spec, std::uint64_t seed) {
+  const PeriodSeries ps =
+      extract_periods(generate_site_trace(spec, seed), kObservationPeriod);
+  return profile_counts(ps.out_syn, ps.in_syn_ack);
+}
+
+TEST(CalibrateTest, ProfileMatchesKnownSiteStatistics) {
+  SiteSpec unc = site_spec(SiteId::kUnc);
+  unc.disruptions_per_hour = 0.0;
+  const SiteProfile profile = profile_of(unc, 42);
+  EXPECT_NEAR(profile.k_bar, unc.expected_syn_ack_per_period,
+              unc.expected_syn_ack_per_period * 0.1);
+  EXPECT_NEAR(profile.c, unc.expected_c, 0.01);
+  EXPECT_GT(profile.x_sigma, 0.0);
+  EXPECT_NEAR(profile.floor_universal,
+              (0.35 - profile.c) * profile.k_bar / 20.0, 1e-9);
+  // Recommended parameters sit between c and the universal offset.
+  EXPECT_GT(profile.recommended_a, profile.c);
+  EXPECT_LE(profile.recommended_a, 0.35);
+  EXPECT_NEAR(profile.recommended_threshold, 3 * profile.recommended_a,
+              1e-12);
+}
+
+TEST(CalibrateTest, RoundTripClosesTheLoop) {
+  // Original site -> counts -> profile -> synthetic spec -> counts ->
+  // profile: level, imbalance, and burstiness must survive the trip.
+  SiteSpec original = site_spec(SiteId::kAuckland);
+  original.disruptions_per_hour = 0.0;
+  const SiteProfile first = profile_of(original, 7);
+
+  const SiteSpec rebuilt = spec_from_profile(first, original.duration);
+  const SiteProfile second = profile_of(rebuilt, 8);
+
+  EXPECT_NEAR(second.k_bar, first.k_bar, first.k_bar * 0.15);
+  EXPECT_NEAR(second.c, first.c, 0.015);
+  EXPECT_NEAR(second.k_cv, first.k_cv, first.k_cv * 0.5 + 0.05);
+  // And the detection floors agree within ~20%.
+  EXPECT_NEAR(second.floor_universal, first.floor_universal,
+              first.floor_universal * 0.2);
+}
+
+TEST(CalibrateTest, CalibratedSpecDrivesDetectionLikeTheOriginal) {
+  // A flood at 3x the floor must be caught on traces from the rebuilt
+  // spec just as on the original's.
+  SiteSpec original = site_spec(SiteId::kAuckland);
+  original.disruptions_per_hour = 0.0;
+  const SiteProfile profile = profile_of(original, 9);
+  const SiteSpec rebuilt = spec_from_profile(profile, original.duration);
+
+  PeriodSeries ps = extract_periods(generate_site_trace(rebuilt, 10),
+                                    kObservationPeriod);
+  attack::FloodSpec flood;
+  flood.rate = 3.0 * profile.floor_universal;
+  flood.start = util::SimTime::minutes(30);
+  util::Rng rng(11);
+  ps.add_outbound_syns(bucket_times(
+      attack::generate_flood_times(flood, rng), ps.period, ps.size()));
+  const auto reports = core::run_over_series(
+      core::SynDogParams::paper_defaults(), ps.out_syn, ps.in_syn_ack);
+  const std::int64_t onset = flood.start / ps.period;
+  std::int64_t alarm = -1;
+  for (const auto& r : reports) {
+    if (r.alarm && alarm < 0) alarm = r.period_index;
+  }
+  ASSERT_GE(alarm, onset);  // and no earlier false alarm
+  EXPECT_LE(alarm, onset + 8);
+}
+
+TEST(CalibrateTest, Validation) {
+  EXPECT_THROW((void)profile_counts({1}, {1}), std::invalid_argument);
+  EXPECT_THROW((void)profile_counts({1, 2}, {1}), std::invalid_argument);
+  EXPECT_THROW((void)profile_counts({1, 2}, {1, 2},
+                                    util::SimTime::zero()),
+               std::invalid_argument);
+  SiteProfile empty;
+  EXPECT_THROW((void)spec_from_profile(empty, util::SimTime::minutes(5)),
+               std::invalid_argument);
+}
+
+TEST(CalibrateTest, HandlesZeroImbalanceSites) {
+  // A perfect site (every SYN answered): c = 0, loss 0.
+  std::vector<std::int64_t> syns(50, 200);
+  std::vector<std::int64_t> acks(50, 200);
+  const SiteProfile profile = profile_counts(syns, acks);
+  EXPECT_DOUBLE_EQ(profile.c, 0.0);
+  EXPECT_DOUBLE_EQ(profile.x_sigma, 0.0);
+  const SiteSpec spec =
+      spec_from_profile(profile, util::SimTime::minutes(30));
+  EXPECT_DOUBLE_EQ(spec.handshake.no_answer_probability, 0.0);
+  EXPECT_NEAR(spec.outbound_rate, 10.0, 0.1);  // 200 per 20 s
+}
+
+}  // namespace
+}  // namespace syndog::trace

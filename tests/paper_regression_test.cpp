@@ -1,0 +1,187 @@
+// Regression guards for the headline paper reproduction.
+//
+// These pin the *shape* of Tables 2-3 and Figure 5 (detection
+// probabilities, delay ranges, absence of false alarms) with small trial
+// counts, so a calibration or algorithm regression fails loudly in CI
+// rather than silently skewing the benches. Tolerances are deliberately
+// loose — the benches, not the tests, chase exact values.
+#include <gtest/gtest.h>
+
+#include "syndog/attack/flood.hpp"
+#include "syndog/core/syndog.hpp"
+#include "syndog/stats/series.hpp"
+#include "syndog/trace/periods.hpp"
+#include "syndog/trace/site.hpp"
+
+namespace syndog {
+namespace {
+
+struct Ensemble {
+  double probability = 0.0;
+  double mean_delay = 0.0;
+  int false_alarms = 0;
+};
+
+Ensemble run(trace::SiteId site, double fi, int trials, double start_min_s,
+             double start_max_s,
+             const core::SynDogParams& params =
+                 core::SynDogParams::paper_defaults()) {
+  const trace::SiteSpec spec = trace::site_spec(site);
+  Ensemble out;
+  int detected = 0;
+  double delay_sum = 0.0;
+  for (int t = 0; t < trials; ++t) {
+    trace::PeriodSeries ps = trace::extract_periods(
+        trace::generate_site_trace(spec, 9000 + t),
+        trace::kObservationPeriod);
+    util::Rng rng(9500 + t);
+    attack::FloodSpec flood;
+    flood.rate = fi;
+    flood.start =
+        util::SimTime::from_seconds(rng.uniform(start_min_s, start_max_s));
+    flood.duration = util::SimTime::minutes(10);
+    if (fi > 0.0) {
+      ps.add_outbound_syns(trace::bucket_times(
+          attack::generate_flood_times(flood, rng), ps.period, ps.size()));
+    }
+    const auto reports =
+        core::run_over_series(params, ps.out_syn, ps.in_syn_ack);
+    const std::int64_t onset =
+        fi > 0.0 ? flood.start / ps.period
+                 : static_cast<std::int64_t>(ps.size());
+    const std::int64_t fend = std::min<std::int64_t>(
+        (flood.start + flood.duration) / ps.period,
+        static_cast<std::int64_t>(ps.size()) - 1);
+    for (std::int64_t n = 0; n < onset; ++n) {
+      out.false_alarms += reports[static_cast<std::size_t>(n)].alarm;
+    }
+    for (std::int64_t n = onset; n <= fend; ++n) {
+      if (reports[static_cast<std::size_t>(n)].alarm) {
+        ++detected;
+        delay_sum += static_cast<double>(n - onset);
+        break;
+      }
+    }
+  }
+  out.probability = static_cast<double>(detected) / trials;
+  if (detected > 0) out.mean_delay = delay_sum / detected;
+  return out;
+}
+
+constexpr double kUncStartMin = 180.0;   // paper: 3-9 minutes
+constexpr double kUncStartMax = 540.0;
+constexpr double kAuckStartMin = 180.0;  // paper: 3-136 minutes
+constexpr double kAuckStartMax = 8160.0;
+
+// --- Table 2 (UNC) shape -----------------------------------------------------
+
+TEST(Table2Regression, FloorRateDetectsPartially) {
+  // Paper: fi = 37 -> prob 0.8, delay ~19.8.
+  const Ensemble e = run(trace::SiteId::kUnc, 37.0, 10, kUncStartMin,
+                         kUncStartMax);
+  EXPECT_GE(e.probability, 0.3);
+  EXPECT_LE(e.probability, 1.0);
+  EXPECT_EQ(e.false_alarms, 0);
+  if (e.probability > 0.0) {
+    EXPECT_GE(e.mean_delay, 10.0);
+  }
+}
+
+TEST(Table2Regression, MidRatesDetectFullyWithDecreasingDelay) {
+  // Paper: 45 -> 8.65, 60 -> 4, 120 -> 1 (all prob 1.0).
+  const Ensemble e45 =
+      run(trace::SiteId::kUnc, 45.0, 10, kUncStartMin, kUncStartMax);
+  const Ensemble e60 =
+      run(trace::SiteId::kUnc, 60.0, 10, kUncStartMin, kUncStartMax);
+  const Ensemble e120 =
+      run(trace::SiteId::kUnc, 120.0, 10, kUncStartMin, kUncStartMax);
+  EXPECT_DOUBLE_EQ(e45.probability, 1.0);
+  EXPECT_DOUBLE_EQ(e60.probability, 1.0);
+  EXPECT_DOUBLE_EQ(e120.probability, 1.0);
+  EXPECT_GT(e45.mean_delay, e60.mean_delay);
+  EXPECT_GT(e60.mean_delay, e120.mean_delay);
+  EXPECT_NEAR(e45.mean_delay, 8.65, 4.0);
+  EXPECT_NEAR(e60.mean_delay, 4.0, 2.5);
+  EXPECT_LE(e120.mean_delay, 3.0);
+  EXPECT_EQ(e45.false_alarms + e60.false_alarms + e120.false_alarms, 0);
+}
+
+// --- Table 3 (Auckland) shape --------------------------------------------------
+
+TEST(Table3Regression, SmallSiteFloorNearPaperValue) {
+  // Paper: 1.5 -> 0.55, 1.75 -> 0.95, 2 -> 1.0.
+  const Ensemble e15 = run(trace::SiteId::kAuckland, 1.5, 10,
+                           kAuckStartMin, kAuckStartMax);
+  const Ensemble e2 = run(trace::SiteId::kAuckland, 2.0, 10,
+                          kAuckStartMin, kAuckStartMax);
+  EXPECT_LT(e15.probability, e2.probability);
+  EXPECT_GE(e2.probability, 0.8);
+  EXPECT_EQ(e15.false_alarms + e2.false_alarms, 0);
+}
+
+TEST(Table3Regression, FastRatesDetectInAtMostTwoPeriods) {
+  // Paper: 5 -> 2 periods, 10 -> <1 period.
+  const Ensemble e5 = run(trace::SiteId::kAuckland, 5.0, 10,
+                          kAuckStartMin, kAuckStartMax);
+  const Ensemble e10 = run(trace::SiteId::kAuckland, 10.0, 10,
+                           kAuckStartMin, kAuckStartMax);
+  EXPECT_DOUBLE_EQ(e5.probability, 1.0);
+  EXPECT_DOUBLE_EQ(e10.probability, 1.0);
+  EXPECT_LE(e5.mean_delay, 3.0);
+  EXPECT_LE(e10.mean_delay, 1.0);
+}
+
+// --- Figure 5 (no false alarms anywhere) -----------------------------------------
+
+TEST(Figure5Regression, NoFalseAlarmsAtAnySite) {
+  for (const trace::SiteId site :
+       {trace::SiteId::kLbl, trace::SiteId::kHarvard, trace::SiteId::kUnc,
+        trace::SiteId::kAuckland}) {
+    const Ensemble e = run(site, 0.0, 6, 0.0, 0.0);
+    EXPECT_EQ(e.false_alarms, 0) << trace::to_string(site);
+  }
+}
+
+TEST(Figure5Regression, NormalSpikesStayFarBelowThreshold) {
+  // Paper: Harvard max spike ~0.05, Auckland ~0.26, both << 1.05.
+  for (const auto& [site, bound] :
+       {std::pair{trace::SiteId::kHarvard, 0.35},
+        std::pair{trace::SiteId::kAuckland, 0.9}}) {
+    double worst = 0.0;
+    for (int s = 0; s < 6; ++s) {
+      const trace::PeriodSeries ps = trace::extract_periods(
+          trace::generate_site_trace(trace::site_spec(site), 9100 + s),
+          trace::kObservationPeriod);
+      const auto reports = core::run_over_series(
+          core::SynDogParams::paper_defaults(), ps.out_syn, ps.in_syn_ack);
+      for (const auto& r : reports) worst = std::max(worst, r.y);
+    }
+    EXPECT_LT(worst, bound) << trace::to_string(site);
+  }
+}
+
+// --- Figure 9 (site tuning) ----------------------------------------------------
+
+TEST(Figure9Regression, TunedParametersSeeSubUniversalFloods) {
+  // fi = 15 sits exactly at the tuned floor (a - c) * K / t0 ~ 16 SYN/s,
+  // so detection there is marginal even in the paper (Fig. 9 shows yn
+  // crawling up over the whole trace). The firm, testable gain is one
+  // step above the floor: fi = 20 is invisible to the universal
+  // parameters and reliably caught by the tuned ones.
+  const Ensemble universal = run(trace::SiteId::kUnc, 20.0, 8,
+                                 kUncStartMin, kUncStartMax);
+  const Ensemble tuned =
+      run(trace::SiteId::kUnc, 20.0, 8, kUncStartMin, kUncStartMax,
+          core::SynDogParams::site_tuned_unc());
+  EXPECT_DOUBLE_EQ(universal.probability, 0.0);
+  EXPECT_GE(tuned.probability, 0.7);
+  const Ensemble tuned15 =
+      run(trace::SiteId::kUnc, 15.0, 8, kUncStartMin, kUncStartMax,
+          core::SynDogParams::site_tuned_unc());
+  const Ensemble universal15 = run(trace::SiteId::kUnc, 15.0, 8,
+                                   kUncStartMin, kUncStartMax);
+  EXPECT_GE(tuned15.probability, universal15.probability);
+}
+
+}  // namespace
+}  // namespace syndog

@@ -1,0 +1,175 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "syndog/net/packet.hpp"
+#include "syndog/pcap/pcap.hpp"
+#include "syndog/util/rng.hpp"
+
+namespace syndog::pcap {
+namespace {
+
+net::ByteBuffer sample_frame(std::uint32_t host) {
+  net::TcpPacketSpec spec;
+  spec.src_mac = net::MacAddress::for_host(host);
+  spec.dst_mac = net::MacAddress::for_host(0xffffff);
+  spec.src_ip = net::Ipv4Address(10, 1, 0, static_cast<std::uint8_t>(host));
+  spec.dst_ip = net::Ipv4Address(192, 0, 2, 1);
+  spec.src_port = static_cast<std::uint16_t>(30000 + host);
+  spec.dst_port = 80;
+  return net::encode_frame(net::make_syn(spec));
+}
+
+TEST(PcapTest, WriteReadRoundTripMicroseconds) {
+  std::stringstream buf;
+  Writer writer(buf);
+  const net::ByteBuffer f1 = sample_frame(1);
+  const net::ByteBuffer f2 = sample_frame(2);
+  writer.write(util::SimTime::from_seconds(1.5), f1);
+  writer.write(util::SimTime::from_seconds(2.000001), f2);
+  EXPECT_EQ(writer.records_written(), 2u);
+
+  Reader reader(buf);
+  EXPECT_FALSE(reader.header().nanosecond);
+  EXPECT_FALSE(reader.header().swapped);
+  EXPECT_EQ(reader.header().link_type, LinkType::kEthernet);
+
+  const auto r1 = reader.next();
+  ASSERT_TRUE(r1.has_value());
+  EXPECT_EQ(r1->timestamp, util::SimTime::from_seconds(1.5));
+  EXPECT_EQ(r1->data, f1);
+  EXPECT_EQ(r1->orig_len, f1.size());
+
+  const auto r2 = reader.next();
+  ASSERT_TRUE(r2.has_value());
+  EXPECT_EQ(r2->timestamp.ns(), 2'000'001'000);  // 1 us resolution
+
+  EXPECT_FALSE(reader.next().has_value());
+  EXPECT_FALSE(reader.truncated());
+}
+
+TEST(PcapTest, NanosecondResolutionPreserved) {
+  std::stringstream buf;
+  Writer writer(buf, LinkType::kEthernet, /*nanosecond=*/true);
+  writer.write(util::SimTime::nanoseconds(123456789), sample_frame(1));
+  Reader reader(buf);
+  EXPECT_TRUE(reader.header().nanosecond);
+  const auto rec = reader.next();
+  ASSERT_TRUE(rec.has_value());
+  EXPECT_EQ(rec->timestamp.ns(), 123456789);
+}
+
+TEST(PcapTest, SnaplenTruncatesButKeepsOrigLen) {
+  std::stringstream buf;
+  Writer writer(buf, LinkType::kEthernet, false, /*snaplen=*/40);
+  const net::ByteBuffer frame = sample_frame(1);
+  ASSERT_GT(frame.size(), 40u);
+  writer.write(util::SimTime::zero(), frame);
+  Reader reader(buf);
+  const auto rec = reader.next();
+  ASSERT_TRUE(rec.has_value());
+  EXPECT_EQ(rec->data.size(), 40u);
+  EXPECT_EQ(rec->orig_len, frame.size());
+}
+
+TEST(PcapTest, ReadsByteSwappedFiles) {
+  // Hand-build a big-endian pcap file (as captured on a BE machine).
+  std::string raw;
+  const auto put_be32 = [&](std::uint32_t v) {
+    raw.push_back(static_cast<char>(v >> 24));
+    raw.push_back(static_cast<char>(v >> 16));
+    raw.push_back(static_cast<char>(v >> 8));
+    raw.push_back(static_cast<char>(v));
+  };
+  const auto put_be16 = [&](std::uint16_t v) {
+    raw.push_back(static_cast<char>(v >> 8));
+    raw.push_back(static_cast<char>(v));
+  };
+  put_be32(FileHeader::kMagicMicros);
+  put_be16(2);
+  put_be16(4);
+  put_be32(0);
+  put_be32(0);
+  put_be32(65535);
+  put_be32(1);  // Ethernet
+  put_be32(10);  // ts sec
+  put_be32(500000);  // ts usec
+  put_be32(4);  // incl
+  put_be32(4);  // orig
+  raw += "\x01\x02\x03\x04";
+
+  std::stringstream buf(raw);
+  Reader reader(buf);
+  EXPECT_TRUE(reader.header().swapped);
+  EXPECT_EQ(reader.header().snaplen, 65535u);
+  const auto rec = reader.next();
+  ASSERT_TRUE(rec.has_value());
+  EXPECT_EQ(rec->timestamp, util::SimTime::from_seconds(10.5));
+  ASSERT_EQ(rec->data.size(), 4u);
+  EXPECT_EQ(rec->data[0], 0x01);
+}
+
+TEST(PcapTest, RejectsBadMagicAndEmptyFile) {
+  std::stringstream empty;
+  EXPECT_THROW(Reader{empty}, std::runtime_error);
+  std::stringstream junk("not a pcap file at all");
+  EXPECT_THROW(Reader{junk}, std::runtime_error);
+}
+
+TEST(PcapTest, DetectsTruncatedRecord) {
+  std::stringstream buf;
+  Writer writer(buf);
+  writer.write(util::SimTime::zero(), sample_frame(1));
+  std::string raw = buf.str();
+  raw.resize(raw.size() - 5);  // chop the tail of the frame
+  std::stringstream damaged(raw);
+  Reader reader(damaged);
+  EXPECT_FALSE(reader.next().has_value());
+  EXPECT_TRUE(reader.truncated());
+}
+
+TEST(PcapTest, NegativeTimestampRejected) {
+  std::stringstream buf;
+  Writer writer(buf);
+  EXPECT_THROW(
+      writer.write(util::SimTime::nanoseconds(-1), sample_frame(1)),
+      std::runtime_error);
+}
+
+TEST(PcapTest, FileHelpersRoundTrip) {
+  const std::string path = testing::TempDir() + "syndog_pcap_test.pcap";
+  std::vector<Record> records;
+  for (std::uint32_t i = 1; i <= 5; ++i) {
+    Record rec;
+    rec.timestamp = util::SimTime::milliseconds(i * 10);
+    rec.data = sample_frame(i);
+    rec.orig_len = static_cast<std::uint32_t>(rec.data.size());
+    records.push_back(std::move(rec));
+  }
+  write_file(path, records);
+  const std::vector<Record> back = read_file(path);
+  ASSERT_EQ(back.size(), records.size());
+  for (std::size_t i = 0; i < back.size(); ++i) {
+    EXPECT_EQ(back[i].timestamp, records[i].timestamp);
+    EXPECT_EQ(back[i].data, records[i].data);
+  }
+  // The frames inside the file decode back into the original packets.
+  const auto decoded = net::decode_frame(back[0].data);
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_TRUE(decoded->is_syn());
+  std::remove(path.c_str());
+}
+
+TEST(PcapTest, ReadAllDrainsEverything) {
+  std::stringstream buf;
+  Writer writer(buf);
+  for (int i = 0; i < 10; ++i) {
+    writer.write(util::SimTime::seconds(i), sample_frame(1));
+  }
+  Reader reader(buf);
+  EXPECT_EQ(reader.read_all().size(), 10u);
+  EXPECT_EQ(reader.records_read(), 10u);
+}
+
+}  // namespace
+}  // namespace syndog::pcap

@@ -1,0 +1,135 @@
+#include <gtest/gtest.h>
+
+#include "syndog/classify/engines.hpp"
+#include "syndog/classify/rule_text.hpp"
+
+namespace syndog::classify {
+namespace {
+
+TEST(RuleTextTest, ParsesSynDogRules) {
+  const auto rules = parse_rules(
+      "# SYN-dog's two counting rules\n"
+      "count-syn    priority=0 proto=tcp flags=syn     name=syndog-out\n"
+      "count-synack priority=1 proto=tcp flags=syn-ack name=syndog-in\n");
+  ASSERT_EQ(rules.size(), 2u);
+  // Must match the programmatic constructors exactly.
+  const Rule ref_syn = make_syn_count_rule(0);
+  EXPECT_EQ(rules[0].action, ref_syn.action);
+  EXPECT_EQ(rules[0].flag_mask, ref_syn.flag_mask);
+  EXPECT_EQ(rules[0].flag_value, ref_syn.flag_value);
+  EXPECT_EQ(rules[0].protocol, ref_syn.protocol);
+  const Rule ref_ack = make_syn_ack_count_rule(1);
+  EXPECT_EQ(rules[1].flag_value, ref_ack.flag_value);
+  EXPECT_EQ(rules[1].name, "syndog-in");
+}
+
+TEST(RuleTextTest, ParsesFullRule) {
+  const Rule rule = parse_rule_line(
+      "deny priority=42 proto=tcp src=10.1.0.0/16 dst=192.0.2.0/24 "
+      "sport=1024-65535 dport=80 flags=rst name=no-resets");
+  EXPECT_EQ(rule.action, Action::kDeny);
+  EXPECT_EQ(rule.priority, 42u);
+  EXPECT_EQ(rule.src.to_string(), "10.1.0.0/16");
+  EXPECT_EQ(rule.dst.to_string(), "192.0.2.0/24");
+  EXPECT_EQ(rule.src_ports.lo, 1024);
+  EXPECT_EQ(rule.src_ports.hi, 65535);
+  EXPECT_EQ(rule.dst_ports, PortRange::exactly(80));
+  EXPECT_EQ(rule.flag_mask, net::TcpFlags::kRst);
+  EXPECT_EQ(rule.name, "no-resets");
+}
+
+TEST(RuleTextTest, ExplicitMaskValueFlags) {
+  const Rule rule = parse_rule_line("permit flags=0x3f:0x02");
+  EXPECT_EQ(rule.flag_mask, 0x3f);
+  EXPECT_EQ(rule.flag_value, 0x02);
+  // flags implies TCP.
+  EXPECT_EQ(rule.protocol,
+            static_cast<std::uint8_t>(net::IpProtocol::kTcp));
+}
+
+TEST(RuleTextTest, OmittedFieldsAreWildcards) {
+  const Rule rule = parse_rule_line("permit");
+  EXPECT_EQ(rule.src.length(), 0);
+  EXPECT_EQ(rule.dst.length(), 0);
+  EXPECT_TRUE(rule.src_ports.is_wildcard());
+  EXPECT_FALSE(rule.protocol.has_value());
+  FlowKey any;
+  any.protocol = 17;
+  EXPECT_TRUE(rule.matches(any));
+}
+
+TEST(RuleTextTest, RoundTripsThroughFormat) {
+  const char* lines[] = {
+      "count-syn priority=0 proto=tcp flags=syn name=a",
+      "deny priority=9 proto=udp src=10.0.0.0/8 dport=53",
+      "permit priority=3 dst=203.0.113.0/24 sport=1000-2000",
+  };
+  for (const char* line : lines) {
+    const Rule original = parse_rule_line(line);
+    const Rule reparsed = parse_rule_line(format_rule(original));
+    EXPECT_EQ(reparsed.action, original.action) << line;
+    EXPECT_EQ(reparsed.priority, original.priority) << line;
+    EXPECT_EQ(reparsed.src, original.src) << line;
+    EXPECT_EQ(reparsed.dst, original.dst) << line;
+    EXPECT_EQ(reparsed.src_ports, original.src_ports) << line;
+    EXPECT_EQ(reparsed.dst_ports, original.dst_ports) << line;
+    EXPECT_EQ(reparsed.flag_mask, original.flag_mask) << line;
+    EXPECT_EQ(reparsed.flag_value, original.flag_value) << line;
+    EXPECT_EQ(reparsed.name, original.name) << line;
+  }
+}
+
+TEST(RuleTextTest, ParsedRulesDriveTheEngines) {
+  const auto rules = parse_rules(
+      "deny   priority=0 proto=tcp src=240.0.0.0/8 name=spoof-guard\n"
+      "permit priority=9\n");
+  for (auto& engine : make_all_classifiers()) {
+    for (const Rule& rule : rules) engine->add_rule(rule);
+    engine->build();
+    FlowKey spoofed;
+    spoofed.src_ip = *net::Ipv4Address::parse("240.1.2.3");
+    spoofed.protocol = 6;
+    const Rule* hit = engine->match(spoofed);
+    ASSERT_NE(hit, nullptr) << engine->name();
+    EXPECT_EQ(hit->name, "spoof-guard") << engine->name();
+    FlowKey honest;
+    honest.src_ip = *net::Ipv4Address::parse("10.1.0.5");
+    hit = engine->match(honest);
+    ASSERT_NE(hit, nullptr);
+    EXPECT_EQ(hit->action, Action::kPermit);
+  }
+}
+
+TEST(RuleTextTest, CommentsAndBlanksIgnoredErrorsCarryLineNumbers) {
+  EXPECT_TRUE(parse_rules("\n# only comments\n   \n").empty());
+  try {
+    (void)parse_rules("permit\n\nbogus-action priority=1\n");
+    FAIL() << "expected throw";
+  } catch (const std::invalid_argument& ex) {
+    EXPECT_NE(std::string(ex.what()).find("line 3"), std::string::npos);
+  }
+}
+
+TEST(RuleTextTest, RejectsMalformedInput) {
+  EXPECT_THROW((void)parse_rule_line(""), std::invalid_argument);
+  EXPECT_THROW((void)parse_rule_line("frobnicate"), std::invalid_argument);
+  EXPECT_THROW((void)parse_rule_line("permit priority=abc"),
+               std::invalid_argument);
+  EXPECT_THROW((void)parse_rule_line("permit proto=gre"),
+               std::invalid_argument);
+  EXPECT_THROW((void)parse_rule_line("permit src=10.0.0.0"),
+               std::invalid_argument);
+  EXPECT_THROW((void)parse_rule_line("permit dport=99999"),
+               std::invalid_argument);
+  EXPECT_THROW((void)parse_rule_line("permit dport=90-80"),
+               std::invalid_argument);
+  EXPECT_THROW((void)parse_rule_line("permit flags=xyz"),
+               std::invalid_argument);
+  EXPECT_THROW((void)parse_rule_line("permit flags=0x02:0x12"),
+               std::invalid_argument);  // value outside mask
+  EXPECT_THROW((void)parse_rule_line("permit shape=round"),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace syndog::classify

@@ -1,0 +1,104 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <deque>
+
+#include "syndog/stats/sliding.hpp"
+#include "syndog/util/rng.hpp"
+
+namespace syndog::stats {
+namespace {
+
+TEST(SlidingWindowTest, FillsThenSlides) {
+  SlidingWindow w(3);
+  EXPECT_EQ(w.size(), 0u);
+  w.add(1.0);
+  w.add(2.0);
+  EXPECT_FALSE(w.full());
+  w.add(3.0);
+  EXPECT_TRUE(w.full());
+  EXPECT_DOUBLE_EQ(w.mean(), 2.0);
+  w.add(10.0);  // evicts 1.0
+  EXPECT_EQ(w.size(), 3u);
+  EXPECT_DOUBLE_EQ(w.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(w.front(), 2.0);
+  EXPECT_DOUBLE_EQ(w.back(), 10.0);
+}
+
+TEST(SlidingWindowTest, MinMaxTrackEvictions) {
+  SlidingWindow w(3);
+  w.add(5.0);
+  w.add(1.0);
+  w.add(9.0);
+  EXPECT_DOUBLE_EQ(w.min(), 1.0);
+  EXPECT_DOUBLE_EQ(w.max(), 9.0);
+  w.add(4.0);  // evicts 5
+  EXPECT_DOUBLE_EQ(w.min(), 1.0);
+  w.add(4.5);  // evicts 1 -> min becomes 4
+  EXPECT_DOUBLE_EQ(w.min(), 4.0);
+  w.add(2.0);  // evicts 9 -> max becomes 4.5
+  EXPECT_DOUBLE_EQ(w.max(), 4.5);
+}
+
+TEST(SlidingWindowTest, MatchesBruteForceOnRandomStream) {
+  util::Rng rng(31);
+  SlidingWindow w(16);
+  std::deque<double> reference;
+  for (int i = 0; i < 5000; ++i) {
+    const double x = rng.normal(0.0, 10.0);
+    w.add(x);
+    reference.push_back(x);
+    if (reference.size() > 16) reference.pop_front();
+
+    double sum = 0.0;
+    double mn = reference.front();
+    double mx = reference.front();
+    for (const double v : reference) {
+      sum += v;
+      mn = std::min(mn, v);
+      mx = std::max(mx, v);
+    }
+    const double mean = sum / static_cast<double>(reference.size());
+    double var = 0.0;
+    for (const double v : reference) var += (v - mean) * (v - mean);
+    var /= static_cast<double>(reference.size());
+
+    ASSERT_NEAR(w.mean(), mean, 1e-9);
+    if (reference.size() >= 2) {
+      ASSERT_NEAR(w.variance(), var, 1e-6);
+    }
+    ASSERT_DOUBLE_EQ(w.min(), mn);
+    ASSERT_DOUBLE_EQ(w.max(), mx);
+  }
+}
+
+TEST(SlidingWindowTest, EmptyAndClearBehaviour) {
+  SlidingWindow w(4);
+  EXPECT_EQ(w.mean(), 0.0);
+  EXPECT_EQ(w.variance(), 0.0);
+  EXPECT_EQ(w.min(), 0.0);
+  EXPECT_THROW((void)w.front(), std::out_of_range);
+  w.add(7.0);
+  w.clear();
+  EXPECT_EQ(w.size(), 0u);
+  EXPECT_EQ(w.mean(), 0.0);
+  EXPECT_THROW((void)w.back(), std::out_of_range);
+  EXPECT_THROW(SlidingWindow{0}, std::invalid_argument);
+}
+
+TEST(SlidingWindowTest, DuplicateValuesEvictCorrectly) {
+  // Monotonic-deque implementations commonly break on duplicates.
+  SlidingWindow w(2);
+  w.add(5.0);
+  w.add(5.0);
+  EXPECT_DOUBLE_EQ(w.min(), 5.0);
+  EXPECT_DOUBLE_EQ(w.max(), 5.0);
+  w.add(3.0);  // evicts one 5; the other remains
+  EXPECT_DOUBLE_EQ(w.max(), 5.0);
+  EXPECT_DOUBLE_EQ(w.min(), 3.0);
+  w.add(4.0);  // evicts the second 5
+  EXPECT_DOUBLE_EQ(w.max(), 4.0);
+}
+
+}  // namespace
+}  // namespace syndog::stats

@@ -1,0 +1,215 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "syndog/stats/histogram.hpp"
+#include "syndog/stats/online.hpp"
+#include "syndog/stats/quantile.hpp"
+#include "syndog/stats/series.hpp"
+#include "syndog/util/rng.hpp"
+
+namespace syndog::stats {
+namespace {
+
+// --- OnlineStats --------------------------------------------------------------
+
+TEST(OnlineStatsTest, MeanVarianceMinMax) {
+  OnlineStats s;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(x);
+  EXPECT_EQ(s.count(), 8);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 4.0);  // classic textbook data set
+  EXPECT_DOUBLE_EQ(s.stddev(), 2.0);
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+  EXPECT_DOUBLE_EQ(s.cv(), 0.4);
+}
+
+TEST(OnlineStatsTest, EmptyIsSafe) {
+  const OnlineStats s;
+  EXPECT_EQ(s.count(), 0);
+  EXPECT_EQ(s.mean(), 0.0);
+  EXPECT_EQ(s.variance(), 0.0);
+  EXPECT_EQ(s.cv(), 0.0);
+}
+
+TEST(OnlineStatsTest, MergeMatchesSequential) {
+  util::Rng rng(3);
+  OnlineStats whole;
+  OnlineStats a;
+  OnlineStats b;
+  for (int i = 0; i < 1000; ++i) {
+    const double x = rng.normal(10.0, 2.0);
+    whole.add(x);
+    (i % 2 == 0 ? a : b).add(x);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), whole.count());
+  EXPECT_NEAR(a.mean(), whole.mean(), 1e-9);
+  EXPECT_NEAR(a.variance(), whole.variance(), 1e-9);
+  EXPECT_DOUBLE_EQ(a.min(), whole.min());
+  EXPECT_DOUBLE_EQ(a.max(), whole.max());
+}
+
+TEST(OnlineStatsTest, MergeWithEmpty) {
+  OnlineStats a;
+  a.add(1.0);
+  OnlineStats empty;
+  a.merge(empty);
+  EXPECT_EQ(a.count(), 1);
+  empty.merge(a);
+  EXPECT_EQ(empty.count(), 1);
+  EXPECT_DOUBLE_EQ(empty.mean(), 1.0);
+}
+
+// --- Ewma -------------------------------------------------------------------
+
+TEST(EwmaTest, FirstSamplePrimesDirectly) {
+  Ewma e(0.9);
+  EXPECT_FALSE(e.primed());
+  e.add(100.0);
+  EXPECT_TRUE(e.primed());
+  EXPECT_DOUBLE_EQ(e.value(), 100.0);  // no cold-start bias toward zero
+}
+
+TEST(EwmaTest, MatchesPaperEquationOne) {
+  // K(n) = alpha*K(n-1) + (1-alpha)*SYNACK(n), Eq. (1) of the paper.
+  Ewma e(0.9);
+  e.add(100.0);
+  e.add(200.0);
+  EXPECT_DOUBLE_EQ(e.value(), 0.9 * 100.0 + 0.1 * 200.0);
+  e.add(50.0);
+  EXPECT_DOUBLE_EQ(e.value(), 0.9 * 110.0 + 0.1 * 50.0);
+}
+
+TEST(EwmaTest, ConvergesToConstantInput) {
+  Ewma e(0.8);
+  for (int i = 0; i < 200; ++i) e.add(42.0);
+  EXPECT_NEAR(e.value(), 42.0, 1e-9);
+}
+
+TEST(EwmaTest, RejectsBadAlpha) {
+  EXPECT_THROW(Ewma(0.0), std::invalid_argument);
+  EXPECT_THROW(Ewma(1.0), std::invalid_argument);
+  EXPECT_THROW(Ewma(-0.5), std::invalid_argument);
+}
+
+TEST(EwmaMeanVarTest, TracksMoments) {
+  util::Rng rng(5);
+  EwmaMeanVar mv(0.99);
+  for (int i = 0; i < 20000; ++i) mv.add(rng.normal(7.0, 3.0));
+  EXPECT_NEAR(mv.mean(), 7.0, 0.5);
+  EXPECT_NEAR(mv.stddev(), 3.0, 0.5);
+}
+
+// --- quantiles --------------------------------------------------------------
+
+TEST(P2QuantileTest, ExactBelowFiveSamples) {
+  P2Quantile q(0.5);
+  q.add(3.0);
+  q.add(1.0);
+  q.add(2.0);
+  EXPECT_DOUBLE_EQ(q.value(), 2.0);
+}
+
+TEST(P2QuantileTest, ApproximatesMedianOfUniform) {
+  util::Rng rng(7);
+  P2Quantile q(0.5);
+  for (int i = 0; i < 50000; ++i) q.add(rng.uniform());
+  EXPECT_NEAR(q.value(), 0.5, 0.02);
+}
+
+TEST(P2QuantileTest, ApproximatesTailQuantile) {
+  util::Rng rng(9);
+  P2Quantile q(0.95);
+  ExactQuantiles exact;
+  for (int i = 0; i < 50000; ++i) {
+    const double x = rng.exponential_mean(2.0);
+    q.add(x);
+    exact.add(x);
+  }
+  EXPECT_NEAR(q.value(), exact.quantile(0.95), 0.3);
+}
+
+TEST(P2QuantileTest, RejectsBadQ) {
+  EXPECT_THROW(P2Quantile(0.0), std::invalid_argument);
+  EXPECT_THROW(P2Quantile(1.0), std::invalid_argument);
+}
+
+TEST(ExactQuantilesTest, InterpolatesAndClamps) {
+  ExactQuantiles q;
+  q.add_all({1.0, 2.0, 3.0, 4.0});
+  EXPECT_DOUBLE_EQ(q.quantile(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(q.quantile(1.0), 4.0);
+  EXPECT_DOUBLE_EQ(q.median(), 2.5);
+  EXPECT_DOUBLE_EQ(q.quantile(-1.0), 1.0);  // clamped
+  EXPECT_DOUBLE_EQ(ExactQuantiles{}.quantile(0.5), 0.0);
+}
+
+// --- Histogram --------------------------------------------------------------
+
+TEST(HistogramTest, BucketsAndOverflow) {
+  Histogram h(0.0, 10.0, 5);
+  for (double x : {-1.0, 0.0, 1.9, 2.0, 9.99, 10.0, 25.0}) h.add(x);
+  EXPECT_EQ(h.total(), 7);
+  EXPECT_EQ(h.underflow(), 1);
+  EXPECT_EQ(h.overflow(), 2);
+  EXPECT_EQ(h.count_in_bin(0), 2);  // 0.0 and 1.9
+  EXPECT_EQ(h.count_in_bin(1), 1);  // 2.0
+  EXPECT_EQ(h.count_in_bin(4), 1);  // 9.99
+  EXPECT_DOUBLE_EQ(h.bin_center(0), 1.0);
+  EXPECT_NEAR(h.cumulative_fraction(4), 1.0, 1e-12);
+}
+
+TEST(HistogramTest, RejectsBadRange) {
+  EXPECT_THROW(Histogram(1.0, 1.0, 4), std::invalid_argument);
+  EXPECT_THROW(Histogram(0.0, 1.0, 0), std::invalid_argument);
+}
+
+// --- series helpers ------------------------------------------------------------
+
+TEST(SeriesTest, PearsonCorrelation) {
+  const std::vector<double> xs = {1, 2, 3, 4, 5};
+  const std::vector<double> up = {2, 4, 6, 8, 10};
+  const std::vector<double> down = {10, 8, 6, 4, 2};
+  EXPECT_NEAR(pearson_correlation(xs, up), 1.0, 1e-12);
+  EXPECT_NEAR(pearson_correlation(xs, down), -1.0, 1e-12);
+  EXPECT_EQ(pearson_correlation(xs, {7, 7, 7, 7, 7}), 0.0);  // constant
+  EXPECT_THROW((void)pearson_correlation(xs, {1.0}), std::invalid_argument);
+}
+
+TEST(SeriesTest, AutocorrelationOfAlternatingSeries) {
+  std::vector<double> xs;
+  for (int i = 0; i < 200; ++i) xs.push_back(i % 2 == 0 ? 1.0 : -1.0);
+  EXPECT_NEAR(autocorrelation(xs, 1), -1.0, 0.02);
+  EXPECT_NEAR(autocorrelation(xs, 2), 1.0, 0.02);
+  EXPECT_EQ(autocorrelation(xs, 500), 0.0);  // lag beyond length
+}
+
+TEST(SeriesTest, FirstCrossing) {
+  EXPECT_EQ(first_crossing({0.1, 0.5, 1.2, 0.3}, 1.0), 2);
+  EXPECT_EQ(first_crossing({0.1, 0.5}, 1.0), -1);
+  EXPECT_EQ(first_crossing({}, 1.0), -1);
+  EXPECT_EQ(first_crossing({1.0}, 1.0), -1);  // strictly greater
+}
+
+TEST(SeriesTest, DownsampleMean) {
+  const std::vector<double> xs = {1, 2, 3, 4, 5};
+  const std::vector<double> ds = downsample_mean(xs, 2);
+  ASSERT_EQ(ds.size(), 3u);
+  EXPECT_DOUBLE_EQ(ds[0], 1.5);
+  EXPECT_DOUBLE_EQ(ds[1], 3.5);
+  EXPECT_DOUBLE_EQ(ds[2], 5.0);  // trailing partial group
+  EXPECT_THROW((void)downsample_mean(xs, 0), std::invalid_argument);
+}
+
+TEST(SeriesTest, Difference) {
+  const auto d = series_difference({5, 7}, {2, 10});
+  ASSERT_EQ(d.size(), 2u);
+  EXPECT_DOUBLE_EQ(d[0], 3.0);
+  EXPECT_DOUBLE_EQ(d[1], -3.0);
+}
+
+}  // namespace
+}  // namespace syndog::stats
