@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_parameters.dir/bench_ablation_parameters.cpp.o"
+  "CMakeFiles/bench_ablation_parameters.dir/bench_ablation_parameters.cpp.o.d"
+  "bench_ablation_parameters"
+  "bench_ablation_parameters.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_parameters.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_adaptive_tuning.dir/bench_adaptive_tuning.cpp.o"
+  "CMakeFiles/bench_adaptive_tuning.dir/bench_adaptive_tuning.cpp.o.d"
+  "bench_adaptive_tuning"
+  "bench_adaptive_tuning.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_adaptive_tuning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

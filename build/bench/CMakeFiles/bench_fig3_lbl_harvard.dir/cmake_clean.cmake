@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig3_lbl_harvard.dir/bench_fig3_lbl_harvard.cpp.o"
+  "CMakeFiles/bench_fig3_lbl_harvard.dir/bench_fig3_lbl_harvard.cpp.o.d"
+  "bench_fig3_lbl_harvard"
+  "bench_fig3_lbl_harvard.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig3_lbl_harvard.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig4_unc_auckland.dir/bench_fig4_unc_auckland.cpp.o"
+  "CMakeFiles/bench_fig4_unc_auckland.dir/bench_fig4_unc_auckland.cpp.o.d"
+  "bench_fig4_unc_auckland"
+  "bench_fig4_unc_auckland.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig4_unc_auckland.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig5_normal_cusum.dir/bench_fig5_normal_cusum.cpp.o"
+  "CMakeFiles/bench_fig5_normal_cusum.dir/bench_fig5_normal_cusum.cpp.o.d"
+  "bench_fig5_normal_cusum"
+  "bench_fig5_normal_cusum.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5_normal_cusum.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_firstmile_vs_lastmile.dir/bench_firstmile_vs_lastmile.cpp.o"
+  "CMakeFiles/bench_firstmile_vs_lastmile.dir/bench_firstmile_vs_lastmile.cpp.o.d"
+  "bench_firstmile_vs_lastmile"
+  "bench_firstmile_vs_lastmile.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_firstmile_vs_lastmile.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

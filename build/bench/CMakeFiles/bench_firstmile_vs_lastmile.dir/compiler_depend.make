@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for bench_firstmile_vs_lastmile.
+# This may be replaced when dependencies are built.

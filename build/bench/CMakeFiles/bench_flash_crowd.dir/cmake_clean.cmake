@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_flash_crowd.dir/bench_flash_crowd.cpp.o"
+  "CMakeFiles/bench_flash_crowd.dir/bench_flash_crowd.cpp.o.d"
+  "bench_flash_crowd"
+  "bench_flash_crowd.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_flash_crowd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_multistub_campaign.dir/bench_multistub_campaign.cpp.o"
+  "CMakeFiles/bench_multistub_campaign.dir/bench_multistub_campaign.cpp.o.d"
+  "bench_multistub_campaign"
+  "bench_multistub_campaign.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_multistub_campaign.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_sensitivity_bound.dir/bench_sensitivity_bound.cpp.o"
+  "CMakeFiles/bench_sensitivity_bound.dir/bench_sensitivity_bound.cpp.o.d"
+  "bench_sensitivity_bound"
+  "bench_sensitivity_bound.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sensitivity_bound.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_traceback_comparison.dir/bench_traceback_comparison.cpp.o"
+  "CMakeFiles/bench_traceback_comparison.dir/bench_traceback_comparison.cpp.o.d"
+  "bench_traceback_comparison"
+  "bench_traceback_comparison.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_traceback_comparison.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_victim_goodput.dir/bench_victim_goodput.cpp.o"
+  "CMakeFiles/bench_victim_goodput.dir/bench_victim_goodput.cpp.o.d"
+  "bench_victim_goodput"
+  "bench_victim_goodput.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_victim_goodput.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/syndog_bench_common.dir/common/experiment.cpp.o"
+  "CMakeFiles/syndog_bench_common.dir/common/experiment.cpp.o.d"
+  "libsyndog_bench_common.a"
+  "libsyndog_bench_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/syndog_bench_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ddos_campaign.dir/ddos_campaign.cpp.o"
+  "CMakeFiles/ddos_campaign.dir/ddos_campaign.cpp.o.d"
+  "ddos_campaign"
+  "ddos_campaign.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ddos_campaign.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/leaf_router_sim.dir/leaf_router_sim.cpp.o"
+  "CMakeFiles/leaf_router_sim.dir/leaf_router_sim.cpp.o.d"
+  "leaf_router_sim"
+  "leaf_router_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/leaf_router_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

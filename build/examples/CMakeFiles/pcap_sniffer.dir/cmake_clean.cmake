@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pcap_sniffer.dir/pcap_sniffer.cpp.o"
+  "CMakeFiles/pcap_sniffer.dir/pcap_sniffer.cpp.o.d"
+  "pcap_sniffer"
+  "pcap_sniffer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pcap_sniffer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/syndog_tool.dir/syndog_tool.cpp.o"
+  "CMakeFiles/syndog_tool.dir/syndog_tool.cpp.o.d"
+  "syndog_tool"
+  "syndog_tool.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/syndog_tool.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

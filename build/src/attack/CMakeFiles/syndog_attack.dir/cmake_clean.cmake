@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/syndog_attack.dir/campaign.cpp.o"
+  "CMakeFiles/syndog_attack.dir/campaign.cpp.o.d"
+  "CMakeFiles/syndog_attack.dir/flood.cpp.o"
+  "CMakeFiles/syndog_attack.dir/flood.cpp.o.d"
+  "libsyndog_attack.a"
+  "libsyndog_attack.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/syndog_attack.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

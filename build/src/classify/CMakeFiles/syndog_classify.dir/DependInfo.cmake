@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/classify/engines.cpp" "src/classify/CMakeFiles/syndog_classify.dir/engines.cpp.o" "gcc" "src/classify/CMakeFiles/syndog_classify.dir/engines.cpp.o.d"
+  "/root/repo/src/classify/rule.cpp" "src/classify/CMakeFiles/syndog_classify.dir/rule.cpp.o" "gcc" "src/classify/CMakeFiles/syndog_classify.dir/rule.cpp.o.d"
+  "/root/repo/src/classify/rule_text.cpp" "src/classify/CMakeFiles/syndog_classify.dir/rule_text.cpp.o" "gcc" "src/classify/CMakeFiles/syndog_classify.dir/rule_text.cpp.o.d"
+  "/root/repo/src/classify/segment.cpp" "src/classify/CMakeFiles/syndog_classify.dir/segment.cpp.o" "gcc" "src/classify/CMakeFiles/syndog_classify.dir/segment.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/net/CMakeFiles/syndog_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/syndog_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

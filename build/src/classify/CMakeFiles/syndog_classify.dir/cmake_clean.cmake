@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/syndog_classify.dir/engines.cpp.o"
+  "CMakeFiles/syndog_classify.dir/engines.cpp.o.d"
+  "CMakeFiles/syndog_classify.dir/rule.cpp.o"
+  "CMakeFiles/syndog_classify.dir/rule.cpp.o.d"
+  "CMakeFiles/syndog_classify.dir/rule_text.cpp.o"
+  "CMakeFiles/syndog_classify.dir/rule_text.cpp.o.d"
+  "CMakeFiles/syndog_classify.dir/segment.cpp.o"
+  "CMakeFiles/syndog_classify.dir/segment.cpp.o.d"
+  "libsyndog_classify.a"
+  "libsyndog_classify.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/syndog_classify.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/adaptive.cpp" "src/core/CMakeFiles/syndog_core.dir/adaptive.cpp.o" "gcc" "src/core/CMakeFiles/syndog_core.dir/adaptive.cpp.o.d"
+  "/root/repo/src/core/agent.cpp" "src/core/CMakeFiles/syndog_core.dir/agent.cpp.o" "gcc" "src/core/CMakeFiles/syndog_core.dir/agent.cpp.o.d"
+  "/root/repo/src/core/aggregator.cpp" "src/core/CMakeFiles/syndog_core.dir/aggregator.cpp.o" "gcc" "src/core/CMakeFiles/syndog_core.dir/aggregator.cpp.o.d"
+  "/root/repo/src/core/locator.cpp" "src/core/CMakeFiles/syndog_core.dir/locator.cpp.o" "gcc" "src/core/CMakeFiles/syndog_core.dir/locator.cpp.o.d"
+  "/root/repo/src/core/mitigate.cpp" "src/core/CMakeFiles/syndog_core.dir/mitigate.cpp.o" "gcc" "src/core/CMakeFiles/syndog_core.dir/mitigate.cpp.o.d"
+  "/root/repo/src/core/syndog.cpp" "src/core/CMakeFiles/syndog_core.dir/syndog.cpp.o" "gcc" "src/core/CMakeFiles/syndog_core.dir/syndog.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/classify/CMakeFiles/syndog_classify.dir/DependInfo.cmake"
+  "/root/repo/build/src/detect/CMakeFiles/syndog_detect.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/syndog_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/syndog_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/syndog_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/syndog_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/syndog_core.dir/adaptive.cpp.o"
+  "CMakeFiles/syndog_core.dir/adaptive.cpp.o.d"
+  "CMakeFiles/syndog_core.dir/agent.cpp.o"
+  "CMakeFiles/syndog_core.dir/agent.cpp.o.d"
+  "CMakeFiles/syndog_core.dir/aggregator.cpp.o"
+  "CMakeFiles/syndog_core.dir/aggregator.cpp.o.d"
+  "CMakeFiles/syndog_core.dir/locator.cpp.o"
+  "CMakeFiles/syndog_core.dir/locator.cpp.o.d"
+  "CMakeFiles/syndog_core.dir/mitigate.cpp.o"
+  "CMakeFiles/syndog_core.dir/mitigate.cpp.o.d"
+  "CMakeFiles/syndog_core.dir/syndog.cpp.o"
+  "CMakeFiles/syndog_core.dir/syndog.cpp.o.d"
+  "libsyndog_core.a"
+  "libsyndog_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/syndog_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/detect/arl.cpp" "src/detect/CMakeFiles/syndog_detect.dir/arl.cpp.o" "gcc" "src/detect/CMakeFiles/syndog_detect.dir/arl.cpp.o.d"
+  "/root/repo/src/detect/charts.cpp" "src/detect/CMakeFiles/syndog_detect.dir/charts.cpp.o" "gcc" "src/detect/CMakeFiles/syndog_detect.dir/charts.cpp.o.d"
+  "/root/repo/src/detect/cusum.cpp" "src/detect/CMakeFiles/syndog_detect.dir/cusum.cpp.o" "gcc" "src/detect/CMakeFiles/syndog_detect.dir/cusum.cpp.o.d"
+  "/root/repo/src/detect/evaluator.cpp" "src/detect/CMakeFiles/syndog_detect.dir/evaluator.cpp.o" "gcc" "src/detect/CMakeFiles/syndog_detect.dir/evaluator.cpp.o.d"
+  "/root/repo/src/detect/glr.cpp" "src/detect/CMakeFiles/syndog_detect.dir/glr.cpp.o" "gcc" "src/detect/CMakeFiles/syndog_detect.dir/glr.cpp.o.d"
+  "/root/repo/src/detect/shiryaev.cpp" "src/detect/CMakeFiles/syndog_detect.dir/shiryaev.cpp.o" "gcc" "src/detect/CMakeFiles/syndog_detect.dir/shiryaev.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/stats/CMakeFiles/syndog_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/syndog_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/syndog_detect.dir/arl.cpp.o"
+  "CMakeFiles/syndog_detect.dir/arl.cpp.o.d"
+  "CMakeFiles/syndog_detect.dir/charts.cpp.o"
+  "CMakeFiles/syndog_detect.dir/charts.cpp.o.d"
+  "CMakeFiles/syndog_detect.dir/cusum.cpp.o"
+  "CMakeFiles/syndog_detect.dir/cusum.cpp.o.d"
+  "CMakeFiles/syndog_detect.dir/evaluator.cpp.o"
+  "CMakeFiles/syndog_detect.dir/evaluator.cpp.o.d"
+  "CMakeFiles/syndog_detect.dir/glr.cpp.o"
+  "CMakeFiles/syndog_detect.dir/glr.cpp.o.d"
+  "CMakeFiles/syndog_detect.dir/shiryaev.cpp.o"
+  "CMakeFiles/syndog_detect.dir/shiryaev.cpp.o.d"
+  "libsyndog_detect.a"
+  "libsyndog_detect.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/syndog_detect.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

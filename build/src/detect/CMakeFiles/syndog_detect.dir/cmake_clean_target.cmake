@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libsyndog_detect.a"
+)

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/syndog_net.dir/address.cpp.o"
+  "CMakeFiles/syndog_net.dir/address.cpp.o.d"
+  "CMakeFiles/syndog_net.dir/headers.cpp.o"
+  "CMakeFiles/syndog_net.dir/headers.cpp.o.d"
+  "CMakeFiles/syndog_net.dir/packet.cpp.o"
+  "CMakeFiles/syndog_net.dir/packet.cpp.o.d"
+  "CMakeFiles/syndog_net.dir/wire.cpp.o"
+  "CMakeFiles/syndog_net.dir/wire.cpp.o.d"
+  "libsyndog_net.a"
+  "libsyndog_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/syndog_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/syndog_pcap.dir/pcap.cpp.o"
+  "CMakeFiles/syndog_pcap.dir/pcap.cpp.o.d"
+  "CMakeFiles/syndog_pcap.dir/pcapng.cpp.o"
+  "CMakeFiles/syndog_pcap.dir/pcapng.cpp.o.d"
+  "libsyndog_pcap.a"
+  "libsyndog_pcap.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/syndog_pcap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

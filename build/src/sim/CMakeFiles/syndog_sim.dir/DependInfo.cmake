@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/cloud.cpp" "src/sim/CMakeFiles/syndog_sim.dir/cloud.cpp.o" "gcc" "src/sim/CMakeFiles/syndog_sim.dir/cloud.cpp.o.d"
+  "/root/repo/src/sim/link.cpp" "src/sim/CMakeFiles/syndog_sim.dir/link.cpp.o" "gcc" "src/sim/CMakeFiles/syndog_sim.dir/link.cpp.o.d"
+  "/root/repo/src/sim/multistub.cpp" "src/sim/CMakeFiles/syndog_sim.dir/multistub.cpp.o" "gcc" "src/sim/CMakeFiles/syndog_sim.dir/multistub.cpp.o.d"
+  "/root/repo/src/sim/network.cpp" "src/sim/CMakeFiles/syndog_sim.dir/network.cpp.o" "gcc" "src/sim/CMakeFiles/syndog_sim.dir/network.cpp.o.d"
+  "/root/repo/src/sim/router.cpp" "src/sim/CMakeFiles/syndog_sim.dir/router.cpp.o" "gcc" "src/sim/CMakeFiles/syndog_sim.dir/router.cpp.o.d"
+  "/root/repo/src/sim/scheduler.cpp" "src/sim/CMakeFiles/syndog_sim.dir/scheduler.cpp.o" "gcc" "src/sim/CMakeFiles/syndog_sim.dir/scheduler.cpp.o.d"
+  "/root/repo/src/sim/tcp_host.cpp" "src/sim/CMakeFiles/syndog_sim.dir/tcp_host.cpp.o" "gcc" "src/sim/CMakeFiles/syndog_sim.dir/tcp_host.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/net/CMakeFiles/syndog_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/syndog_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

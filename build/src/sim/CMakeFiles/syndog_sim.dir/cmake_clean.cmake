@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/syndog_sim.dir/cloud.cpp.o"
+  "CMakeFiles/syndog_sim.dir/cloud.cpp.o.d"
+  "CMakeFiles/syndog_sim.dir/link.cpp.o"
+  "CMakeFiles/syndog_sim.dir/link.cpp.o.d"
+  "CMakeFiles/syndog_sim.dir/multistub.cpp.o"
+  "CMakeFiles/syndog_sim.dir/multistub.cpp.o.d"
+  "CMakeFiles/syndog_sim.dir/network.cpp.o"
+  "CMakeFiles/syndog_sim.dir/network.cpp.o.d"
+  "CMakeFiles/syndog_sim.dir/router.cpp.o"
+  "CMakeFiles/syndog_sim.dir/router.cpp.o.d"
+  "CMakeFiles/syndog_sim.dir/scheduler.cpp.o"
+  "CMakeFiles/syndog_sim.dir/scheduler.cpp.o.d"
+  "CMakeFiles/syndog_sim.dir/tcp_host.cpp.o"
+  "CMakeFiles/syndog_sim.dir/tcp_host.cpp.o.d"
+  "libsyndog_sim.a"
+  "libsyndog_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/syndog_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

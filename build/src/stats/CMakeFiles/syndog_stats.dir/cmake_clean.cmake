@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/syndog_stats.dir/histogram.cpp.o"
+  "CMakeFiles/syndog_stats.dir/histogram.cpp.o.d"
+  "CMakeFiles/syndog_stats.dir/online.cpp.o"
+  "CMakeFiles/syndog_stats.dir/online.cpp.o.d"
+  "CMakeFiles/syndog_stats.dir/quantile.cpp.o"
+  "CMakeFiles/syndog_stats.dir/quantile.cpp.o.d"
+  "CMakeFiles/syndog_stats.dir/series.cpp.o"
+  "CMakeFiles/syndog_stats.dir/series.cpp.o.d"
+  "CMakeFiles/syndog_stats.dir/sliding.cpp.o"
+  "CMakeFiles/syndog_stats.dir/sliding.cpp.o.d"
+  "libsyndog_stats.a"
+  "libsyndog_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/syndog_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

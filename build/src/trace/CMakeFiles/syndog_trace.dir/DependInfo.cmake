@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/trace/arrivals.cpp" "src/trace/CMakeFiles/syndog_trace.dir/arrivals.cpp.o" "gcc" "src/trace/CMakeFiles/syndog_trace.dir/arrivals.cpp.o.d"
+  "/root/repo/src/trace/calibrate.cpp" "src/trace/CMakeFiles/syndog_trace.dir/calibrate.cpp.o" "gcc" "src/trace/CMakeFiles/syndog_trace.dir/calibrate.cpp.o.d"
+  "/root/repo/src/trace/handshake.cpp" "src/trace/CMakeFiles/syndog_trace.dir/handshake.cpp.o" "gcc" "src/trace/CMakeFiles/syndog_trace.dir/handshake.cpp.o.d"
+  "/root/repo/src/trace/periods.cpp" "src/trace/CMakeFiles/syndog_trace.dir/periods.cpp.o" "gcc" "src/trace/CMakeFiles/syndog_trace.dir/periods.cpp.o.d"
+  "/root/repo/src/trace/render.cpp" "src/trace/CMakeFiles/syndog_trace.dir/render.cpp.o" "gcc" "src/trace/CMakeFiles/syndog_trace.dir/render.cpp.o.d"
+  "/root/repo/src/trace/site.cpp" "src/trace/CMakeFiles/syndog_trace.dir/site.cpp.o" "gcc" "src/trace/CMakeFiles/syndog_trace.dir/site.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/net/CMakeFiles/syndog_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/syndog_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/syndog_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

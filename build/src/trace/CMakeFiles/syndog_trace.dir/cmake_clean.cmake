@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/syndog_trace.dir/arrivals.cpp.o"
+  "CMakeFiles/syndog_trace.dir/arrivals.cpp.o.d"
+  "CMakeFiles/syndog_trace.dir/calibrate.cpp.o"
+  "CMakeFiles/syndog_trace.dir/calibrate.cpp.o.d"
+  "CMakeFiles/syndog_trace.dir/handshake.cpp.o"
+  "CMakeFiles/syndog_trace.dir/handshake.cpp.o.d"
+  "CMakeFiles/syndog_trace.dir/periods.cpp.o"
+  "CMakeFiles/syndog_trace.dir/periods.cpp.o.d"
+  "CMakeFiles/syndog_trace.dir/render.cpp.o"
+  "CMakeFiles/syndog_trace.dir/render.cpp.o.d"
+  "CMakeFiles/syndog_trace.dir/site.cpp.o"
+  "CMakeFiles/syndog_trace.dir/site.cpp.o.d"
+  "libsyndog_trace.a"
+  "libsyndog_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/syndog_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/traceback/ppm.cpp" "src/traceback/CMakeFiles/syndog_traceback.dir/ppm.cpp.o" "gcc" "src/traceback/CMakeFiles/syndog_traceback.dir/ppm.cpp.o.d"
+  "/root/repo/src/traceback/spie.cpp" "src/traceback/CMakeFiles/syndog_traceback.dir/spie.cpp.o" "gcc" "src/traceback/CMakeFiles/syndog_traceback.dir/spie.cpp.o.d"
+  "/root/repo/src/traceback/topology.cpp" "src/traceback/CMakeFiles/syndog_traceback.dir/topology.cpp.o" "gcc" "src/traceback/CMakeFiles/syndog_traceback.dir/topology.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/syndog_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/syndog_traceback.dir/ppm.cpp.o"
+  "CMakeFiles/syndog_traceback.dir/ppm.cpp.o.d"
+  "CMakeFiles/syndog_traceback.dir/spie.cpp.o"
+  "CMakeFiles/syndog_traceback.dir/spie.cpp.o.d"
+  "CMakeFiles/syndog_traceback.dir/topology.cpp.o"
+  "CMakeFiles/syndog_traceback.dir/topology.cpp.o.d"
+  "libsyndog_traceback.a"
+  "libsyndog_traceback.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/syndog_traceback.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

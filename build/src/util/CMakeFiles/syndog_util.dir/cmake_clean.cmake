@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/syndog_util.dir/config.cpp.o"
+  "CMakeFiles/syndog_util.dir/config.cpp.o.d"
+  "CMakeFiles/syndog_util.dir/logging.cpp.o"
+  "CMakeFiles/syndog_util.dir/logging.cpp.o.d"
+  "CMakeFiles/syndog_util.dir/rng.cpp.o"
+  "CMakeFiles/syndog_util.dir/rng.cpp.o.d"
+  "CMakeFiles/syndog_util.dir/strings.cpp.o"
+  "CMakeFiles/syndog_util.dir/strings.cpp.o.d"
+  "CMakeFiles/syndog_util.dir/table.cpp.o"
+  "CMakeFiles/syndog_util.dir/table.cpp.o.d"
+  "CMakeFiles/syndog_util.dir/time.cpp.o"
+  "CMakeFiles/syndog_util.dir/time.cpp.o.d"
+  "libsyndog_util.a"
+  "libsyndog_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/syndog_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/arl_aggregator_test.dir/arl_aggregator_test.cpp.o"
+  "CMakeFiles/arl_aggregator_test.dir/arl_aggregator_test.cpp.o.d"
+  "arl_aggregator_test"
+  "arl_aggregator_test.pdb"
+  "arl_aggregator_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/arl_aggregator_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

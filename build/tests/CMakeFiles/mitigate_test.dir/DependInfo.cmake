@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/mitigate_test.cpp" "tests/CMakeFiles/mitigate_test.dir/mitigate_test.cpp.o" "gcc" "tests/CMakeFiles/mitigate_test.dir/mitigate_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/attack/CMakeFiles/syndog_attack.dir/DependInfo.cmake"
+  "/root/repo/build/src/classify/CMakeFiles/syndog_classify.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/syndog_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/detect/CMakeFiles/syndog_detect.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/syndog_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/pcap/CMakeFiles/syndog_pcap.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/syndog_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/syndog_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/syndog_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/traceback/CMakeFiles/syndog_traceback.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/syndog_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

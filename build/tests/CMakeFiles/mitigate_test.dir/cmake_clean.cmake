@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mitigate_test.dir/mitigate_test.cpp.o"
+  "CMakeFiles/mitigate_test.dir/mitigate_test.cpp.o.d"
+  "mitigate_test"
+  "mitigate_test.pdb"
+  "mitigate_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mitigate_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

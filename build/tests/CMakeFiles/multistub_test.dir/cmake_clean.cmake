@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multistub_test.dir/multistub_test.cpp.o"
+  "CMakeFiles/multistub_test.dir/multistub_test.cpp.o.d"
+  "multistub_test"
+  "multistub_test.pdb"
+  "multistub_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multistub_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/paper_regression_test.dir/paper_regression_test.cpp.o"
+  "CMakeFiles/paper_regression_test.dir/paper_regression_test.cpp.o.d"
+  "paper_regression_test"
+  "paper_regression_test.pdb"
+  "paper_regression_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/paper_regression_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rule_text_test.dir/rule_text_test.cpp.o"
+  "CMakeFiles/rule_text_test.dir/rule_text_test.cpp.o.d"
+  "rule_text_test"
+  "rule_text_test.pdb"
+  "rule_text_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rule_text_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sliding_test.dir/sliding_test.cpp.o"
+  "CMakeFiles/sliding_test.dir/sliding_test.cpp.o.d"
+  "sliding_test"
+  "sliding_test.pdb"
+  "sliding_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sliding_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

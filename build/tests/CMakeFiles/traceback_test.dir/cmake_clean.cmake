@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/traceback_test.dir/traceback_test.cpp.o"
+  "CMakeFiles/traceback_test.dir/traceback_test.cpp.o.d"
+  "traceback_test"
+  "traceback_test.pdb"
+  "traceback_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/traceback_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
