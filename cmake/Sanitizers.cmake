@@ -1,0 +1,27 @@
+# Sanitizer wiring for the whole tree.
+#
+# SYNDOG_SANITIZE is a semicolon list of sanitizer names understood by the
+# compiler's -fsanitize= flag, e.g. "address;undefined" or "thread". The
+# flags are applied globally (compile + link) so every library, test, and
+# bench binary in the tree runs instrumented; mixing instrumented and
+# uninstrumented TUs produces false negatives.
+#
+# Used by the CMakePresets.json presets `asan-ubsan` and `tsan`; see
+# docs/STATIC_ANALYSIS.md.
+
+set(SYNDOG_SANITIZE "" CACHE STRING
+    "Semicolon-separated sanitizers to enable (e.g. address;undefined or thread)")
+
+if(SYNDOG_SANITIZE)
+  if("thread" IN_LIST SYNDOG_SANITIZE AND "address" IN_LIST SYNDOG_SANITIZE)
+    message(FATAL_ERROR "SYNDOG_SANITIZE: thread and address sanitizers are "
+                        "mutually exclusive; configure two build trees instead")
+  endif()
+  list(JOIN SYNDOG_SANITIZE "," _syndog_sanitize_csv)
+  add_compile_options(
+    -fsanitize=${_syndog_sanitize_csv}
+    -fno-omit-frame-pointer
+    -fno-sanitize-recover=all)
+  add_link_options(-fsanitize=${_syndog_sanitize_csv})
+  message(STATUS "syndog: sanitizers enabled: ${_syndog_sanitize_csv}")
+endif()

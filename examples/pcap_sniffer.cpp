@@ -11,6 +11,7 @@
 //   $ pcap_sniffer capture.pcap   # analyze an existing Ethernet pcap
 #include <cstdio>
 #include <fstream>
+#include <stdexcept>
 #include <string>
 
 #include "syndog/attack/flood.hpp"
@@ -66,10 +67,7 @@ std::string generate_demo_capture() {
 
 }  // namespace
 
-int main(int argc, char** argv) {
-  const std::string path =
-      argc > 1 ? argv[1] : generate_demo_capture();
-
+int analyze(const std::string& path) {
   std::ifstream file(path, std::ios::binary);
   if (!file) {
     std::fprintf(stderr, "cannot open %s\n", path.c_str());
@@ -143,4 +141,14 @@ int main(int argc, char** argv) {
               static_cast<unsigned long long>(reader.records_read()),
               alarmed_printed ? "ALARMED" : "saw nothing suspicious");
   return 0;
+}
+
+int main(int argc, char** argv) {
+  const std::string path = argc > 1 ? argv[1] : generate_demo_capture();
+  try {
+    return analyze(path);
+  } catch (const std::runtime_error& e) {
+    std::fprintf(stderr, "%s: %s\n", path.c_str(), e.what());
+    return 1;
+  }
 }

@@ -5,7 +5,9 @@
 // classifier must never crash on hostile packets).
 #pragma once
 
+#include <bit>
 #include <cstdint>
+#include <cstring>
 #include <optional>
 #include <span>
 #include <vector>
@@ -17,14 +19,74 @@ namespace syndog::net {
 using ByteSpan = std::span<const std::uint8_t>;
 using ByteBuffer = std::vector<std::uint8_t>;
 
+// --- byte-order helpers ----------------------------------------------------
+
+[[nodiscard]] constexpr std::uint16_t byteswap16(std::uint16_t v) noexcept {
+  return static_cast<std::uint16_t>((v << 8) | (v >> 8));
+}
+
+[[nodiscard]] constexpr std::uint32_t byteswap32(std::uint32_t v) noexcept {
+  return ((v & 0xffu) << 24) | ((v & 0xff00u) << 8) | ((v >> 8) & 0xff00u) |
+         (v >> 24);
+}
+
+[[nodiscard]] constexpr std::uint64_t byteswap64(std::uint64_t v) noexcept {
+  return (std::uint64_t{byteswap32(static_cast<std::uint32_t>(v))} << 32) |
+         byteswap32(static_cast<std::uint32_t>(v >> 32));
+}
+
+// --- safe unaligned loads --------------------------------------------------
+//
+// Wire structs are never read through reinterpret_cast: that is undefined
+// behavior on misaligned buffers (packet payloads start at arbitrary
+// offsets). These memcpy-based readers are defined at any alignment and
+// compile to a single load plus optional bswap on every mainstream target.
+
+template <typename T>
+[[nodiscard]] inline T load_raw(const std::uint8_t* p) noexcept {
+  T v;
+  std::memcpy(&v, p, sizeof(T));
+  return v;
+}
+
+[[nodiscard]] inline std::uint16_t load_be16(const std::uint8_t* p) noexcept {
+  const auto v = load_raw<std::uint16_t>(p);
+  return std::endian::native == std::endian::big ? v : byteswap16(v);
+}
+
+[[nodiscard]] inline std::uint32_t load_be32(const std::uint8_t* p) noexcept {
+  const auto v = load_raw<std::uint32_t>(p);
+  return std::endian::native == std::endian::big ? v : byteswap32(v);
+}
+
+[[nodiscard]] inline std::uint16_t load_le16(const std::uint8_t* p) noexcept {
+  const auto v = load_raw<std::uint16_t>(p);
+  return std::endian::native == std::endian::little ? v : byteswap16(v);
+}
+
+[[nodiscard]] inline std::uint32_t load_le32(const std::uint8_t* p) noexcept {
+  const auto v = load_raw<std::uint32_t>(p);
+  return std::endian::native == std::endian::little ? v : byteswap32(v);
+}
+
+[[nodiscard]] inline std::uint64_t load_le64(const std::uint8_t* p) noexcept {
+  const auto v = load_raw<std::uint64_t>(p);
+  return std::endian::native == std::endian::little ? v : byteswap64(v);
+}
+
 // --- big-endian primitives -------------------------------------------------
 
 void put_u8(ByteBuffer& out, std::uint8_t v);
 void put_u16(ByteBuffer& out, std::uint16_t v);
 void put_u32(ByteBuffer& out, std::uint32_t v);
 
-[[nodiscard]] std::uint16_t read_u16(ByteSpan in, std::size_t at);
-[[nodiscard]] std::uint32_t read_u32(ByteSpan in, std::size_t at);
+[[nodiscard]] inline std::uint16_t read_u16(ByteSpan in, std::size_t at) {
+  return load_be16(in.data() + at);
+}
+
+[[nodiscard]] inline std::uint32_t read_u32(ByteSpan in, std::size_t at) {
+  return load_be32(in.data() + at);
+}
 
 // --- checksums ---------------------------------------------------------
 

@@ -19,21 +19,11 @@ void put_u32(ByteBuffer& out, std::uint32_t v) {
   out.push_back(static_cast<std::uint8_t>(v));
 }
 
-std::uint16_t read_u16(ByteSpan in, std::size_t at) {
-  return static_cast<std::uint16_t>((std::uint16_t{in[at]} << 8) |
-                                    in[at + 1]);
-}
-
-std::uint32_t read_u32(ByteSpan in, std::size_t at) {
-  return (std::uint32_t{in[at]} << 24) | (std::uint32_t{in[at + 1]} << 16) |
-         (std::uint32_t{in[at + 2]} << 8) | in[at + 3];
-}
-
 std::uint16_t internet_checksum(ByteSpan data) {
   std::uint32_t sum = 0;
   std::size_t i = 0;
   for (; i + 1 < data.size(); i += 2) {
-    sum += (std::uint32_t{data[i]} << 8) | data[i + 1];
+    sum += load_be16(data.data() + i);
   }
   if (i < data.size()) {
     sum += std::uint32_t{data[i]} << 8;  // odd trailing byte, zero-padded

@@ -1,13 +1,19 @@
 #include "syndog/pcap/pcap.hpp"
 
-#include <bit>
 #include <cstring>
 #include <fstream>
 #include <stdexcept>
 
+#include "syndog/net/wire.hpp"
+
 namespace syndog::pcap {
 
 namespace {
+
+using net::byteswap16;
+using net::byteswap32;
+using net::load_le16;
+using net::load_le32;
 
 // pcap files are written in the *host* byte order of the capturing machine;
 // we always emit little-endian (the dominant convention) and byte-swap on
@@ -26,30 +32,19 @@ void put_le32(std::ostream& out, std::uint32_t v) {
 }
 
 bool get_le32(std::istream& in, std::uint32_t& v) {
-  unsigned char bytes[4];
+  std::uint8_t bytes[4];
   in.read(reinterpret_cast<char*>(bytes), 4);
   if (in.gcount() != 4) return false;
-  v = std::uint32_t{bytes[0]} | (std::uint32_t{bytes[1]} << 8) |
-      (std::uint32_t{bytes[2]} << 16) | (std::uint32_t{bytes[3]} << 24);
+  v = load_le32(bytes);
   return true;
 }
 
 bool get_le16(std::istream& in, std::uint16_t& v) {
-  unsigned char bytes[2];
+  std::uint8_t bytes[2];
   in.read(reinterpret_cast<char*>(bytes), 2);
   if (in.gcount() != 2) return false;
-  v = static_cast<std::uint16_t>(std::uint16_t{bytes[0]} |
-                                 (std::uint16_t{bytes[1]} << 8));
+  v = load_le16(bytes);
   return true;
-}
-
-constexpr std::uint32_t bswap32(std::uint32_t v) {
-  return ((v & 0xff) << 24) | ((v & 0xff00) << 8) | ((v >> 8) & 0xff00) |
-         (v >> 24);
-}
-
-constexpr std::uint16_t bswap16(std::uint16_t v) {
-  return static_cast<std::uint16_t>((v << 8) | (v >> 8));
 }
 
 }  // namespace
@@ -104,10 +99,10 @@ Reader::Reader(std::istream& in) : in_(in) {
     case FileHeader::kMagicNanos:
       header_.nanosecond = true;
       break;
-    case bswap32(FileHeader::kMagicMicros):
+    case byteswap32(FileHeader::kMagicMicros):
       header_.swapped = true;
       break;
-    case bswap32(FileHeader::kMagicNanos):
+    case byteswap32(FileHeader::kMagicNanos):
       header_.swapped = true;
       header_.nanosecond = true;
       break;
@@ -138,11 +133,11 @@ Reader::Reader(std::istream& in) : in_(in) {
 }
 
 std::uint32_t Reader::fix32(std::uint32_t v) const {
-  return header_.swapped ? bswap32(v) : v;
+  return header_.swapped ? byteswap32(v) : v;
 }
 
 std::uint16_t Reader::fix16(std::uint16_t v) const {
-  return header_.swapped ? bswap16(v) : v;
+  return header_.swapped ? byteswap16(v) : v;
 }
 
 std::optional<Record> Reader::next() {

@@ -3,9 +3,14 @@
 #include <cstring>
 #include <stdexcept>
 
+#include "syndog/net/wire.hpp"
+
 namespace syndog::pcap {
 
 namespace {
+
+using net::byteswap16;
+using net::byteswap32;
 
 constexpr std::uint32_t kSectionHeaderBlock = 0x0a0d0d0a;
 constexpr std::uint32_t kInterfaceBlock = 0x00000001;
@@ -14,14 +19,6 @@ constexpr std::uint32_t kByteOrderMagic = 0x1a2b3c4d;
 constexpr std::uint32_t kByteOrderMagicSwapped = 0x4d3c2b1a;
 constexpr std::uint16_t kOptionEnd = 0;
 constexpr std::uint16_t kOptionTsResol = 9;
-
-constexpr std::uint32_t bswap32(std::uint32_t v) {
-  return ((v & 0xff) << 24) | ((v & 0xff00) << 8) | ((v >> 8) & 0xff00) |
-         (v >> 24);
-}
-constexpr std::uint16_t bswap16(std::uint16_t v) {
-  return static_cast<std::uint16_t>((v << 8) | (v >> 8));
-}
 
 void put_le16(std::string& out, std::uint16_t v) {
   out.push_back(static_cast<char>(v));
@@ -51,13 +48,10 @@ void emit_block(std::ostream& out, std::uint32_t type, std::string body) {
 }
 
 std::uint16_t read_u16_at(const std::vector<std::uint8_t>& b, std::size_t i) {
-  return static_cast<std::uint16_t>(b[i] | (b[i + 1] << 8));
+  return net::load_le16(b.data() + i);
 }
 std::uint32_t read_u32_at(const std::vector<std::uint8_t>& b, std::size_t i) {
-  return static_cast<std::uint32_t>(b[i]) |
-         (static_cast<std::uint32_t>(b[i + 1]) << 8) |
-         (static_cast<std::uint32_t>(b[i + 2]) << 16) |
-         (static_cast<std::uint32_t>(b[i + 3]) << 24);
+  return net::load_le32(b.data() + i);
 }
 
 }  // namespace
@@ -109,10 +103,10 @@ void PcapngWriter::write(util::SimTime timestamp, net::ByteSpan frame) {
 PcapngReader::PcapngReader(std::istream& in) : in_(in) {}
 
 std::uint32_t PcapngReader::fix32(std::uint32_t v) const {
-  return swapped_ ? bswap32(v) : v;
+  return swapped_ ? byteswap32(v) : v;
 }
 std::uint16_t PcapngReader::fix16(std::uint16_t v) const {
-  return swapped_ ? bswap16(v) : v;
+  return swapped_ ? byteswap16(v) : v;
 }
 
 void PcapngReader::parse_section_header(
@@ -208,7 +202,9 @@ bool PcapngReader::read_block(std::optional<Record>& out) {
       throw std::runtime_error("pcapng: bad byte-order magic");
     }
     total = fix32(total);
-    if (total < 28 || total % 4 != 0) {
+    // Bound the SHB body like any other block: a corrupt length field must
+    // not translate into a multi-gigabyte allocation.
+    if (total < 28 || total % 4 != 0 || total > (1u << 26)) {
       throw std::runtime_error("pcapng: bad SHB length");
     }
     std::vector<std::uint8_t> body(total - 12);

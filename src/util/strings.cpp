@@ -57,7 +57,7 @@ std::string format_double(double value, int digits) {
     while (!s.empty() && s.back() == '0') s.pop_back();
     if (!s.empty() && s.back() == '.') s.pop_back();
   }
-  if (s == "-0") s = "0";
+  if (s == "-0") return "0";  // gcc 12 -Wrestrict trips on `s = "0"` here
   return s;
 }
 

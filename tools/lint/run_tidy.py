@@ -1,0 +1,86 @@
+#!/usr/bin/env python3
+"""run_tidy: clang-tidy driver for the `lint-tidy` CMake target.
+
+Runs clang-tidy (config from the repo's .clang-tidy) over every first-party
+translation unit in the compile database, in parallel, and exits non-zero if
+any check fires. When clang-tidy is not installed the driver prints a notice
+and exits 0, so `lint-tidy` stays usable on machines without LLVM; CI runs a
+clang image where the tool is guaranteed present.
+
+Stdlib-only by design.
+"""
+
+from __future__ import annotations
+
+import argparse
+import concurrent.futures
+import json
+import os
+import shutil
+import subprocess
+import sys
+from pathlib import Path
+
+
+def first_party(entry_file: str, source_dir: Path) -> bool:
+    try:
+        rel = Path(entry_file).resolve().relative_to(source_dir.resolve())
+    except ValueError:
+        return False
+    top = rel.parts[0] if rel.parts else ""
+    return top in {"src", "examples", "tools"}
+
+
+def main(argv) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--build-dir", type=Path, required=True,
+                        help="build tree containing compile_commands.json")
+    parser.add_argument("--source-dir", type=Path, required=True)
+    parser.add_argument("--clang-tidy", default=os.environ.get("CLANG_TIDY", "clang-tidy"))
+    parser.add_argument("--jobs", type=int, default=os.cpu_count() or 4)
+    args = parser.parse_args(argv)
+
+    tidy = shutil.which(args.clang_tidy)
+    if tidy is None:
+        print("run_tidy: clang-tidy not found on PATH; skipping (install LLVM "
+              "or run the CI lint job)")
+        return 0
+
+    compdb = args.build_dir / "compile_commands.json"
+    if not compdb.is_file():
+        print(f"run_tidy: {compdb} missing; configure with "
+              "-DCMAKE_EXPORT_COMPILE_COMMANDS=ON", file=sys.stderr)
+        return 2
+
+    entries = json.loads(compdb.read_text(encoding="utf-8"))
+    files = sorted({e["file"] for e in entries if first_party(e["file"], args.source_dir)})
+    if not files:
+        print("run_tidy: no first-party files in compile database", file=sys.stderr)
+        return 2
+
+    failures = 0
+
+    def run_one(path: str):
+        proc = subprocess.run(
+            [tidy, "-p", str(args.build_dir), "--quiet", path],
+            capture_output=True, text=True)
+        return path, proc.returncode, proc.stdout.strip(), proc.stderr.strip()
+
+    with concurrent.futures.ThreadPoolExecutor(max_workers=args.jobs) as pool:
+        for path, code, out, _err in pool.map(run_one, files):
+            if code != 0 or "warning:" in out or "error:" in out:
+                failures += 1
+                print(f"--- {path}")
+                if out:
+                    print(out)
+
+    total = len(files)
+    if failures:
+        print(f"run_tidy: {failures}/{total} files with findings", file=sys.stderr)
+        return 1
+    print(f"run_tidy: clean ({total} files)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))
