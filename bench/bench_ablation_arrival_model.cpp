@@ -13,6 +13,7 @@ using namespace syndog;
 
 int main() {
   bench::print_header(
+      "ablation_arrival_model",
       "Ablation -- connection arrival model (paper §3.2: non-parametric "
       "by design)",
       "Poisson vs MMPP vs Pareto-ON/OFF (self-similar) vs Weibull renewal");

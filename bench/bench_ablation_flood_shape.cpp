@@ -16,6 +16,7 @@ using namespace syndog;
 
 int main() {
   bench::print_header(
+      "ablation_flood_shape",
       "Ablation -- flood emission shape (paper §4.2: volume is all that "
       "matters)",
       "constant vs bursty vs ramp at equal mean rate");

@@ -76,6 +76,7 @@ bench::DetectionRow run_with_period(const trace::SiteSpec& spec, double fi,
 
 int main() {
   bench::print_header(
+      "ablation_observation_period",
       "Ablation -- observation period t0 (paper §3.1: insensitive)",
       "Xn and the per-period drift are t0-invariant, so delay in periods "
       "and f_min do not depend on t0; wall-clock delay = periods * t0");

@@ -38,6 +38,7 @@ double worst_clean_spike(const trace::SiteSpec& spec,
 
 int main() {
   bench::print_header(
+      "ablation_parameters",
       "Ablation -- design parameters a, N, alpha (paper §3.2)",
       "a=0.35 offsets normal drift; N=1.05 gives a 3-period design delay "
       "at h=2a; false-alarm margin grows with both");

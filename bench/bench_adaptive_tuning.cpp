@@ -82,6 +82,7 @@ struct AdaptiveDetector {
 
 int main() {
   bench::print_header(
+      "adaptive_tuning",
       "Adaptive site tuning at UNC (automating paper §4.2.3)",
       "hand-tuned a=0.2/N=0.6 lowers f_min from 37 to ~15 SYN/s; the "
       "adaptive detector should land in the same neighbourhood");

@@ -82,6 +82,7 @@ std::vector<std::pair<std::string, Factory>> detectors() {
 
 int main() {
   bench::print_header(
+      "detector_comparison",
       "Comparator study -- decision rules on the same normalized series",
       "the paper argues for non-parametric CUSUM: sequential memory "
       "without a traffic model");

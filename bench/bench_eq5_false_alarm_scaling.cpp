@@ -65,6 +65,7 @@ double fit_exponent(const std::vector<double>& ns,
 
 int main() {
   bench::print_header(
+      "eq5_false_alarm_scaling",
       "Eq. (5) -- false-alarm time grows exponentially with N",
       "time between false alarms ~ exp(c2*N); burstiness only changes "
       "the constants");

@@ -47,6 +47,7 @@ void run_site(trace::SiteId id, const char* figure) {
 
 int main() {
   bench::print_header(
+      "fig3_lbl_harvard",
       "Figure 3 -- SYN / SYN-ACK dynamics at LBL and Harvard",
       "Fig. 3(a): LBL ~5-50 pkts/period; Fig. 3(b): Harvard ~200-700; the "
       "two series overlap almost everywhere");

@@ -44,6 +44,7 @@ void run_site(trace::SiteId id, const char* figure) {
 
 int main() {
   bench::print_header(
+      "fig4_unc_auckland",
       "Figure 4 -- outgoing SYN / incoming SYN-ACK dynamics at UNC and "
       "Auckland",
       "Fig. 4(a): UNC ~1500-2500 pkts/period; Fig. 4(b): Auckland "

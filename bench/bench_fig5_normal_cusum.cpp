@@ -8,6 +8,7 @@
 #include <cstdio>
 
 #include "common/experiment.hpp"
+#include "common/sidecar.hpp"
 #include "syndog/stats/series.hpp"
 #include "syndog/util/strings.hpp"
 
@@ -18,6 +19,7 @@ namespace {
 struct PaperRef {
   trace::SiteId site;
   const char* figure;
+  const char* slug;        ///< sidecar key prefix ("harvard", "unc", ...)
   double paper_max_spike;  ///< <0 when the paper gives no number
 };
 
@@ -60,17 +62,28 @@ void run_site(const PaperRef& ref, int seeds) {
   } else {
     std::printf("  paper reports mostly-zero yn and no false alarms\n");
   }
+
+  // Sidecar: the figure's per-period CUSUM trajectory plus the ensemble
+  // summary, keyed by site slug.
+  bench::Sidecar& side = *bench::sidecar();
+  const std::string slug = ref.slug;
+  side.series(slug + "_yn", path);
+  side.scalar(slug + "_max_spike", stats::series_max(path));
+  side.scalar(slug + "_ensemble_worst_spike", worst);
+  side.scalar(slug + "_ensemble_false_alarms", false_alarms);
+  bench::record_site_calibration(spec, slug, cfg.seed);
 }
 
 }  // namespace
 
 int main() {
   bench::print_header(
+      "fig5_normal_cusum",
       "Figure 5 -- CUSUM statistic under normal operation",
       "Fig. 5(a) Harvard max spike ~0.05; Fig. 5(b) UNC; Fig. 5(c) "
       "Auckland max spike ~0.26; no false alarms anywhere");
-  run_site({trace::SiteId::kHarvard, "Fig. 5(a)", 0.05}, 15);
-  run_site({trace::SiteId::kUnc, "Fig. 5(b)", -1.0}, 15);
-  run_site({trace::SiteId::kAuckland, "Fig. 5(c)", 0.26}, 15);
+  run_site({trace::SiteId::kHarvard, "Fig. 5(a)", "harvard", 0.05}, 15);
+  run_site({trace::SiteId::kUnc, "Fig. 5(b)", "unc", -1.0}, 15);
+  run_site({trace::SiteId::kAuckland, "Fig. 5(c)", "auckland", 0.26}, 15);
   return 0;
 }

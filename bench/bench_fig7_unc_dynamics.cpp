@@ -12,6 +12,7 @@ using namespace syndog;
 
 int main() {
   bench::print_header(
+      "fig7_unc_dynamics",
       "Figure 7 -- SYN flooding detection dynamics at UNC",
       "yn climbs steadily once the flood starts; slope grows with fi "
       "(paper: ~9 periods at 45 SYN/s, 4 at 60, 2 at 80)");

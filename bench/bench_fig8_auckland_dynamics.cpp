@@ -11,6 +11,7 @@ using namespace syndog;
 
 int main() {
   bench::print_header(
+      "fig8_auckland_dynamics",
       "Figure 8 -- SYN flooding detection dynamics at Auckland",
       "even a 2 SYN/s flood accumulates past N at this small site "
       "(paper: ~8 periods at fi=2, 2 at fi=5, 1 at fi=10)");

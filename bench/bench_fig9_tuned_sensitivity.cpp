@@ -16,6 +16,7 @@ using namespace syndog;
 
 int main() {
   bench::print_header(
+      "fig9_tuned_sensitivity",
       "Figure 9 -- site-tuned detection sensitivity at UNC (a=0.2, N=0.6)",
       "f_min drops 37 -> ~15 SYN/s with no extra false alarms");
 

@@ -126,6 +126,7 @@ VantageResult run_last_mile(double fi, std::size_t backlog,
 
 int main() {
   bench::print_header(
+      "firstmile_vs_lastmile",
       "First-mile vs last-mile SYN-dog (paper Fig. 6)",
       "first mile sees the flood leave immediately and names the MAC; "
       "last mile only alarms once the victim stops answering");

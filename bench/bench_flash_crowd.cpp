@@ -74,6 +74,7 @@ Outcome run_flood(double extra_rate, std::uint64_t seed) {
 
 int main() {
   bench::print_header(
+      "flash_crowd",
       "Flash crowd vs flood discrimination (UNC workload)",
       "equal extra SYN volume: legitimate surges must stay quiet, "
       "spoofed floods must alarm");

@@ -25,6 +25,7 @@ using util::SimTime;
 
 int main() {
   bench::print_header(
+      "multistub_campaign",
       "Distributed campaign in one DES (paper Fig. 6, end to end)",
       "4 stubs x 1 slave, shared victim; per-stub first-mile detection + "
       "victim collapse");

@@ -18,6 +18,7 @@ using namespace syndog;
 
 int main() {
   bench::print_header(
+      "sensitivity_bound",
       "Eq. (8) sensitivity bound and distributed-attack capacity",
       "f_min: 37 (UNC) / 1.75 (Auckland); hiding capacity A_s: 378 / "
       "~8,000 stubs at V = 14,000 SYN/s");

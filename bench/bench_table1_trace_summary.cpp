@@ -13,6 +13,7 @@ using namespace syndog;
 
 int main() {
   bench::print_header(
+      "table1_trace_summary",
       "Table 1 -- trace summary (synthetic stand-ins, calibrated)",
       "LBL 1h bi-dir; Harvard 0.5h bi-dir; UNC 0.5h uni-dir pair; "
       "Auckland 3h uni-dir pair");

@@ -8,24 +8,14 @@
 #include <cstdio>
 
 #include "common/experiment.hpp"
-#include "syndog/util/strings.hpp"
-#include "syndog/util/table.hpp"
 
 using namespace syndog;
 
 int main() {
-  bench::print_header("Table 3 -- detection performance at Auckland",
-                      "smaller K-bar => detection floor drops from 37 to "
-                      "~1.75 SYN/s");
-
-  struct PaperRow {
-    double fi;
-    double prob;
-    const char* delay;
-  };
-  const PaperRow paper[] = {{1.5, 0.55, "20.64"}, {1.75, 0.95, "12.95"},
-                            {2, 1.0, "7.85"},     {5, 1.0, "2"},
-                            {10, 1.0, "<1"}};
+  bench::print_header(
+      "table3_auckland_detection",
+      "Table 3 -- detection performance at Auckland",
+      "smaller K-bar => detection floor drops from 37 to ~1.75 SYN/s");
 
   const trace::SiteSpec spec = trace::site_spec(trace::SiteId::kAuckland);
   const core::SynDogParams params = core::SynDogParams::paper_defaults();
@@ -35,26 +25,18 @@ int main() {
   cfg.start_min_s = 3 * 60.0;    // paper: random start between 3 and
   cfg.start_max_s = 136 * 60.0;  // 136 minutes
 
-  util::TextTable table({"fi (SYN/s)", "Detect prob (paper)",
-                         "Detect time [t0] (paper)", "max delay",
-                         "false alarms"});
-  for (const PaperRow& row : paper) {
-    const bench::DetectionRow r =
-        bench::detection_ensemble(spec, row.fi, params, cfg);
-    table.add_row(
-        {util::format_double(row.fi, 2),
-         util::format_double(r.detection_probability, 2) + "  (" +
-             util::format_double(row.prob, 2) + ")",
-         util::format_double(r.mean_delay_periods, 2) + "  (" +
-             std::string(row.delay) + ")",
-         util::format_double(r.max_delay_periods, 0),
-         std::to_string(r.false_alarm_periods)});
-  }
-  std::printf("%s", table.to_string().c_str());
+  bench::run_detection_table(spec, params, cfg,
+                             {{1.5, 0.55, "20.64"},
+                              {1.75, 0.95, "12.95"},
+                              {2, 1.0, "7.85"},
+                              {5, 1.0, "2"},
+                              {10, 1.0, "<1"}},
+                             /*fi_decimals=*/2);
   std::printf(
       "\n%d trials per rate; delay in observation periods (t0 = 20 s).\n"
       "Expected shape: partial detection in the 1.5-1.75 SYN/s floor\n"
       "region, certain detection by 2 SYN/s, sub-2-period delay at 5+.\n",
       cfg.trials);
+  bench::record_site_calibration(spec, "auckland");
   return 0;
 }

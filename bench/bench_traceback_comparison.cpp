@@ -21,6 +21,7 @@ using namespace syndog;
 
 int main() {
   bench::print_header(
+      "traceback_comparison",
       "IP traceback vs SYN-dog (the paper's \"expensive traceback\" claim)",
       "PPM needs thousands of received attack packets; SPIE needs "
       "per-packet state at every router; SYN-dog needs two counters at "

@@ -82,6 +82,7 @@ GoodputResult run(double flood_rate, std::size_t backlog,
 
 int main() {
   bench::print_header(
+      "victim_goodput",
       "Victim goodput vs flood rate (context for [8]'s 500 / 14,000 "
       "SYN/s)",
       "collapse point ~ backlog / half-open lifetime; defenses move it, "

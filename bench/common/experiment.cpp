@@ -3,7 +3,10 @@
 #include <algorithm>
 #include <cstdio>
 
+#include "common/sidecar.hpp"
+#include "syndog/stats/online.hpp"
 #include "syndog/trace/periods.hpp"
+#include "syndog/util/strings.hpp"
 #include "syndog/util/table.hpp"
 
 namespace syndog::bench {
@@ -96,11 +99,77 @@ std::vector<double> statistic_path(const trace::SiteSpec& spec, double fi,
   return path;
 }
 
-void print_header(const std::string& experiment,
+std::vector<DetectionRow> run_detection_table(
+    const trace::SiteSpec& spec, const core::SynDogParams& params,
+    const EnsembleConfig& cfg, const std::vector<PaperDetectionRow>& paper,
+    int fi_decimals) {
+  util::TextTable table({"fi (SYN/s)", "Detect prob (paper)",
+                         "Detect time [t0] (paper)", "max delay",
+                         "false alarms"});
+  std::vector<DetectionRow> rows;
+  rows.reserve(paper.size());
+  for (const PaperDetectionRow& row : paper) {
+    const DetectionRow r = detection_ensemble(spec, row.fi, params, cfg);
+    table.add_row(
+        {util::format_double(row.fi, fi_decimals),
+         util::format_double(r.detection_probability, 2) + "  (" +
+             util::format_double(row.paper_prob, 2) + ")",
+         util::format_double(r.mean_delay_periods, 2) + "  (" +
+             row.paper_delay + ")",
+         util::format_double(r.max_delay_periods, 0),
+         std::to_string(r.false_alarm_periods)});
+    rows.push_back(r);
+  }
+  std::printf("%s", table.to_string().c_str());
+
+  if (Sidecar* side = sidecar()) {
+    std::vector<double> fi, prob, mean_delay, max_delay, false_alarms;
+    for (const DetectionRow& r : rows) {
+      fi.push_back(r.fi);
+      prob.push_back(r.detection_probability);
+      mean_delay.push_back(r.mean_delay_periods);
+      max_delay.push_back(r.max_delay_periods);
+      false_alarms.push_back(static_cast<double>(r.false_alarm_periods));
+    }
+    side->series("fi", std::move(fi));
+    side->series("detection_probability", std::move(prob));
+    side->series("mean_delay_periods", std::move(mean_delay));
+    side->series("max_delay_periods", std::move(max_delay));
+    side->series("false_alarm_periods", std::move(false_alarms));
+    side->scalar("trials_per_rate", cfg.trials);
+  }
+  return rows;
+}
+
+std::pair<double, double> record_site_calibration(const trace::SiteSpec& spec,
+                                                  const std::string& prefix,
+                                                  std::uint64_t seed) {
+  const trace::ConnectionTrace tr = trace::generate_site_trace(spec, seed);
+  const trace::PeriodSeries ps =
+      trace::extract_periods(tr, trace::kObservationPeriod);
+  stats::OnlineStats k_stats;
+  stats::OnlineStats delta_stats;
+  for (std::size_t i = 0; i < ps.in_syn_ack.size(); ++i) {
+    k_stats.add(static_cast<double>(ps.in_syn_ack[i]));
+    delta_stats.add(static_cast<double>(ps.out_syn[i] - ps.in_syn_ack[i]));
+  }
+  const double k_bar = k_stats.mean();
+  const double c = k_bar > 0.0 ? delta_stats.mean() / k_bar : 0.0;
+  if (Sidecar* side = sidecar()) {
+    side->scalar(prefix + "_k_bar", k_bar);
+    side->scalar(prefix + "_c", c);
+  }
+  return {k_bar, c};
+}
+
+void print_header(const std::string& experiment_id, const std::string& title,
                   const std::string& paper_reference) {
+  Sidecar& side = open_sidecar(experiment_id);
+  side.text("title", title);
+  side.text("paper_reference", paper_reference);
   std::printf("==============================================================="
               "=\n");
-  std::printf("%s\n", experiment.c_str());
+  std::printf("%s\n", title.c_str());
   std::printf("paper: %s\n", paper_reference.c_str());
   std::printf("==============================================================="
               "=\n");

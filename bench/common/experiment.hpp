@@ -14,6 +14,7 @@
 
 #include <cstdint>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "syndog/attack/flood.hpp"
@@ -75,8 +76,39 @@ struct FloodTrial {
                                                  const EnsembleConfig& cfg,
                                                  int index = 0);
 
-/// Prints the standard bench header (experiment id + what the paper says).
-void print_header(const std::string& experiment,
+/// Paper row of a detection table (Tables 2/3): the published probability
+/// and delay for one flood rate. `paper_delay` is text because the paper
+/// prints "<1" for sub-period delays.
+struct PaperDetectionRow {
+  double fi = 0.0;
+  double paper_prob = 0.0;
+  std::string paper_delay;
+};
+
+/// Runs the rate sweep of a detection table, prints the measured-vs-paper
+/// comparison, and (when the sidecar is open) records the measured columns
+/// as series keyed "fi", "detection_probability", "mean_delay_periods",
+/// "max_delay_periods", "false_alarm_periods". `fi_decimals` controls how
+/// the rate column is printed (0 for UNC's integers, 2 for Auckland's).
+std::vector<DetectionRow> run_detection_table(
+    const trace::SiteSpec& spec, const core::SynDogParams& params,
+    const EnsembleConfig& cfg, const std::vector<PaperDetectionRow>& paper,
+    int fi_decimals = 0);
+
+/// Measures the site's calibration scalars from one clean seeded trace:
+/// K-bar (mean SYN/ACK count per observation period) and c (mean of
+/// (SYN - SYN/ACK)/K-bar, the normal-operation drift of Xn). Records them
+/// into the open sidecar as "<prefix>_k_bar" / "<prefix>_c" and returns
+/// {k_bar, c}. UNC calibrates to K-bar ~2114, c ~0.049 (EXPERIMENTS.md).
+std::pair<double, double> record_site_calibration(const trace::SiteSpec& spec,
+                                                  const std::string& prefix,
+                                                  std::uint64_t seed = 42);
+
+/// Prints the standard bench header and opens the BENCH_<id>.json sidecar
+/// (written automatically at exit; see sidecar.hpp). `experiment_id` is the
+/// sidecar name; `title` and `paper_reference` are the human-readable
+/// header lines.
+void print_header(const std::string& experiment_id, const std::string& title,
                   const std::string& paper_reference);
 
 /// Renders a per-period series chart (used by the figure benches).

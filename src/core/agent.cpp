@@ -12,13 +12,14 @@ SynDogAgent::SynDogAgent(sim::LeafRouter& router, sim::Scheduler& scheduler,
     // segment, so the locator gathers MAC evidence from the outbound tap.
     router.add_outbound_tap(
         [this](util::SimTime at, const net::Packet& packet) {
-          outbound_.on_packet(packet);
+          const classify::SegmentKind kind = outbound_.on_packet(packet);
+          if (outbound_metrics_) outbound_metrics_->on_segment(at, kind);
           locator_.on_packet(at, packet);
         });
     router.add_inbound_tap(
         [this](util::SimTime at, const net::Packet& packet) {
-          (void)at;
-          inbound_.on_packet(packet);
+          const classify::SegmentKind kind = inbound_.on_packet(packet);
+          if (inbound_metrics_) inbound_metrics_->on_segment(at, kind);
         });
   } else {
     // Last mile: the flood *arrives* through the inbound interface and
@@ -26,22 +27,43 @@ SynDogAgent::SynDogAgent(sim::LeafRouter& router, sim::Scheduler& scheduler,
     // sources are beyond the router, so there is no MAC evidence.
     router.add_inbound_tap(
         [this](util::SimTime at, const net::Packet& packet) {
-          (void)at;
-          outbound_.on_packet(packet);  // counts SYNs (role kOutbound)
+          // counts SYNs (role kOutbound)
+          const classify::SegmentKind kind = outbound_.on_packet(packet);
+          if (outbound_metrics_) outbound_metrics_->on_segment(at, kind);
         });
     router.add_outbound_tap(
         [this](util::SimTime at, const net::Packet& packet) {
-          (void)at;
-          inbound_.on_packet(packet);  // counts SYN/ACKs (role kInbound)
+          // counts SYN/ACKs (role kInbound)
+          const classify::SegmentKind kind = inbound_.on_packet(packet);
+          if (inbound_metrics_) inbound_metrics_->on_segment(at, kind);
         });
   }
   scheduler_.schedule_after(params_.observation_period,
                             [this] { on_period_end(); });
 }
 
+void SynDogAgent::attach_observer(obs::EventTracer* tracer,
+                                  obs::Registry& registry) {
+  tracer_ = tracer;
+  // The detector stamps period n at epoch + (n+1)·t0; with the current
+  // scheduler time minus the periods already fed as the epoch, that lands
+  // exactly on the scheduler time of each on_period_end() tick.
+  syndog_.attach_observer(
+      tracer, &registry,
+      scheduler_.now() -
+          syndog_.periods_observed() * params_.observation_period);
+  outbound_metrics_.emplace(registry, "sniffer.out", tracer);
+  inbound_metrics_.emplace(registry, "sniffer.in", tracer);
+}
+
 void SynDogAgent::on_period_end() {
   const auto syns = static_cast<std::int64_t>(outbound_.harvest());
   const auto syn_acks = static_cast<std::int64_t>(inbound_.harvest());
+  if (tracer_ != nullptr) {
+    tracer_->record(scheduler_.now(),
+                    obs::PeriodRollover{syndog_.periods_observed(), syns,
+                                        syn_acks});
+  }
   const PeriodReport report = syndog_.observe_period(syns, syn_acks);
   history_.push_back(report);
 

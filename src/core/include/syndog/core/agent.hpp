@@ -9,8 +9,10 @@
 
 #include <cstdint>
 #include <functional>
+#include <optional>
 #include <vector>
 
+#include "syndog/classify/instrument.hpp"
 #include "syndog/core/locator.hpp"
 #include "syndog/core/sniffer.hpp"
 #include "syndog/core/syndog.hpp"
@@ -52,6 +54,13 @@ class SynDogAgent {
   SynDogAgent(const SynDogAgent&) = delete;
   SynDogAgent& operator=(const SynDogAgent&) = delete;
 
+  /// Attaches telemetry sinks (must outlive the agent; nullptr detaches
+  /// the tracer). Period rollovers, the CUSUM derivation, and alarm edges
+  /// are recorded into `tracer` timestamped with the scheduler clock;
+  /// per-segment-kind classifier counters ("sniffer.out.*" /
+  /// "sniffer.in.*") and the "syndog.*" instruments land in `registry`.
+  void attach_observer(obs::EventTracer* tracer, obs::Registry& registry);
+
   [[nodiscard]] AgentMode mode() const { return mode_; }
   [[nodiscard]] const SynDog& detector() const { return syndog_; }
   /// The sniffer counting the watched SYNs (on the outbound interface in
@@ -84,6 +93,11 @@ class SynDogAgent {
   std::vector<PeriodReport> history_;
   bool ever_alarmed_ = false;
   std::int64_t first_alarm_period_ = -1;
+
+  // Telemetry (optional; see attach_observer).
+  obs::EventTracer* tracer_ = nullptr;
+  std::optional<classify::SegmentMetrics> outbound_metrics_;
+  std::optional<classify::SegmentMetrics> inbound_metrics_;
 };
 
 }  // namespace syndog::core

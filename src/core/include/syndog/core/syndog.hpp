@@ -20,6 +20,8 @@
 #include <vector>
 
 #include "syndog/detect/cusum.hpp"
+#include "syndog/obs/metrics.hpp"
+#include "syndog/obs/trace.hpp"
 #include "syndog/stats/online.hpp"
 #include "syndog/util/time.hpp"
 
@@ -68,6 +70,16 @@ class SynDog {
   PeriodReport observe_period(std::int64_t syn_count,
                               std::int64_t syn_ack_count);
 
+  /// Attaches telemetry sinks; both optional (nullptr detaches) and must
+  /// outlive the detector. Each observe_period() then records an
+  /// obs::CusumUpdate — and obs::AlarmRaised / obs::AlarmCleared on alarm
+  /// edges — timestamped at `epoch + (n+1)·t0` (the end of period n on the
+  /// DES clock; an agent passes its attach time as the epoch), and updates
+  /// the "syndog.*" instruments in `registry`. Purely observational:
+  /// detection behaviour is identical with or without sinks.
+  void attach_observer(obs::EventTracer* tracer, obs::Registry* registry,
+                       util::SimTime epoch = util::SimTime::zero());
+
   [[nodiscard]] const SynDogParams& params() const { return params_; }
   [[nodiscard]] double y() const { return cusum_.statistic(); }
   [[nodiscard]] double k() const;
@@ -97,12 +109,24 @@ class SynDog {
   stats::Ewma k_;
   std::int64_t periods_ = 0;
   bool last_alarm_ = false;
+
+  // Telemetry sinks (optional; see attach_observer).
+  obs::EventTracer* tracer_ = nullptr;
+  util::SimTime trace_epoch_;
+  obs::Counter* periods_counter_ = nullptr;
+  obs::Counter* alarm_periods_counter_ = nullptr;
+  obs::Counter* alarms_raised_counter_ = nullptr;
+  obs::Gauge* k_gauge_ = nullptr;
+  obs::Gauge* y_gauge_ = nullptr;
 };
 
 /// Batch helper: runs SYN-dog over parallel per-period count series and
-/// returns the reports (used by the trace-driven benches and tests).
+/// returns the reports (used by the trace-driven benches and tests). When
+/// telemetry sinks are given they are attached for the run (epoch 0), so
+/// the traced {Δn, K, Xn, yn} stream mirrors the returned reports.
 [[nodiscard]] std::vector<PeriodReport> run_over_series(
     const SynDogParams& params, const std::vector<std::int64_t>& syns,
-    const std::vector<std::int64_t>& syn_acks);
+    const std::vector<std::int64_t>& syn_acks,
+    obs::EventTracer* tracer = nullptr, obs::Registry* registry = nullptr);
 
 }  // namespace syndog::core

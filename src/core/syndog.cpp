@@ -49,6 +49,25 @@ double SynDog::k() const {
   return k_.primed() ? k_.value() : 0.0;
 }
 
+void SynDog::attach_observer(obs::EventTracer* tracer,
+                             obs::Registry* registry, util::SimTime epoch) {
+  tracer_ = tracer;
+  trace_epoch_ = epoch;
+  if (registry != nullptr) {
+    periods_counter_ = &registry->counter("syndog.periods");
+    alarm_periods_counter_ = &registry->counter("syndog.alarm_periods");
+    alarms_raised_counter_ = &registry->counter("syndog.alarms_raised");
+    k_gauge_ = &registry->gauge("syndog.k");
+    y_gauge_ = &registry->gauge("syndog.y");
+  } else {
+    periods_counter_ = nullptr;
+    alarm_periods_counter_ = nullptr;
+    alarms_raised_counter_ = nullptr;
+    k_gauge_ = nullptr;
+    y_gauge_ = nullptr;
+  }
+}
+
 PeriodReport SynDog::observe_period(std::int64_t syn_count,
                                     std::int64_t syn_ack_count) {
   if (syn_count < 0 || syn_ack_count < 0) {
@@ -78,7 +97,32 @@ PeriodReport SynDog::observe_period(std::int64_t syn_count,
   const detect::Decision decision = cusum_.update(report.x);
   report.y = decision.statistic;
   report.alarm = decision.alarm;
+  const bool was_alarmed = last_alarm_;
   last_alarm_ = decision.alarm;
+
+  if (tracer_ != nullptr) {
+    const util::SimTime at =
+        trace_epoch_ +
+        (report.period_index + 1) * params_.observation_period;
+    tracer_->record(at,
+                    obs::CusumUpdate{report.period_index, report.delta,
+                                     report.k_estimate, report.x, report.y});
+    if (report.alarm && !was_alarmed) {
+      tracer_->record(at, obs::AlarmRaised{report.period_index, report.y,
+                                           params_.threshold});
+    } else if (!report.alarm && was_alarmed) {
+      tracer_->record(at, obs::AlarmCleared{report.period_index, report.y});
+    }
+  }
+  if (periods_counter_ != nullptr) {
+    periods_counter_->add();
+    if (report.alarm) {
+      alarm_periods_counter_->add();
+      if (!was_alarmed) alarms_raised_counter_->add();
+    }
+    k_gauge_->set(report.k_estimate);
+    y_gauge_->set(report.y);
+  }
   return report;
 }
 
@@ -114,11 +158,13 @@ double SynDog::expected_detection_periods(double fi, double c) const {
 
 std::vector<PeriodReport> run_over_series(
     const SynDogParams& params, const std::vector<std::int64_t>& syns,
-    const std::vector<std::int64_t>& syn_acks) {
+    const std::vector<std::int64_t>& syn_acks, obs::EventTracer* tracer,
+    obs::Registry* registry) {
   if (syns.size() != syn_acks.size()) {
     throw std::invalid_argument("run_over_series: series size mismatch");
   }
   SynDog dog(params);
+  dog.attach_observer(tracer, registry);
   std::vector<PeriodReport> reports;
   reports.reserve(syns.size());
   for (std::size_t n = 0; n < syns.size(); ++n) {

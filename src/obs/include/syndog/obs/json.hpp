@@ -1,0 +1,23 @@
+// Deterministic JSON fragment helpers shared by the exporters.
+//
+// Numbers are rendered with shortest-round-trip formatting so the same
+// double always produces the same bytes on the same platform — the
+// byte-identical-export contract rests on this.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace syndog::obs {
+
+/// Shortest decimal form that round-trips the double ("0.049", "2114",
+/// "1e-09"). NaN/inf are not valid JSON and render as null.
+[[nodiscard]] std::string json_number(double v);
+[[nodiscard]] std::string json_number(std::int64_t v);
+[[nodiscard]] std::string json_number(std::uint64_t v);
+
+/// Quotes and escapes a string for embedding in JSON output.
+[[nodiscard]] std::string json_string(std::string_view s);
+
+}  // namespace syndog::obs

@@ -1,0 +1,110 @@
+// Sim-clock event tracer.
+//
+// A bounded ring buffer of typed events, timestamped with the DES clock
+// (util::SimTime) — never wall clock — so identical seeds produce
+// byte-identical event exports (export.hpp renders them as JSONL). The
+// ring keeps the most recent `capacity` events; overflow evicts the oldest
+// and is counted, never silent.
+//
+// Recording is O(1) with no allocation after construction, cheap enough
+// to leave enabled inside the detector and simulator hot paths.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <variant>
+#include <vector>
+
+#include "syndog/util/time.hpp"
+
+namespace syndog::obs {
+
+/// One observation period closed: the raw counter exchange (paper Fig. 2).
+struct PeriodRollover {
+  std::int64_t period = 0;
+  std::int64_t syn = 0;
+  std::int64_t syn_ack = 0;
+};
+
+/// One CUSUM derivation (paper Eqs. 1-4): Δn, K(n), Xn, yn.
+struct CusumUpdate {
+  std::int64_t period = 0;
+  double delta = 0.0;
+  double k = 0.0;
+  double x = 0.0;
+  double y = 0.0;
+};
+
+/// yn crossed the flooding threshold N upward.
+struct AlarmRaised {
+  std::int64_t period = 0;
+  double y = 0.0;
+  double threshold = 0.0;
+};
+
+/// The statistic fell back below N after an alarm.
+struct AlarmCleared {
+  std::int64_t period = 0;
+  double y = 0.0;
+};
+
+/// One generic change-detector step (detect::run_trial): input x,
+/// post-update statistic, alarm flag. Used by the GLR/Shiryaev/ARL
+/// comparators, which do not share the CUSUM's {Δ,K} decomposition.
+struct DetectorStep {
+  std::int64_t index = 0;
+  double x = 0.0;
+  double statistic = 0.0;
+  bool alarm = false;
+};
+
+/// A packet classifier decision (classify::SegmentKind as integer;
+/// recorded sampled, not per packet — the counters carry exact totals).
+struct ClassifierHit {
+  std::uint8_t segment_kind = 0;
+  std::uint64_t total_seen = 0;
+};
+
+/// Periodic scheduler health sample.
+struct QueueDepth {
+  std::uint64_t pending = 0;
+  std::uint64_t executed = 0;
+};
+
+using EventPayload =
+    std::variant<PeriodRollover, CusumUpdate, AlarmRaised, AlarmCleared,
+                 DetectorStep, ClassifierHit, QueueDepth>;
+
+struct Event {
+  util::SimTime at;       ///< DES clock, never wall clock
+  std::uint64_t seq = 0;  ///< monotonic record index (survives eviction)
+  EventPayload payload;
+};
+
+class EventTracer {
+ public:
+  explicit EventTracer(std::size_t capacity = 4096);
+
+  void record(util::SimTime at, EventPayload payload);
+
+  [[nodiscard]] std::size_t capacity() const { return ring_.size(); }
+  /// Events currently retained (<= capacity).
+  [[nodiscard]] std::size_t size() const;
+  /// Total events ever recorded.
+  [[nodiscard]] std::uint64_t recorded() const { return recorded_; }
+  /// Events evicted by overflow (recorded() - size()).
+  [[nodiscard]] std::uint64_t dropped() const;
+
+  /// Visits retained events oldest-first.
+  void for_each(const std::function<void(const Event&)>& fn) const;
+  /// Copies retained events oldest-first.
+  [[nodiscard]] std::vector<Event> events() const;
+
+  void clear();
+
+ private:
+  std::vector<Event> ring_;
+  std::uint64_t recorded_ = 0;
+};
+
+}  // namespace syndog::obs

@@ -1,0 +1,50 @@
+#include "syndog/obs/trace.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace syndog::obs {
+
+EventTracer::EventTracer(std::size_t capacity) : ring_(capacity) {
+  if (capacity == 0) {
+    throw std::invalid_argument("EventTracer: capacity must be positive");
+  }
+}
+
+void EventTracer::record(util::SimTime at, EventPayload payload) {
+  Event& slot = ring_[recorded_ % ring_.size()];
+  slot.at = at;
+  slot.seq = recorded_;
+  slot.payload = std::move(payload);
+  ++recorded_;
+}
+
+std::size_t EventTracer::size() const {
+  return std::min<std::uint64_t>(recorded_, ring_.size());
+}
+
+std::uint64_t EventTracer::dropped() const {
+  return recorded_ - size();
+}
+
+void EventTracer::for_each(
+    const std::function<void(const Event&)>& fn) const {
+  const std::size_t n = size();
+  const std::uint64_t first = recorded_ - n;
+  for (std::uint64_t i = first; i < recorded_; ++i) {
+    fn(ring_[i % ring_.size()]);
+  }
+}
+
+std::vector<Event> EventTracer::events() const {
+  std::vector<Event> out;
+  out.reserve(size());
+  for_each([&out](const Event& e) { out.push_back(e); });
+  return out;
+}
+
+void EventTracer::clear() {
+  recorded_ = 0;
+}
+
+}  // namespace syndog::obs

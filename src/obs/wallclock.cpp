@@ -1,0 +1,21 @@
+#include "syndog/obs/wallclock.hpp"
+
+#include <chrono>
+
+namespace syndog::obs {
+
+std::int64_t WallClock::now_ns() const {
+  // The one sanctioned wall-clock read outside src/util (see
+  // determinism.wall_clock in tools/lint/syndog_lint.py).
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+std::vector<double> latency_buckets_ns() {
+  std::vector<double> bounds;
+  for (double b = 16.0; b <= 1.1e6; b *= 4.0) bounds.push_back(b);
+  return bounds;
+}
+
+}  // namespace syndog::obs

@@ -10,10 +10,12 @@
 
 #include <cstdint>
 #include <functional>
+#include <string_view>
 #include <unordered_map>
 #include <vector>
 
 #include "syndog/net/packet.hpp"
+#include "syndog/obs/metrics.hpp"
 #include "syndog/util/time.hpp"
 
 namespace syndog::sim {
@@ -63,6 +65,11 @@ class LeafRouter {
 
   [[nodiscard]] const RouterStats& stats() const { return stats_; }
 
+  /// Mirrors RouterStats into "router.<prefix?>*" counters in `registry`
+  /// (which must outlive the router). `name` disambiguates routers in
+  /// multi-stub topologies; empty means the plain "router." prefix.
+  void attach_observer(obs::Registry& registry, std::string_view name = {});
+
  private:
   net::Ipv4Prefix stub_prefix_;
   net::MacAddress mac_;
@@ -73,6 +80,12 @@ class LeafRouter {
   bool ingress_filtering_ = false;
   IngressViolation on_ingress_violation_;
   RouterStats stats_;
+
+  // Telemetry (optional; see attach_observer).
+  obs::Counter* forwarded_outbound_counter_ = nullptr;
+  obs::Counter* forwarded_inbound_counter_ = nullptr;
+  obs::Counter* dropped_no_route_counter_ = nullptr;
+  obs::Counter* dropped_ingress_counter_ = nullptr;
 };
 
 }  // namespace syndog::sim

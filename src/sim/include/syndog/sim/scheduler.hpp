@@ -12,6 +12,8 @@
 #include <unordered_set>
 #include <vector>
 
+#include "syndog/obs/metrics.hpp"
+#include "syndog/obs/trace.hpp"
 #include "syndog/util/time.hpp"
 
 namespace syndog::sim {
@@ -48,6 +50,16 @@ class Scheduler {
   }
   [[nodiscard]] std::uint64_t executed() const { return executed_; }
 
+  /// Attaches telemetry sinks (must outlive the scheduler; pass nullptr to
+  /// detach). `registry` gains the "sim.events_executed" /
+  /// "sim.events_scheduled" / "sim.events_cancelled" counters and the
+  /// "sim.queue_depth" gauge; when `tracer` is set, every
+  /// `sample_every`-th executed event also records an obs::QueueDepth
+  /// sample at the current sim time.
+  void attach_observer(obs::Registry* registry,
+                       obs::EventTracer* tracer = nullptr,
+                       std::uint64_t sample_every = 1024);
+
  private:
   struct Entry {
     util::SimTime at;
@@ -67,6 +79,14 @@ class Scheduler {
   util::SimTime now_;
   EventId next_id_ = 1;
   std::uint64_t executed_ = 0;
+
+  // Telemetry (optional; see attach_observer).
+  obs::EventTracer* tracer_ = nullptr;
+  std::uint64_t sample_every_ = 1024;
+  obs::Counter* executed_counter_ = nullptr;
+  obs::Counter* scheduled_counter_ = nullptr;
+  obs::Counter* cancelled_counter_ = nullptr;
+  obs::Gauge* depth_gauge_ = nullptr;
 };
 
 }  // namespace syndog::sim

@@ -1,8 +1,15 @@
 #include "syndog/sim/router.hpp"
 
 #include <stdexcept>
+#include <string>
 
 namespace syndog::sim {
+
+namespace {
+inline void bump(obs::Counter* counter) {
+  if (counter != nullptr) counter->add();
+}
+}  // namespace
 
 LeafRouter::LeafRouter(net::Ipv4Prefix stub_prefix, net::MacAddress mac)
     : stub_prefix_(stub_prefix), mac_(mac) {}
@@ -40,6 +47,7 @@ void LeafRouter::forward_from_intranet(util::SimTime now,
       it->second(packet);
     } else {
       ++stats_.dropped_no_route;
+      bump(dropped_no_route_counter_);
     }
     return;
   }
@@ -48,11 +56,13 @@ void LeafRouter::forward_from_intranet(util::SimTime now,
 
   if (ingress_filtering_ && !stub_prefix_.contains(packet.ip.src)) {
     ++stats_.dropped_ingress_filter;
+    bump(dropped_ingress_counter_);
     if (on_ingress_violation_) on_ingress_violation_(now, packet);
     return;
   }
   if (uplink_) {
     ++stats_.forwarded_outbound;
+    bump(forwarded_outbound_counter_);
     uplink_(packet);
   }
 }
@@ -63,10 +73,25 @@ void LeafRouter::forward_from_internet(util::SimTime now,
   const auto it = hosts_.find(packet.ip.dst.value());
   if (it == hosts_.end()) {
     ++stats_.dropped_no_route;
+    bump(dropped_no_route_counter_);
     return;
   }
   ++stats_.forwarded_inbound;
+  bump(forwarded_inbound_counter_);
   it->second(packet);
+}
+
+void LeafRouter::attach_observer(obs::Registry& registry,
+                                 std::string_view name) {
+  const std::string prefix =
+      name.empty() ? "router." : "router." + std::string(name) + ".";
+  forwarded_outbound_counter_ =
+      &registry.counter(prefix + "forwarded_outbound");
+  forwarded_inbound_counter_ =
+      &registry.counter(prefix + "forwarded_inbound");
+  dropped_no_route_counter_ = &registry.counter(prefix + "dropped_no_route");
+  dropped_ingress_counter_ =
+      &registry.counter(prefix + "dropped_ingress_filter");
 }
 
 }  // namespace syndog::sim

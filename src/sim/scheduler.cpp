@@ -11,12 +11,18 @@ EventId Scheduler::schedule_at(util::SimTime at, Callback fn) {
   }
   const EventId id = next_id_++;
   queue_.push(Entry{at, id, std::make_shared<Callback>(std::move(fn))});
+  if (scheduled_counter_ != nullptr) {
+    scheduled_counter_->add();
+    depth_gauge_->set(static_cast<double>(pending()));
+  }
   return id;
 }
 
 void Scheduler::cancel(EventId id) {
   if (id == 0 || id >= next_id_) return;
-  cancelled_.insert(id);
+  if (cancelled_.insert(id).second && cancelled_counter_ != nullptr) {
+    cancelled_counter_->add();
+  }
 }
 
 bool Scheduler::step() {
@@ -29,10 +35,39 @@ bool Scheduler::step() {
     }
     now_ = entry.at;
     ++executed_;
+    if (executed_counter_ != nullptr) {
+      executed_counter_->add();
+      depth_gauge_->set(static_cast<double>(pending()));
+    }
+    if (tracer_ != nullptr && executed_ % sample_every_ == 0) {
+      tracer_->record(now_, obs::QueueDepth{pending(), executed_});
+    }
     (*entry.fn)();
     return true;
   }
   return false;
+}
+
+void Scheduler::attach_observer(obs::Registry* registry,
+                                obs::EventTracer* tracer,
+                                std::uint64_t sample_every) {
+  if (sample_every == 0) {
+    throw std::invalid_argument(
+        "Scheduler::attach_observer: sample_every must be > 0");
+  }
+  tracer_ = tracer;
+  sample_every_ = sample_every;
+  if (registry != nullptr) {
+    executed_counter_ = &registry->counter("sim.events_executed");
+    scheduled_counter_ = &registry->counter("sim.events_scheduled");
+    cancelled_counter_ = &registry->counter("sim.events_cancelled");
+    depth_gauge_ = &registry->gauge("sim.queue_depth");
+  } else {
+    executed_counter_ = nullptr;
+    scheduled_counter_ = nullptr;
+    cancelled_counter_ = nullptr;
+    depth_gauge_ = nullptr;
+  }
 }
 
 std::size_t Scheduler::run_until(util::SimTime end) {

@@ -1,11 +1,18 @@
 #include "syndog/util/config.hpp"
 
 #include <charconv>
+#include <cstdlib>
 #include <stdexcept>
 
 #include "syndog/util/strings.hpp"
 
 namespace syndog::util {
+
+std::optional<std::string> env_var(std::string_view name) {
+  const char* value = std::getenv(std::string(name).c_str());
+  if (value == nullptr) return std::nullopt;
+  return std::string(value);
+}
 
 namespace {
 [[noreturn]] void bad_value(std::string_view key, std::string_view value,

@@ -5,6 +5,7 @@
 // output on stdout stays machine-parsable.
 #pragma once
 
+#include <optional>
 #include <sstream>
 #include <string>
 #include <string_view>
@@ -13,7 +14,16 @@ namespace syndog::util {
 
 enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
 
+/// Parses a level name ("off", "error", "warn"/"warning", "info",
+/// "debug"), case-insensitively; nullopt when unrecognized.
+[[nodiscard]] std::optional<LogLevel> parse_log_level(std::string_view name);
+
 /// Process-wide log threshold; messages below it are discarded.
+/// The initial threshold is read from the SYNDOG_LOG environment variable
+/// (via util::env_var) on first use — kWarn when unset or unparsable — so
+/// a bench or example can be made chatty without recompiling:
+///   SYNDOG_LOG=debug build/examples/leaf_router_sim
+/// set_log_level() always wins over the environment.
 void set_log_level(LogLevel level);
 [[nodiscard]] LogLevel log_level();
 

@@ -3,10 +3,32 @@
 #include <atomic>
 #include <cstdio>
 
+#include "syndog/util/config.hpp"
+#include "syndog/util/strings.hpp"
+
 namespace syndog::util {
 
 namespace {
 std::atomic<LogLevel> g_level{LogLevel::kWarn};
+std::atomic<bool> g_level_initialized{false};
+
+/// Applies SYNDOG_LOG on the first threshold read, unless set_log_level()
+/// already pinned a level. An unparsable value keeps the default but says
+/// so on stderr — a typo'd SYNDOG_LOG=vebrose silently logging nothing
+/// would be worse.
+void ensure_level_initialized() {
+  if (g_level_initialized.exchange(true)) return;
+  const std::optional<std::string> env = env_var("SYNDOG_LOG");
+  if (!env) return;
+  if (const std::optional<LogLevel> level = parse_log_level(*env)) {
+    g_level.store(*level);
+  } else {
+    std::fprintf(stderr,
+                 "[WARN] log: SYNDOG_LOG='%s' is not a log level "
+                 "(off/error/warn/info/debug); keeping default\n",
+                 env->c_str());
+  }
+}
 
 const char* level_name(LogLevel level) {
   switch (level) {
@@ -25,13 +47,30 @@ const char* level_name(LogLevel level) {
 }
 }  // namespace
 
-void set_log_level(LogLevel level) { g_level.store(level); }
+std::optional<LogLevel> parse_log_level(std::string_view name) {
+  if (iequals(name, "off")) return LogLevel::kOff;
+  if (iequals(name, "error")) return LogLevel::kError;
+  if (iequals(name, "warn") || iequals(name, "warning")) {
+    return LogLevel::kWarn;
+  }
+  if (iequals(name, "info")) return LogLevel::kInfo;
+  if (iequals(name, "debug")) return LogLevel::kDebug;
+  return std::nullopt;
+}
 
-LogLevel log_level() { return g_level.load(); }
+void set_log_level(LogLevel level) {
+  g_level_initialized.store(true);
+  g_level.store(level);
+}
+
+LogLevel log_level() {
+  ensure_level_initialized();
+  return g_level.load();
+}
 
 void log_line(LogLevel level, std::string_view component,
               std::string_view message) {
-  if (level < g_level.load() || level == LogLevel::kOff) return;
+  if (level < log_level() || level == LogLevel::kOff) return;
   std::fprintf(stderr, "[%s] %.*s: %.*s\n", level_name(level),
                static_cast<int>(component.size()), component.data(),
                static_cast<int>(message.size()), message.data());

@@ -44,20 +44,23 @@ from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
 # Module layering DAG: module -> direct dependencies.
 #
 # Keep in sync with DESIGN.md §3 and the DEPS lists in src/*/CMakeLists.txt:
-#   util -> stats/net -> pcap/classify -> detect/trace -> sim/attack
+#   util -> obs/stats/net -> pcap/classify -> detect/trace -> sim/attack
 #        -> core/traceback
+# obs is the telemetry layer: it may depend only on util (it must stay
+# embeddable under every other module), while any module may depend on it.
 LAYER_DEPS: Dict[str, Set[str]] = {
     "util": set(),
+    "obs": {"util"},
     "stats": {"util"},
     "net": {"util"},
     "pcap": {"net", "util"},
-    "classify": {"net", "util"},
-    "detect": {"stats", "util"},
+    "classify": {"net", "obs", "util"},
+    "detect": {"obs", "stats", "util"},
     "trace": {"net", "stats", "util"},
-    "sim": {"net", "util"},
+    "sim": {"net", "obs", "util"},
     "attack": {"util"},
     "traceback": {"util"},
-    "core": {"classify", "detect", "net", "sim", "stats", "util"},
+    "core": {"classify", "detect", "net", "obs", "sim", "stats", "util"},
 }
 
 # Determinism rules: (rule id, compiled regex, message). Applied to
@@ -89,12 +92,25 @@ _DETERMINISM_RULES: Sequence[Tuple[str, "re.Pattern[str]", str]] = (
         re.compile(r"\bmt19937(?:_64)?\b"),
         "raw mersenne-twister engines live only in syndog/util/rng; use util::Rng&",
     ),
+    (
+        "determinism.wall_clock",
+        re.compile(r"\b(?:system_clock|steady_clock|high_resolution_clock)\b"),
+        "wall-clock reads live behind obs::WallClock (src/obs); sim code uses "
+        "util::SimTime so replays stay byte-identical",
+    ),
 )
 
 # Files that legitimately own the raw engine.
 _RNG_OWNERS = (
     Path("src/util/rng.cpp"),
     Path("src/util/include/syndog/util/rng.hpp"),
+)
+
+# Directories whose files may read std::chrono clocks directly: the time
+# utilities and the telemetry layer's WallClock seam.
+_WALL_CLOCK_OWNER_DIRS = (
+    Path("src/util"),
+    Path("src/obs"),
 )
 
 _WAIVER_RE = re.compile(r"syndog-lint:\s*allow\(([\w.,\s-]+)\)")
@@ -178,14 +194,22 @@ def _waived(raw_line: str, rule: str) -> bool:
 def check_determinism(root: Path) -> List[Finding]:
     findings: List[Finding] = []
     rng_owners = {(root / p).resolve() for p in _RNG_OWNERS}
+    clock_owner_dirs = [(root / d).resolve() for d in _WALL_CLOCK_OWNER_DIRS]
     for path in _iter_source_files(root, ("src", "tests", "bench", "examples")):
         raw = path.read_text(encoding="utf-8", errors="replace")
         stripped = _strip_comments(raw)
         raw_lines = raw.splitlines()
-        is_rng_owner = path.resolve() in rng_owners
+        resolved = path.resolve()
+        is_rng_owner = resolved in rng_owners
+        is_clock_owner = any(
+            base == resolved or base in resolved.parents
+            for base in clock_owner_dirs
+        )
         for lineno, line in enumerate(stripped.splitlines(), start=1):
             for rule, pattern, message in _DETERMINISM_RULES:
                 if rule == "determinism.raw_engine" and is_rng_owner:
+                    continue
+                if rule == "determinism.wall_clock" and is_clock_owner:
                     continue
                 if not pattern.search(line):
                     continue
