@@ -1,0 +1,214 @@
+// Fault matrix: detection robustness across degraded first-mile conditions.
+//
+// The paper's experiments assume a healthy monitoring path: taps that see
+// every packet, links that only lose what the loss model says, a timer
+// that never stalls. This bench runs the live DES across a grid of
+// first-mile faults (fault::FaultSchedule) x flood rates {none, Table-2
+// floor 37 SYN/s, 80 SYN/s} and reports, per cell, whether SYN-dog still
+// detects, how much later, and what the agent's degradation machinery
+// (gap accounting, SYN/ACK-collapse gating, tap-outage quarantine)
+// absorbed. The zero-fault column must reproduce the clean-path results,
+// and no fault may produce a false alarm at rate 0 — both are asserted by
+// CI via check_bench_json.py ranges on the sidecar.
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "common/experiment.hpp"
+#include "common/sidecar.hpp"
+#include "syndog/attack/flood.hpp"
+#include "syndog/core/agent.hpp"
+#include "syndog/fault/chaos.hpp"
+#include "syndog/sim/network.hpp"
+#include "syndog/util/strings.hpp"
+#include "syndog/util/table.hpp"
+
+using namespace syndog;
+using util::SimTime;
+
+namespace {
+
+constexpr double kT0Seconds = 20.0;
+constexpr int kSimMinutes = 10;
+constexpr double kBackgroundRate = 5.0;  // conn/s, ~95 SYN/ACKs per period
+const SimTime kOnset = SimTime::minutes(4);
+
+struct FaultCase {
+  const char* id;
+  const char* description;
+  fault::FaultSchedule (*make)();
+};
+
+fault::FaultSchedule make_none() { return {}; }
+
+fault::FaultSchedule make_loss20() {
+  fault::FaultSchedule s;
+  s.burst_loss(fault::FaultTarget::kDownlink, SimTime::zero(),
+               SimTime::minutes(kSimMinutes), 0.2);
+  return s;
+}
+
+fault::FaultSchedule make_flap3() {
+  fault::FaultSchedule s;
+  s.link_flap(fault::FaultTarget::kDownlink, SimTime::seconds(120),
+              SimTime::seconds(180));
+  return s;
+}
+
+fault::FaultSchedule make_dup_jitter() {
+  fault::FaultSchedule s;
+  s.duplication(fault::FaultTarget::kDownlink, SimTime::seconds(120),
+                SimTime::minutes(8), 0.15);
+  s.delay_jitter(fault::FaultTarget::kDownlink, SimTime::seconds(120),
+                 SimTime::minutes(8), SimTime::milliseconds(200));
+  return s;
+}
+
+fault::FaultSchedule make_tap_outage() {
+  fault::FaultSchedule s;
+  s.tap_outage(SimTime::seconds(120), SimTime::seconds(160));
+  return s;
+}
+
+fault::FaultSchedule make_asym10() {
+  fault::FaultSchedule s;
+  s.asymmetric_route(SimTime::seconds(60), SimTime::minutes(kSimMinutes),
+                     0.1);
+  return s;
+}
+
+constexpr FaultCase kFaultCases[] = {
+    {"none", "clean path (control column)", make_none},
+    {"loss20", "20% sustained downlink loss", make_loss20},
+    {"flap3", "downlink dead for 3 periods (min 2-3)", make_flap3},
+    {"dupjitter", "15% duplication + 200 ms jitter", make_dup_jitter},
+    {"tapout", "sniffer taps dead for 2 periods", make_tap_outage},
+    {"asym10", "10% of SYN/ACKs bypass the inbound tap", make_asym10},
+};
+
+struct CellResult {
+  bool detected = false;
+  std::int64_t delay_periods = -1;
+  int false_alarm_periods = 0;
+  std::int64_t gap_periods = 0;
+  std::int64_t blind_periods = 0;
+  std::int64_t recoveries = 0;
+  core::AgentHealth health = core::AgentHealth::kHealthy;
+};
+
+const char* health_name(core::AgentHealth h) {
+  switch (h) {
+    case core::AgentHealth::kHealthy: return "healthy";
+    case core::AgentHealth::kDegraded: return "degraded";
+    case core::AgentHealth::kBlind: return "blind";
+  }
+  return "?";
+}
+
+CellResult run_cell(const FaultCase& fc, double fi, std::uint64_t seed) {
+  sim::StubNetworkParams params;
+  params.num_hosts = 10;
+  params.cloud.no_answer_probability = 0.05;
+  params.seed = seed;
+  sim::StubNetworkSim network(params);
+  core::SynDogAgent agent(network.router(), network.scheduler(),
+                          core::SynDogParams::paper_defaults());
+  fault::ChaosController chaos(network, fc.make(), seed ^ 0xc4a05);
+  chaos.set_outage_listener([&agent](SimTime, bool active) {
+    agent.notify_sniffer_outage(active);
+  });
+
+  // Same Poisson background in every cell (seed does not vary with the
+  // fault or the rate), so columns differ only by what is injected.
+  util::Rng rng(seed);
+  std::vector<SimTime> starts;
+  double t = 0.0;
+  while (t < kSimMinutes * 60.0) {
+    t += rng.exponential_mean(1.0 / kBackgroundRate);
+    starts.push_back(SimTime::from_seconds(t));
+  }
+  network.schedule_outbound_background(starts);
+
+  if (fi > 0.0) {
+    attack::FloodSpec flood;
+    flood.rate = fi;
+    flood.start = kOnset;
+    flood.duration = SimTime::minutes(5);
+    util::Rng frng(seed ^ 0xf100d);
+    network.launch_flood(4, attack::generate_flood_times(flood, frng),
+                         net::Ipv4Address(198, 51, 100, 7), 80,
+                         *net::Ipv4Prefix::parse("203.0.113.0/24"));
+  }
+  network.run_until(SimTime::minutes(kSimMinutes));
+
+  const std::int64_t onset_period =
+      fi > 0.0 ? kOnset / core::SynDogParams{}.observation_period
+               : static_cast<std::int64_t>(kSimMinutes * 60 / kT0Seconds);
+  CellResult out;
+  out.detected = agent.ever_alarmed();
+  if (out.detected) {
+    out.delay_periods = agent.first_alarm_period() - onset_period;
+  }
+  for (const core::PeriodReport& r : agent.history()) {
+    if (r.alarm && r.period_index < onset_period) ++out.false_alarm_periods;
+  }
+  out.gap_periods = agent.detector().gap_periods();
+  out.blind_periods = agent.blind_periods();
+  out.recoveries = agent.recoveries();
+  out.health = agent.health();
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  bench::print_header(
+      "fault_matrix",
+      "Detection robustness under first-mile faults (extension)",
+      "fault grid x flood rates on the live DES; degraded conditions must "
+      "not produce false alarms, and real floods must stay detectable");
+
+  bench::Sidecar& side = *bench::sidecar();
+  util::TextTable table({"fault", "fi (SYN/s)", "detected", "delay [t0]",
+                         "false alarms", "gaps", "blind", "recoveries",
+                         "health at end"});
+  for (const FaultCase& fc : kFaultCases) {
+    for (const double fi : {0.0, 37.0, 80.0}) {
+      const CellResult cell = run_cell(fc, fi, 11);
+      table.add_row(
+          {fc.id, util::format_double(fi, 0),
+           fi > 0.0 ? (cell.detected ? "yes" : "NO")
+                    : (cell.detected ? "FALSE ALARM" : "quiet"),
+           cell.detected
+               ? util::format_double(static_cast<double>(cell.delay_periods),
+                                     0)
+               : "-",
+           std::to_string(cell.false_alarm_periods),
+           std::to_string(cell.gap_periods),
+           std::to_string(cell.blind_periods),
+           std::to_string(cell.recoveries), health_name(cell.health)});
+
+      const std::string key =
+          std::string(fc.id) + "_fi" + util::format_double(fi, 0);
+      side.scalar("detected_" + key, cell.detected ? 1.0 : 0.0);
+      side.scalar("delay_" + key,
+                  static_cast<double>(cell.delay_periods));
+      side.scalar("false_alarms_" + key,
+                  static_cast<double>(cell.false_alarm_periods));
+      side.scalar("gap_periods_" + key,
+                  static_cast<double>(cell.gap_periods));
+    }
+  }
+  std::printf("%s", table.to_string().c_str());
+  for (const FaultCase& fc : kFaultCases) {
+    std::printf("  %-9s %s\n", fc.id, fc.description);
+  }
+  std::printf(
+      "\nexpected: every fi>0 cell detects with small delay (the flood's\n"
+      "normalized drift dwarfs every fault's); every fi=0 cell stays\n"
+      "quiet -- the flap and tap-outage columns are absorbed by gap\n"
+      "accounting and quarantine rather than alarming on the counter\n"
+      "discontinuity. The zero-fault column must match the clean-path\n"
+      "benches (CI pins it via check_bench_json.py --expect).\n");
+  return 0;
+}

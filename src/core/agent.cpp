@@ -1,12 +1,46 @@
 #include "syndog/core/agent.hpp"
 
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
 namespace syndog::core {
+
+void AgentHealthPolicy::validate() const {
+  if (!(gap_tolerance > 1.0)) {
+    throw std::invalid_argument(
+        "AgentHealthPolicy: gap_tolerance must exceed 1");
+  }
+  if (!(collapse_fraction > 0.0 && collapse_fraction < 1.0)) {
+    throw std::invalid_argument(
+        "AgentHealthPolicy: collapse_fraction in (0,1)");
+  }
+  if (!(collapse_min_k > 0.0) || collapse_min_syn < 0) {
+    throw std::invalid_argument(
+        "AgentHealthPolicy: collapse guards must be positive");
+  }
+  if (outage_patience < 1) {
+    throw std::invalid_argument(
+        "AgentHealthPolicy: outage_patience must be >= 1");
+  }
+  if (quarantine_initial < 1 || quarantine_max < quarantine_initial) {
+    throw std::invalid_argument(
+        "AgentHealthPolicy: quarantine lengths must satisfy 1 <= initial "
+        "<= max");
+  }
+  if (heal_after < 1 || backoff_decay_after < 1) {
+    throw std::invalid_argument(
+        "AgentHealthPolicy: healing horizons must be >= 1");
+  }
+}
 
 SynDogAgent::SynDogAgent(sim::LeafRouter& router, sim::Scheduler& scheduler,
                          SynDogParams params, AlarmCallback on_alarm,
                          AgentMode mode)
     : scheduler_(scheduler), params_(params), mode_(mode), syndog_(params),
       locator_(router.stub_prefix()), on_alarm_(std::move(on_alarm)) {
+  policy_.validate();
+  backoff_periods_ = policy_.quarantine_initial;
   if (mode_ == AgentMode::kFirstMile) {
     // Outgoing SYNs and incoming SYN/ACKs; SYN emitters are on the local
     // segment, so the locator gathers MAC evidence from the outbound tap.
@@ -38,13 +72,14 @@ SynDogAgent::SynDogAgent(sim::LeafRouter& router, sim::Scheduler& scheduler,
           if (inbound_metrics_) inbound_metrics_->on_segment(at, kind);
         });
   }
-  scheduler_.schedule_after(params_.observation_period,
-                            [this] { on_period_end(); });
+  last_rollover_ = scheduler_.now();
+  schedule_next_period();
 }
 
 void SynDogAgent::attach_observer(obs::EventTracer* tracer,
                                   obs::Registry& registry) {
   tracer_ = tracer;
+  registry_ = &registry;
   // The detector stamps period n at epoch + (n+1)·t0; with the current
   // scheduler time minus the periods already fed as the epoch, that lands
   // exactly on the scheduler time of each on_period_end() tick.
@@ -56,31 +91,179 @@ void SynDogAgent::attach_observer(obs::EventTracer* tracer,
   inbound_metrics_.emplace(registry, "sniffer.in", tracer);
 }
 
-void SynDogAgent::on_period_end() {
-  const auto syns = static_cast<std::int64_t>(outbound_.harvest());
-  const auto syn_acks = static_cast<std::int64_t>(inbound_.harvest());
+void SynDogAgent::set_health_policy(AgentHealthPolicy policy) {
+  policy.validate();
+  policy_ = policy;
+  backoff_periods_ = std::clamp(backoff_periods_, policy_.quarantine_initial,
+                                policy_.quarantine_max);
+}
+
+void SynDogAgent::notify_sniffer_outage(bool active) {
+  if (active == outage_active_) return;
+  outage_active_ = active;
+  if (active) {
+    outage_touched_ = true;
+    clean_streak_ = 0;
+    transition(AgentHealth::kBlind, HealthReason::kSnifferOutage);
+  }
+  // Deactivation is acted on at the next rollover: the partial counters
+  // are discarded once more and the agent re-arms through quarantine.
+}
+
+void SynDogAgent::stall_until(util::SimTime at) {
+  const util::SimTime pending =
+      last_rollover_ + params_.observation_period;
+  if (at <= pending) return;
+  scheduler_.cancel(period_timer_);
+  period_timer_ = scheduler_.schedule_at(at, [this] { on_period_end(); });
+}
+
+void SynDogAgent::schedule_next_period() {
+  period_timer_ = scheduler_.schedule_after(params_.observation_period,
+                                            [this] { on_period_end(); });
+}
+
+void SynDogAgent::transition(AgentHealth to, HealthReason reason) {
+  if (health_ == to) return;
+  const auto from = static_cast<std::uint8_t>(health_);
+  health_ = to;
   if (tracer_ != nullptr) {
     tracer_->record(scheduler_.now(),
-                    obs::PeriodRollover{syndog_.periods_observed(), syns,
-                                        syn_acks});
+                    obs::HealthTransition{from,
+                                          static_cast<std::uint8_t>(to),
+                                          static_cast<std::uint8_t>(reason),
+                                          syndog_.periods_observed()});
+  }
+  if (registry_ != nullptr) {
+    registry_->counter("agent.health_transitions").add();
+  }
+}
+
+void SynDogAgent::begin_quarantine() {
+  // The statistic accumulated before/through the blind interval mixes
+  // real and faulted evidence; discard it but keep K (site level changes
+  // slowly) and hold alarms until the detector has re-earned trust.
+  syndog_.rearm();
+  quarantine_remaining_ = backoff_periods_;
+  backoff_periods_ = std::min(backoff_periods_ * 2, policy_.quarantine_max);
+  ++recoveries_;
+  clean_streak_ = 0;
+  if (registry_ != nullptr) registry_->counter("agent.recoveries").add();
+  transition(AgentHealth::kDegraded, HealthReason::kQuarantine);
+}
+
+void SynDogAgent::note_clean_period() {
+  ++clean_streak_;
+  if (health_ == AgentHealth::kDegraded && quarantine_remaining_ == 0 &&
+      clean_streak_ >= policy_.heal_after) {
+    transition(AgentHealth::kHealthy, HealthReason::kRecovered);
+  }
+  if (backoff_periods_ > policy_.quarantine_initial &&
+      clean_streak_ % policy_.backoff_decay_after == 0) {
+    backoff_periods_ =
+        std::max(policy_.quarantine_initial, backoff_periods_ / 2);
+  }
+}
+
+bool SynDogAgent::synack_collapsed(std::int64_t syns,
+                                   std::int64_t syn_acks) const {
+  const double k = syndog_.k();
+  return k >= policy_.collapse_min_k &&
+         syns >= policy_.collapse_min_syn &&
+         static_cast<double>(syn_acks) <= policy_.collapse_fraction * k;
+}
+
+void SynDogAgent::on_period_end() {
+  const util::SimTime now = scheduler_.now();
+  const util::SimTime elapsed = now - last_rollover_;
+  last_rollover_ = now;
+
+  auto syns = static_cast<std::int64_t>(outbound_.harvest());
+  auto syn_acks = static_cast<std::int64_t>(inbound_.harvest());
+
+  // (a) Late rollover (stalled process/timer): the harvest smears over the
+  // whole stall. Account the missed rollovers as gaps and rescale the
+  // counts to one period's worth so Δn and Xn are not inflated by the
+  // stall length itself.
+  const double ratio = static_cast<double>(elapsed.ns()) /
+                       static_cast<double>(params_.observation_period.ns());
+  std::int64_t missed = 0;
+  if (ratio > policy_.gap_tolerance) {
+    missed = std::max<std::int64_t>(
+        static_cast<std::int64_t>(std::llround(ratio)) - 1, 1);
+    syndog_.note_gap_periods(missed);
+    clean_streak_ = 0;
+    transition(AgentHealth::kDegraded, HealthReason::kPeriodGap);
+    syns = std::llround(static_cast<double>(syns) / ratio);
+    syn_acks = std::llround(static_cast<double>(syn_acks) / ratio);
+  }
+
+  // (b) Known sniffer outage: the counters are garbage (partial or zero),
+  // not evidence. Discard the period entirely; once the outage ends,
+  // re-arm through quarantine.
+  if (outage_active_ || outage_touched_) {
+    const bool outage_ended = outage_touched_ && !outage_active_;
+    outage_touched_ = outage_active_;
+    ++blind_periods_;
+    if (registry_ != nullptr) registry_->counter("agent.blind_periods").add();
+    syndog_.note_gap_periods(1);
+    if (outage_ended) begin_quarantine();
+    schedule_next_period();
+    return;
+  }
+
+  // (c) SYN/ACK collapse (first-mile only): spoofed floods do not suppress
+  // SYN/ACKs — the legitimate background still draws them — so SYNACK ≈ 0
+  // against a healthy K means the return path is dead, not that the stub
+  // is attacking. Absorb up to outage_patience such periods as gaps; past
+  // that, feed raw counts so a genuinely dead link still alarms instead of
+  // being masked forever.
+  if (mode_ == AgentMode::kFirstMile && synack_collapsed(syns, syn_acks)) {
+    ++consecutive_collapsed_;
+    if (consecutive_collapsed_ <= policy_.outage_patience) {
+      syndog_.note_gap_periods(1);
+      clean_streak_ = 0;
+      if (registry_ != nullptr) {
+        registry_->counter("agent.collapse_periods").add();
+      }
+      transition(AgentHealth::kDegraded, HealthReason::kSynAckCollapse);
+      schedule_next_period();
+      return;
+    }
+  } else {
+    consecutive_collapsed_ = 0;
+  }
+
+  if (tracer_ != nullptr) {
+    tracer_->record(now, obs::PeriodRollover{syndog_.periods_observed(),
+                                             syns, syn_acks});
   }
   const PeriodReport report = syndog_.observe_period(syns, syn_acks);
   history_.push_back(report);
 
-  if (report.alarm) {
+  if (quarantine_remaining_ > 0) {
+    --quarantine_remaining_;
+    if (report.alarm) {
+      ++suppressed_alarm_periods_;
+      if (registry_ != nullptr) {
+        registry_->counter("agent.suppressed_alarm_periods").add();
+      }
+    }
+  } else if (report.alarm) {
     ever_alarmed_ = true;
     if (first_alarm_period_ < 0) {
       first_alarm_period_ = report.period_index;
     }
     if (on_alarm_) {
-      on_alarm_(AlarmEvent{scheduler_.now(), report,
+      on_alarm_(AlarmEvent{now, report,
                            mode_ == AgentMode::kFirstMile
                                ? locator_.suspects()
                                : std::vector<Suspect>{}});
     }
   }
-  scheduler_.schedule_after(params_.observation_period,
-                            [this] { on_period_end(); });
+
+  if (missed == 0 && consecutive_collapsed_ == 0) note_clean_period();
+  schedule_next_period();
 }
 
 }  // namespace syndog::core

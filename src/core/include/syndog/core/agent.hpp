@@ -5,6 +5,15 @@
 // "coordinate via shared memory / IPC" step), feeds the CUSUM core, and
 // invokes the alarm callback — with localization evidence — when the
 // statistic crosses the flooding threshold.
+//
+// The agent also owns the *graceful-degradation* layer the paper's
+// idealized deployment does not need: a health state machine (healthy ->
+// degraded -> blind) that keeps the detector honest when the first mile
+// itself misbehaves — sniffer/tap outages, stalled period timers, and
+// SYN/ACK collapse (dead downlink). Faulted periods are gap-accounted
+// (SynDog::note_gap_periods), never fed as fake zeros, and recovery from
+// a blind interval passes through a quarantined self-reset with
+// exponential backoff before alarms are trusted again.
 #pragma once
 
 #include <cstdint>
@@ -41,6 +50,55 @@ enum class AgentMode : std::uint8_t {
   kLastMile,
 };
 
+/// Agent operational health (exported in obs::HealthTransition events).
+enum class AgentHealth : std::uint8_t {
+  kHealthy = 0,   ///< counters trusted, alarms live
+  kDegraded = 1,  ///< partial evidence (gaps, collapse, quarantine)
+  kBlind = 2,     ///< sniffers known dead; periods are discarded
+};
+
+/// Why the agent last changed health state.
+enum class HealthReason : std::uint8_t {
+  kNone = 0,
+  kSnifferOutage = 1,   ///< notify_sniffer_outage(true)
+  kPeriodGap = 2,       ///< period timer fired late; rollovers missed
+  kSynAckCollapse = 3,  ///< SYN/ACKs vanished relative to K (dead downlink)
+  kQuarantine = 4,      ///< post-blind self-reset; alarms suppressed
+  kRecovered = 5,       ///< clean streak completed; back to healthy
+};
+
+/// Tunables for the degradation layer. Periods are observation periods.
+struct AgentHealthPolicy {
+  /// A rollover arriving later than gap_tolerance * t0 after the previous
+  /// one is treated as a stall: the missed periods are gap-accounted and
+  /// the harvested counts are rescaled to per-period rates.
+  double gap_tolerance = 1.5;
+  /// SYN/ACK collapse test (first-mile only): SYNACK(n) <=
+  /// collapse_fraction * K while K >= collapse_min_k and SYN(n) >=
+  /// collapse_min_syn. A spoofed flood does not suppress SYN/ACKs (the
+  /// legitimate background still draws them), so a collapse indicates a
+  /// dead return path, not an attack.
+  double collapse_fraction = 0.05;
+  double collapse_min_k = 20.0;
+  std::int64_t collapse_min_syn = 20;
+  /// Collapsed periods absorbed as gaps before the agent gives up on the
+  /// heuristic and feeds raw counts again (so a sustained dead link still
+  /// eventually alarms rather than being masked forever).
+  std::int64_t outage_patience = 4;
+  /// Quarantine length after a blind interval, in periods; doubles on each
+  /// successive blind interval (exponential backoff) up to quarantine_max.
+  std::int64_t quarantine_initial = 2;
+  std::int64_t quarantine_max = 16;
+  /// Consecutive clean (fed, fault-free) periods before kDegraded heals
+  /// back to kHealthy.
+  std::int64_t heal_after = 2;
+  /// Consecutive clean periods before the quarantine backoff halves back
+  /// toward quarantine_initial.
+  std::int64_t backoff_decay_after = 8;
+
+  void validate() const;
+};
+
 class SynDogAgent {
  public:
   using AlarmCallback = std::function<void(const AlarmEvent&)>;
@@ -59,7 +117,24 @@ class SynDogAgent {
   /// are recorded into `tracer` timestamped with the scheduler clock;
   /// per-segment-kind classifier counters ("sniffer.out.*" /
   /// "sniffer.in.*") and the "syndog.*" instruments land in `registry`.
+  /// Degradation instruments ("agent.*") and obs::HealthTransition events
+  /// are created lazily, only once a fault actually occurs.
   void attach_observer(obs::EventTracer* tracer, obs::Registry& registry);
+
+  /// Replaces the degradation tunables (validated). Call before faults
+  /// start; does not retroactively reinterpret past periods.
+  void set_health_policy(AgentHealthPolicy policy);
+
+  /// Tells the agent its sniffers are (not) seeing traffic — the DES
+  /// analogue of a tap daemon heartbeat. While an outage is active every
+  /// rollover is discarded as a gap (counters may hold partial garbage);
+  /// when it clears, the agent re-arms through quarantine.
+  void notify_sniffer_outage(bool active);
+
+  /// Fault hook: delays the pending period rollover until `at` (no-op if
+  /// `at` is not later), simulating a stalled/suspended agent process.
+  /// The late rollover then triggers the gap-accounting path.
+  void stall_until(util::SimTime at);
 
   [[nodiscard]] AgentMode mode() const { return mode_; }
   [[nodiscard]] const SynDog& detector() const { return syndog_; }
@@ -79,8 +154,31 @@ class SynDogAgent {
     return first_alarm_period_;
   }
 
+  [[nodiscard]] AgentHealth health() const { return health_; }
+  [[nodiscard]] const AgentHealthPolicy& health_policy() const {
+    return policy_;
+  }
+  /// Rollovers discarded because the sniffers were known-dead.
+  [[nodiscard]] std::int64_t blind_periods() const { return blind_periods_; }
+  /// Alarming periods whose alarm was withheld during quarantine.
+  [[nodiscard]] std::int64_t suppressed_alarm_periods() const {
+    return suppressed_alarm_periods_;
+  }
+  /// Blind intervals survived (quarantined re-arms performed).
+  [[nodiscard]] std::int64_t recoveries() const { return recoveries_; }
+  /// Periods of quarantine still pending (0 when alarms are live).
+  [[nodiscard]] std::int64_t quarantine_remaining() const {
+    return quarantine_remaining_;
+  }
+
  private:
   void on_period_end();
+  void schedule_next_period();
+  void transition(AgentHealth to, HealthReason reason);
+  void begin_quarantine();
+  void note_clean_period();
+  [[nodiscard]] bool synack_collapsed(std::int64_t syns,
+                                      std::int64_t syn_acks) const;
 
   sim::Scheduler& scheduler_;
   SynDogParams params_;
@@ -94,8 +192,24 @@ class SynDogAgent {
   bool ever_alarmed_ = false;
   std::int64_t first_alarm_period_ = -1;
 
+  // Degradation layer.
+  AgentHealthPolicy policy_;
+  AgentHealth health_ = AgentHealth::kHealthy;
+  sim::EventId period_timer_ = 0;
+  util::SimTime last_rollover_;  ///< when the previous rollover ran
+  bool outage_active_ = false;
+  bool outage_touched_ = false;  ///< outage overlapped the current period
+  std::int64_t consecutive_collapsed_ = 0;
+  std::int64_t quarantine_remaining_ = 0;
+  std::int64_t backoff_periods_ = 0;  ///< next quarantine length
+  std::int64_t clean_streak_ = 0;
+  std::int64_t blind_periods_ = 0;
+  std::int64_t suppressed_alarm_periods_ = 0;
+  std::int64_t recoveries_ = 0;
+
   // Telemetry (optional; see attach_observer).
   obs::EventTracer* tracer_ = nullptr;
+  obs::Registry* registry_ = nullptr;
   std::optional<classify::SegmentMetrics> outbound_metrics_;
   std::optional<classify::SegmentMetrics> inbound_metrics_;
 };

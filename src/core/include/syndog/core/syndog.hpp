@@ -40,6 +40,16 @@ struct SynDogParams {
   /// Capping at a few multiples of N bounds how long the alarm outlives a
   /// long flood without changing when it fires.
   double statistic_cap = 0.0;
+  /// Floor applied to Xn: Xn := max(Xn, -x_clamp_negative). The paper's
+  /// normal model assumes E[Xn] <= a with small variance; a fault (SYN/ACK
+  /// burst released after an outage, duplicated SYN/ACKs, replayed
+  /// retransmissions) can produce SYNACK >> SYN in one period and an
+  /// arbitrarily negative Xn. Since yn = max(0, y+Xn-a) already absorbs
+  /// any single negative step, the clamp only limits how much *credit* a
+  /// fault can bank against the alarm — it cannot delay detection of a
+  /// genuine flood by more than one period's worth of drift. 0 disables
+  /// (paper-exact behaviour).
+  double x_clamp_negative = 0.7;
 
   void validate() const;
 
@@ -60,6 +70,7 @@ struct PeriodReport {
   double x = 0.0;                  ///< normalized difference Xn
   double y = 0.0;                  ///< CUSUM statistic yn
   bool alarm = false;              ///< yn > N
+  bool x_clamped = false;          ///< Xn hit the negative clamp
 };
 
 class SynDog {
@@ -84,9 +95,25 @@ class SynDog {
   [[nodiscard]] double y() const { return cusum_.statistic(); }
   [[nodiscard]] double k() const;
   [[nodiscard]] std::int64_t periods_observed() const { return periods_; }
+  /// Periods the detector knows it missed (note_gap_periods).
+  [[nodiscard]] std::int64_t gap_periods() const { return gap_periods_; }
   /// True if the most recent period alarmed.
   [[nodiscard]] bool alarmed() const { return last_alarm_; }
   void reset();
+
+  /// Quarantined self-reset: zeroes the CUSUM statistic and the alarm
+  /// latch but *keeps* the K estimate and the period counter. Used after a
+  /// blind interval (sniffer outage, link death): the accumulated yn is
+  /// contaminated by the fault, but K reflects slow site-level state that
+  /// an outage does not invalidate.
+  void rearm();
+
+  /// Accounts `n` observation periods the sniffers missed entirely (tap
+  /// outage, stalled timer). The period index advances so the tracer
+  /// timeline stays aligned with the DES clock, and the miss is counted —
+  /// K and yn are left untouched, because "no data" is not "zero SYNs":
+  /// feeding zeros would both crash K and bank spurious negative drift.
+  void note_gap_periods(std::int64_t n);
 
   /// Eq. (8): the minimum attack SYN rate this instance can eventually
   /// detect, f_min = (a - c) * K / t0, evaluated at the current K estimate
@@ -108,11 +135,17 @@ class SynDog {
   detect::NonParametricCusum cusum_;
   stats::Ewma k_;
   std::int64_t periods_ = 0;
+  std::int64_t gap_periods_ = 0;
   bool last_alarm_ = false;
 
-  // Telemetry sinks (optional; see attach_observer).
+  // Telemetry sinks (optional; see attach_observer). The registry pointer
+  // is kept so fault-only instruments ("syndog.gap_periods",
+  // "syndog.x_clamped_periods") can be created lazily: they appear in a
+  // snapshot only once the condition has occurred, keeping fault-free runs
+  // byte-identical to builds that predate them.
   obs::EventTracer* tracer_ = nullptr;
   util::SimTime trace_epoch_;
+  obs::Registry* registry_ = nullptr;
   obs::Counter* periods_counter_ = nullptr;
   obs::Counter* alarm_periods_counter_ = nullptr;
   obs::Counter* alarms_raised_counter_ = nullptr;

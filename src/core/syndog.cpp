@@ -27,6 +27,10 @@ void SynDogParams::validate() const {
   if (!(k_floor > 0.0)) {
     throw std::invalid_argument("SynDogParams: k_floor must be positive");
   }
+  if (x_clamp_negative < 0.0) {
+    throw std::invalid_argument(
+        "SynDogParams: x_clamp_negative must be >= 0 (0 disables)");
+  }
 }
 
 SynDogParams SynDogParams::site_tuned_unc() {
@@ -53,6 +57,7 @@ void SynDog::attach_observer(obs::EventTracer* tracer,
                              obs::Registry* registry, util::SimTime epoch) {
   tracer_ = tracer;
   trace_epoch_ = epoch;
+  registry_ = registry;
   if (registry != nullptr) {
     periods_counter_ = &registry->counter("syndog.periods");
     alarm_periods_counter_ = &registry->counter("syndog.alarm_periods");
@@ -87,6 +92,11 @@ PeriodReport SynDog::observe_period(std::int64_t syn_count,
                             ? k_.value()
                             : static_cast<double>(syn_ack_count);
   report.x = report.delta / std::max(k_prev, params_.k_floor);
+  if (params_.x_clamp_negative > 0.0 &&
+      report.x < -params_.x_clamp_negative) {
+    report.x = -params_.x_clamp_negative;
+    report.x_clamped = true;
+  }
 
   // Eq. (1): update the level estimate. The SYN/ACK side is driven by
   // legitimate traffic only (a spoofed flood draws no SYN/ACKs), so the
@@ -120,6 +130,9 @@ PeriodReport SynDog::observe_period(std::int64_t syn_count,
       alarm_periods_counter_->add();
       if (!was_alarmed) alarms_raised_counter_->add();
     }
+    if (report.x_clamped) {
+      registry_->counter("syndog.x_clamped_periods").add();
+    }
     k_gauge_->set(report.k_estimate);
     y_gauge_->set(report.y);
   }
@@ -130,7 +143,25 @@ void SynDog::reset() {
   cusum_.reset();
   k_.reset();
   periods_ = 0;
+  gap_periods_ = 0;
   last_alarm_ = false;
+}
+
+void SynDog::rearm() {
+  cusum_.reset();
+  last_alarm_ = false;
+}
+
+void SynDog::note_gap_periods(std::int64_t n) {
+  if (n < 0) {
+    throw std::invalid_argument("SynDog: negative gap period count");
+  }
+  periods_ += n;
+  gap_periods_ += n;
+  if (n > 0 && registry_ != nullptr) {
+    registry_->counter("syndog.gap_periods")
+        .add(static_cast<std::uint64_t>(n));
+  }
 }
 
 double SynDog::min_detectable_rate(double c) const {

@@ -1,0 +1,120 @@
+#include "syndog/fault/schedule.hpp"
+
+#include <stdexcept>
+
+namespace syndog::fault {
+
+namespace {
+
+bool is_probability_kind(FaultKind kind) {
+  return kind == FaultKind::kBurstLoss || kind == FaultKind::kDuplication ||
+         kind == FaultKind::kAsymmetricRoute;
+}
+
+bool is_router_kind(FaultKind kind) {
+  return kind == FaultKind::kTapOutage ||
+         kind == FaultKind::kAsymmetricRoute;
+}
+
+}  // namespace
+
+void FaultSpec::validate() const {
+  if (!(end > start)) {
+    throw std::invalid_argument("FaultSpec: window must satisfy end > start");
+  }
+  if (is_probability_kind(kind)) {
+    if (!(magnitude > 0.0 && magnitude <= 1.0)) {
+      throw std::invalid_argument(
+          "FaultSpec: probability magnitude must be in (0,1]");
+    }
+  }
+  if (kind == FaultKind::kDelayJitter && bound <= util::SimTime::zero()) {
+    throw std::invalid_argument(
+        "FaultSpec: delay jitter needs a positive bound");
+  }
+  if (is_router_kind(kind) != (target == FaultTarget::kRouter)) {
+    throw std::invalid_argument(
+        "FaultSpec: tap/routing faults target the router; link faults "
+        "target a link");
+  }
+}
+
+FaultSchedule& FaultSchedule::add(FaultSpec spec) {
+  spec.validate();
+  specs_.push_back(spec);
+  return *this;
+}
+
+FaultSchedule& FaultSchedule::link_flap(FaultTarget target,
+                                        util::SimTime start,
+                                        util::SimTime end) {
+  FaultSpec spec;
+  spec.kind = FaultKind::kLinkFlap;
+  spec.target = target;
+  spec.start = start;
+  spec.end = end;
+  return add(spec);
+}
+
+FaultSchedule& FaultSchedule::burst_loss(FaultTarget target,
+                                         util::SimTime start,
+                                         util::SimTime end,
+                                         double probability) {
+  FaultSpec spec;
+  spec.kind = FaultKind::kBurstLoss;
+  spec.target = target;
+  spec.start = start;
+  spec.end = end;
+  spec.magnitude = probability;
+  return add(spec);
+}
+
+FaultSchedule& FaultSchedule::duplication(FaultTarget target,
+                                          util::SimTime start,
+                                          util::SimTime end,
+                                          double probability) {
+  FaultSpec spec;
+  spec.kind = FaultKind::kDuplication;
+  spec.target = target;
+  spec.start = start;
+  spec.end = end;
+  spec.magnitude = probability;
+  return add(spec);
+}
+
+FaultSchedule& FaultSchedule::delay_jitter(FaultTarget target,
+                                           util::SimTime start,
+                                           util::SimTime end,
+                                           util::SimTime bound) {
+  FaultSpec spec;
+  spec.kind = FaultKind::kDelayJitter;
+  spec.target = target;
+  spec.start = start;
+  spec.end = end;
+  spec.bound = bound;
+  return add(spec);
+}
+
+FaultSchedule& FaultSchedule::tap_outage(util::SimTime start,
+                                         util::SimTime end) {
+  FaultSpec spec;
+  spec.kind = FaultKind::kTapOutage;
+  spec.target = FaultTarget::kRouter;
+  spec.start = start;
+  spec.end = end;
+  return add(spec);
+}
+
+FaultSchedule& FaultSchedule::asymmetric_route(util::SimTime start,
+                                               util::SimTime end,
+                                               double fraction) {
+  FaultSpec spec;
+  spec.kind = FaultKind::kAsymmetricRoute;
+  spec.target = FaultTarget::kRouter;
+  spec.start = start;
+  spec.end = end;
+  spec.magnitude = fraction;
+  return add(spec);
+}
+
+}  // namespace syndog::fault

@@ -48,6 +48,19 @@ struct PayloadJson {
            json_number(e.pending) +
            ",\"executed\":" + json_number(e.executed);
   }
+  std::string operator()(const FaultEdge& e) const {
+    return std::string("\"type\":\"fault_edge\",\"kind\":") +
+           json_number(static_cast<std::uint64_t>(e.kind)) + ",\"target\":" +
+           json_number(static_cast<std::uint64_t>(e.target)) +
+           ",\"active\":" + (e.active ? "true" : "false");
+  }
+  std::string operator()(const HealthTransition& e) const {
+    return std::string("\"type\":\"health_transition\",\"from\":") +
+           json_number(static_cast<std::uint64_t>(e.from)) + ",\"to\":" +
+           json_number(static_cast<std::uint64_t>(e.to)) + ",\"reason\":" +
+           json_number(static_cast<std::uint64_t>(e.reason)) +
+           ",\"period\":" + json_number(e.period);
+  }
 };
 
 }  // namespace

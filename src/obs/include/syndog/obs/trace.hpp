@@ -71,9 +71,29 @@ struct QueueDepth {
   std::uint64_t executed = 0;
 };
 
+/// A fault-injection activation edge (fault::FaultKind / FaultTarget as
+/// integers; the fault layer records one event when a fault turns on and
+/// one when it turns off).
+struct FaultEdge {
+  std::uint8_t kind = 0;
+  std::uint8_t target = 0;
+  bool active = false;
+};
+
+/// A SynDogAgent health-state transition (core::AgentHealth as integer):
+/// healthy <-> degraded <-> blind, plus the reason code the agent assigns
+/// (core::HealthReason).
+struct HealthTransition {
+  std::uint8_t from = 0;
+  std::uint8_t to = 0;
+  std::uint8_t reason = 0;
+  std::int64_t period = 0;
+};
+
 using EventPayload =
     std::variant<PeriodRollover, CusumUpdate, AlarmRaised, AlarmCleared,
-                 DetectorStep, ClassifierHit, QueueDepth>;
+                 DetectorStep, ClassifierHit, QueueDepth, FaultEdge,
+                 HealthTransition>;
 
 struct Event {
   util::SimTime at;       ///< DES clock, never wall clock

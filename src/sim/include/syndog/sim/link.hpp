@@ -4,12 +4,20 @@
 // (bandwidth) delay, random loss, and a bounded transmit queue. Losses on
 // the SYN forwarding path are one of the paper's two sources of
 // SYN–SYN/ACK discrepancy; the loss knob reproduces it in the DES.
+//
+// A LinkChaos perturber (src/fault) can additionally be attached to model
+// degraded-network conditions: link flaps, burst loss, duplication, and
+// bounded delay jitter/reordering. The perturber owns its own Rng, so the
+// link's base loss stream — and therefore every unfaulted run — is
+// byte-identical whether or not the fault layer is linked in.
 #pragma once
 
 #include <cstdint>
 #include <functional>
+#include <string_view>
 
 #include "syndog/net/packet.hpp"
+#include "syndog/obs/metrics.hpp"
 #include "syndog/sim/scheduler.hpp"
 #include "syndog/util/rng.hpp"
 
@@ -24,6 +32,33 @@ struct LinkParams {
   std::size_t queue_limit = 0;
 };
 
+/// Fault-injection seam. When attached via Link::set_chaos, every send()
+/// is inspected before the base loss/queue model runs; the verdict can
+/// drop the packet (link down / burst loss), duplicate it, or perturb its
+/// delivery time (jitter, which with a large enough bound reorders).
+class LinkChaos {
+ public:
+  enum class Drop : std::uint8_t {
+    kNone,      ///< deliver normally
+    kLinkDown,  ///< the link is flapped down; counted separately
+    kLoss,      ///< injected (burst) loss on top of the base model
+  };
+
+  struct Verdict {
+    Drop drop = Drop::kNone;
+    /// Additional copies to deliver (packet duplication).
+    std::uint32_t extra_copies = 0;
+    /// Extra delivery delay for the packet and its copies (jitter; a bound
+    /// larger than the inter-packet spacing produces bounded reordering).
+    util::SimTime extra_delay = util::SimTime::zero();
+    /// Spacing between successive duplicate copies.
+    util::SimTime copy_spacing = util::SimTime::microseconds(50);
+  };
+
+  virtual ~LinkChaos() = default;
+  virtual Verdict inspect(util::SimTime now, const net::Packet& packet) = 0;
+};
+
 class Link {
  public:
   using Deliver = std::function<void(const net::Packet&)>;
@@ -34,18 +69,41 @@ class Link {
   /// Queues a packet for transmission; may drop (loss or full queue).
   void send(const net::Packet& packet);
 
+  /// Attaches (nullptr: detaches) the fault-injection perturber, which
+  /// must outlive the link. Without one the send path is unchanged.
+  void set_chaos(LinkChaos* chaos) { chaos_ = chaos; }
+
   [[nodiscard]] std::uint64_t sent() const { return sent_; }
   [[nodiscard]] std::uint64_t delivered() const { return delivered_; }
   [[nodiscard]] std::uint64_t lost() const { return lost_; }
   [[nodiscard]] std::uint64_t dropped_queue_full() const {
     return dropped_queue_full_;
   }
+  /// Drops while a fault held the link down (flap).
+  [[nodiscard]] std::uint64_t dropped_link_down() const {
+    return dropped_link_down_;
+  }
+  /// Drops from injected burst loss (on top of the base loss model).
+  [[nodiscard]] std::uint64_t dropped_chaos_loss() const {
+    return dropped_chaos_loss_;
+  }
+  /// Extra copies delivered by duplication faults.
+  [[nodiscard]] std::uint64_t duplicated() const { return duplicated_; }
+  /// Packets whose delivery time was perturbed by jitter/reorder faults.
+  [[nodiscard]] std::uint64_t delayed() const { return delayed_; }
+
+  /// Mirrors the counters above into "link.<name>.*" in `registry`
+  /// (which must outlive the link), e.g. "link.downlink.duplicated".
+  void attach_observer(obs::Registry& registry, std::string_view name);
 
  private:
+  void schedule_delivery(util::SimTime at, const net::Packet& packet);
+
   Scheduler& scheduler_;
   LinkParams params_;
   Deliver deliver_;
   util::Rng rng_;
+  LinkChaos* chaos_ = nullptr;
   /// Time the transmitter becomes free (serialization model).
   util::SimTime tx_free_at_;
   std::size_t in_flight_ = 0;
@@ -53,6 +111,20 @@ class Link {
   std::uint64_t delivered_ = 0;
   std::uint64_t lost_ = 0;
   std::uint64_t dropped_queue_full_ = 0;
+  std::uint64_t dropped_link_down_ = 0;
+  std::uint64_t dropped_chaos_loss_ = 0;
+  std::uint64_t duplicated_ = 0;
+  std::uint64_t delayed_ = 0;
+
+  // Telemetry (optional; see attach_observer).
+  obs::Counter* sent_counter_ = nullptr;
+  obs::Counter* delivered_counter_ = nullptr;
+  obs::Counter* lost_counter_ = nullptr;
+  obs::Counter* dropped_queue_full_counter_ = nullptr;
+  obs::Counter* dropped_link_down_counter_ = nullptr;
+  obs::Counter* dropped_chaos_loss_counter_ = nullptr;
+  obs::Counter* duplicated_counter_ = nullptr;
+  obs::Counter* delayed_counter_ = nullptr;
 };
 
 }  // namespace syndog::sim

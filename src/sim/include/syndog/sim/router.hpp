@@ -25,6 +25,8 @@ struct RouterStats {
   std::uint64_t forwarded_inbound = 0;
   std::uint64_t dropped_no_route = 0;       ///< inbound dst not in host table
   std::uint64_t dropped_ingress_filter = 0; ///< outbound spoofed-src drops
+  std::uint64_t tap_suppressed = 0;         ///< packets unseen: taps disabled
+  std::uint64_t inbound_tap_bypassed = 0;   ///< diverted around inbound tap
 };
 
 class LeafRouter {
@@ -53,6 +55,21 @@ class LeafRouter {
   void add_outbound_tap(Tap tap);
   void add_inbound_tap(Tap tap);
 
+  /// Sniffer/tap outage (fault layer): while disabled, forwarding
+  /// continues but no tap fires — the monitoring span port is dead, so
+  /// counters gap. Suppressed packets are counted in stats().
+  void set_taps_enabled(bool enabled) { taps_enabled_ = enabled; }
+  [[nodiscard]] bool taps_enabled() const { return taps_enabled_; }
+
+  /// Asymmetric-routing fault: packets for which `bypass` returns true are
+  /// forwarded without firing the inbound taps, as if they returned via a
+  /// different leaf router and rejoined the LAN behind the monitored
+  /// interface. nullptr disables.
+  using TapBypass = std::function<bool(util::SimTime, const net::Packet&)>;
+  void set_inbound_tap_bypass(TapBypass bypass) {
+    inbound_tap_bypass_ = std::move(bypass);
+  }
+
   void set_ingress_filtering(bool enabled) { ingress_filtering_ = enabled; }
   [[nodiscard]] bool ingress_filtering() const { return ingress_filtering_; }
   void set_ingress_violation_handler(IngressViolation handler) {
@@ -77,6 +94,8 @@ class LeafRouter {
   Deliver uplink_;
   std::vector<Tap> outbound_taps_;
   std::vector<Tap> inbound_taps_;
+  bool taps_enabled_ = true;
+  TapBypass inbound_tap_bypass_;
   bool ingress_filtering_ = false;
   IngressViolation on_ingress_violation_;
   RouterStats stats_;
@@ -86,6 +105,8 @@ class LeafRouter {
   obs::Counter* forwarded_inbound_counter_ = nullptr;
   obs::Counter* dropped_no_route_counter_ = nullptr;
   obs::Counter* dropped_ingress_counter_ = nullptr;
+  obs::Counter* tap_suppressed_counter_ = nullptr;
+  obs::Counter* tap_bypassed_counter_ = nullptr;
 };
 
 }  // namespace syndog::sim

@@ -55,6 +55,12 @@ StubNetworkSim::StubNetworkSim(StubNetworkParams params)
   }
 }
 
+void StubNetworkSim::attach_observer(obs::Registry& registry) {
+  router_->attach_observer(registry);
+  uplink_->attach_observer(registry, "uplink");
+  downlink_->attach_observer(registry, "downlink");
+}
+
 TcpHost& StubNetworkSim::host(std::uint32_t index) {
   if (index == 0 || index > hosts_.size()) {
     throw std::out_of_range("StubNetworkSim: host index out of range");

@@ -52,7 +52,12 @@ void LeafRouter::forward_from_intranet(util::SimTime now,
     return;
   }
 
-  for (const Tap& tap : outbound_taps_) tap(now, packet);
+  if (taps_enabled_) {
+    for (const Tap& tap : outbound_taps_) tap(now, packet);
+  } else if (!outbound_taps_.empty()) {
+    ++stats_.tap_suppressed;
+    bump(tap_suppressed_counter_);
+  }
 
   if (ingress_filtering_ && !stub_prefix_.contains(packet.ip.src)) {
     ++stats_.dropped_ingress_filter;
@@ -69,7 +74,19 @@ void LeafRouter::forward_from_intranet(util::SimTime now,
 
 void LeafRouter::forward_from_internet(util::SimTime now,
                                        const net::Packet& packet) {
-  for (const Tap& tap : inbound_taps_) tap(now, packet);
+  if (!taps_enabled_) {
+    if (!inbound_taps_.empty()) {
+      ++stats_.tap_suppressed;
+      bump(tap_suppressed_counter_);
+    }
+  } else if (inbound_tap_bypass_ && inbound_tap_bypass_(now, packet)) {
+    // Asymmetric routing: the packet reaches its host via another path,
+    // invisible to the monitored interface.
+    ++stats_.inbound_tap_bypassed;
+    bump(tap_bypassed_counter_);
+  } else {
+    for (const Tap& tap : inbound_taps_) tap(now, packet);
+  }
   const auto it = hosts_.find(packet.ip.dst.value());
   if (it == hosts_.end()) {
     ++stats_.dropped_no_route;
@@ -92,6 +109,9 @@ void LeafRouter::attach_observer(obs::Registry& registry,
   dropped_no_route_counter_ = &registry.counter(prefix + "dropped_no_route");
   dropped_ingress_counter_ =
       &registry.counter(prefix + "dropped_ingress_filter");
+  tap_suppressed_counter_ = &registry.counter(prefix + "tap_suppressed");
+  tap_bypassed_counter_ =
+      &registry.counter(prefix + "inbound_tap_bypassed");
 }
 
 }  // namespace syndog::sim

@@ -128,6 +128,73 @@ TEST(FailureInjectionTest, IdleSiteNeverDividesByZeroOrAlarms) {
   EXPECT_TRUE(dog.observe_period(10, 0).alarm);  // a 10-SYN burst does
 }
 
+TEST(FailureInjectionTest, NegativeDeltaIsClampedNotBanked) {
+  // A fault (post-outage SYN/ACK burst, duplication) can yield SYNACK >>
+  // SYN in one period. yn = max(0, ...) absorbs one such step, but the
+  // clamp must also stop the EWMA-normalized Xn from being absurd, and
+  // the report must say the clamp fired.
+  core::SynDogParams params = core::SynDogParams::paper_defaults();
+  core::SynDog dog(params);
+  for (int n = 0; n < 20; ++n) (void)dog.observe_period(100, 95);
+  const core::PeriodReport clamped = dog.observe_period(100, 5000);
+  EXPECT_TRUE(clamped.x_clamped);
+  EXPECT_DOUBLE_EQ(clamped.x, -params.x_clamp_negative);
+  EXPECT_EQ(clamped.y, 0.0);
+
+  // Paper-exact mode (clamp disabled) still exists for the benches.
+  params.x_clamp_negative = 0.0;
+  core::SynDog raw(params);
+  for (int n = 0; n < 20; ++n) (void)raw.observe_period(100, 95);
+  const core::PeriodReport unclamped = raw.observe_period(100, 5000);
+  EXPECT_FALSE(unclamped.x_clamped);
+  EXPECT_LT(unclamped.x, -40.0);
+  EXPECT_EQ(unclamped.y, 0.0);  // max(0, ·) already floors the statistic
+
+  // Validation: a negative clamp is rejected.
+  params.x_clamp_negative = -1.0;
+  EXPECT_THROW(core::SynDog{params}, std::invalid_argument);
+}
+
+TEST(FailureInjectionTest, IdleDecayRidesKFloorWithoutNanOrAlarm) {
+  // A live site that goes fully idle: K decays geometrically toward 0 and
+  // the k_floor path takes over. Thousands of idle periods must produce
+  // no NaN/Inf, no alarm, and no drift in yn.
+  core::SynDog dog(core::SynDogParams::paper_defaults());
+  for (int n = 0; n < 50; ++n) (void)dog.observe_period(2000, 1950);
+  for (int n = 0; n < 5000; ++n) {
+    const core::PeriodReport r = dog.observe_period(0, 0);
+    ASSERT_TRUE(std::isfinite(r.x)) << n;
+    ASSERT_TRUE(std::isfinite(r.y)) << n;
+    ASSERT_TRUE(std::isfinite(r.k_estimate)) << n;
+    ASSERT_GE(r.k_estimate, 0.0) << n;
+    ASSERT_FALSE(r.alarm) << n;
+    ASSERT_EQ(r.y, 0.0) << n;
+  }
+  // The floor keeps a small post-idle burst from dividing by ~0 into an
+  // instant alarm, while a real burst still alarms on raw counts.
+  EXPECT_FALSE(dog.observe_period(1, 0).alarm);
+  EXPECT_TRUE(dog.observe_period(20, 0).alarm);
+}
+
+TEST(FailureInjectionTest, RearmKeepsCalibrationButClearsStatistic) {
+  core::SynDog dog(core::SynDogParams::paper_defaults());
+  for (int n = 0; n < 20; ++n) (void)dog.observe_period(100, 95);
+  while (!dog.observe_period(2000, 95).alarm) {
+  }
+  const double k_before = dog.k();
+  const std::int64_t periods_before = dog.periods_observed();
+  dog.rearm();
+  EXPECT_FALSE(dog.alarmed());
+  EXPECT_EQ(dog.y(), 0.0);
+  EXPECT_EQ(dog.k(), k_before);
+  EXPECT_EQ(dog.periods_observed(), periods_before);
+
+  dog.note_gap_periods(3);
+  EXPECT_EQ(dog.periods_observed(), periods_before + 3);
+  EXPECT_EQ(dog.gap_periods(), 3);
+  EXPECT_THROW(dog.note_gap_periods(-1), std::invalid_argument);
+}
+
 TEST(FailureInjectionTest, HugeCountsDoNotOverflow) {
   core::SynDog dog(core::SynDogParams::paper_defaults());
   const std::int64_t big = 1'000'000'000;  // a Tbps-class interface

@@ -1,0 +1,340 @@
+// Fault-injection subsystem tests: schedule validation, the no-op
+// guarantee of an empty schedule, each fault kind end to end through the
+// DES, and the agent's graceful-degradation machinery (gap accounting,
+// SYN/ACK-collapse gating, tap-outage quarantine, stalled timers).
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <optional>
+#include <variant>
+#include <vector>
+
+#include "syndog/attack/flood.hpp"
+#include "syndog/core/agent.hpp"
+#include "syndog/fault/chaos.hpp"
+#include "syndog/fault/schedule.hpp"
+#include "syndog/obs/metrics.hpp"
+#include "syndog/obs/trace.hpp"
+#include "syndog/sim/network.hpp"
+#include "syndog/util/rng.hpp"
+
+namespace syndog {
+namespace {
+
+using fault::FaultKind;
+using fault::FaultSchedule;
+using fault::FaultSpec;
+using fault::FaultTarget;
+using util::SimTime;
+
+constexpr double kT0Seconds = 20.0;
+
+/// Poisson outbound background at `rate` conn/s for `minutes` minutes.
+std::vector<SimTime> background_starts(double rate, int minutes,
+                                       std::uint64_t seed) {
+  util::Rng rng(seed);
+  std::vector<SimTime> starts;
+  double t = 0.0;
+  while (t < minutes * 60.0) {
+    t += rng.exponential_mean(1.0 / rate);
+    starts.push_back(SimTime::from_seconds(t));
+  }
+  return starts;
+}
+
+/// A small live site: 3 conn/s from 10 hosts, ~57 SYN/ACKs per period.
+sim::StubNetworkParams small_site_params() {
+  sim::StubNetworkParams params;
+  params.num_hosts = 10;
+  params.cloud.no_answer_probability = 0.05;
+  params.seed = 21;
+  return params;
+}
+
+// --- schedule validation ----------------------------------------------------
+
+TEST(FaultScheduleTest, BuildersValidate) {
+  FaultSchedule sched;
+  sched.link_flap(FaultTarget::kDownlink, SimTime::seconds(10),
+                  SimTime::seconds(20))
+      .burst_loss(FaultTarget::kUplink, SimTime::seconds(5),
+                  SimTime::seconds(30), 0.2)
+      .duplication(FaultTarget::kDownlink, SimTime::zero(),
+                   SimTime::seconds(1), 0.5)
+      .delay_jitter(FaultTarget::kDownlink, SimTime::zero(),
+                    SimTime::seconds(1), SimTime::milliseconds(50))
+      .tap_outage(SimTime::seconds(40), SimTime::seconds(60))
+      .asymmetric_route(SimTime::seconds(40), SimTime::seconds(60), 0.3);
+  EXPECT_EQ(sched.size(), 6u);
+  EXPECT_FALSE(sched.empty());
+
+  // Empty window.
+  EXPECT_THROW(FaultSchedule{}.link_flap(FaultTarget::kUplink,
+                                         SimTime::seconds(5),
+                                         SimTime::seconds(5)),
+               std::invalid_argument);
+  // Probability outside (0,1].
+  EXPECT_THROW(FaultSchedule{}.burst_loss(FaultTarget::kUplink,
+                                          SimTime::zero(),
+                                          SimTime::seconds(1), 1.5),
+               std::invalid_argument);
+  EXPECT_THROW(FaultSchedule{}.duplication(FaultTarget::kUplink,
+                                           SimTime::zero(),
+                                           SimTime::seconds(1), 0.0),
+               std::invalid_argument);
+  // Jitter without a bound.
+  FaultSpec bad;
+  bad.kind = FaultKind::kDelayJitter;
+  bad.end = SimTime::seconds(1);
+  EXPECT_THROW(FaultSchedule{}.add(bad), std::invalid_argument);
+  // Router fault aimed at a link and vice versa.
+  FaultSpec tap;
+  tap.kind = FaultKind::kTapOutage;
+  tap.target = FaultTarget::kDownlink;
+  tap.end = SimTime::seconds(1);
+  EXPECT_THROW(FaultSchedule{}.add(tap), std::invalid_argument);
+  FaultSpec flap;
+  flap.kind = FaultKind::kLinkFlap;
+  flap.target = FaultTarget::kRouter;
+  flap.end = SimTime::seconds(1);
+  EXPECT_THROW(FaultSchedule{}.add(flap), std::invalid_argument);
+}
+
+// --- empty schedule is a strict no-op ---------------------------------------
+
+struct ScenarioResult {
+  std::vector<core::PeriodReport> history;
+  std::uint64_t uplink_delivered = 0;
+  std::uint64_t downlink_delivered = 0;
+  std::uint64_t out_sniffed = 0;
+  std::uint64_t in_sniffed = 0;
+};
+
+ScenarioResult run_scenario(bool with_empty_controller) {
+  sim::StubNetworkSim network(small_site_params());
+  core::SynDogAgent agent(network.router(), network.scheduler(),
+                          core::SynDogParams::paper_defaults());
+  std::optional<fault::ChaosController> chaos;
+  if (with_empty_controller) {
+    chaos.emplace(network, FaultSchedule{}, 99);
+    EXPECT_FALSE(chaos->attached());
+  }
+  network.schedule_outbound_background(background_starts(3.0, 6, 33));
+  network.run_until(SimTime::minutes(6));
+  ScenarioResult r;
+  r.history = agent.history();
+  r.uplink_delivered = network.uplink().delivered();
+  r.downlink_delivered = network.downlink().delivered();
+  r.out_sniffed = agent.outbound_sniffer().lifetime_count();
+  r.in_sniffed = agent.inbound_sniffer().lifetime_count();
+  return r;
+}
+
+TEST(ChaosControllerTest, EmptyScheduleChangesNothing) {
+  const ScenarioResult base = run_scenario(false);
+  const ScenarioResult chaos = run_scenario(true);
+  ASSERT_EQ(base.history.size(), chaos.history.size());
+  for (std::size_t i = 0; i < base.history.size(); ++i) {
+    EXPECT_EQ(base.history[i].syn_count, chaos.history[i].syn_count) << i;
+    EXPECT_EQ(base.history[i].syn_ack_count, chaos.history[i].syn_ack_count)
+        << i;
+    EXPECT_EQ(base.history[i].y, chaos.history[i].y) << i;
+  }
+  EXPECT_EQ(base.uplink_delivered, chaos.uplink_delivered);
+  EXPECT_EQ(base.downlink_delivered, chaos.downlink_delivered);
+  EXPECT_EQ(base.out_sniffed, chaos.out_sniffed);
+  EXPECT_EQ(base.in_sniffed, chaos.in_sniffed);
+}
+
+// --- link flap: transient outage must not alarm ----------------------------
+
+TEST(ChaosControllerTest, ThreePeriodLinkFlapWithoutAttackNeverAlarms) {
+  sim::StubNetworkSim network(small_site_params());
+  core::SynDogAgent agent(network.router(), network.scheduler(),
+                          core::SynDogParams::paper_defaults());
+  // Downlink dead for exactly 3 observation periods, aligned to the
+  // period grid: SYN/ACKs vanish while outgoing SYNs continue.
+  FaultSchedule sched;
+  sched.link_flap(FaultTarget::kDownlink, SimTime::seconds(120),
+                  SimTime::seconds(180));
+  fault::ChaosController chaos(network, std::move(sched), 7);
+  network.schedule_outbound_background(background_starts(3.0, 10, 33));
+  network.run_until(SimTime::minutes(10));
+
+  EXPECT_FALSE(agent.ever_alarmed());
+  // The flapped periods were gap-accounted, not fed as fake evidence.
+  EXPECT_GE(agent.detector().gap_periods(), 2);
+  EXPECT_LE(agent.detector().gap_periods(), 4);
+  EXPECT_GT(network.downlink().dropped_link_down(), 0u);
+  // The agent degraded during the flap and healed afterwards.
+  EXPECT_EQ(agent.health(), core::AgentHealth::kHealthy);
+  // Gap periods are absent from the fed history but the indices advance.
+  const auto& hist = agent.history();
+  ASSERT_FALSE(hist.empty());
+  EXPECT_EQ(hist.back().period_index + 1,
+            agent.detector().periods_observed());
+}
+
+// --- sustained loss: detection must survive a degraded first mile -----------
+
+TEST(ChaosControllerTest, DetectsFloodThroughSustainedTwentyPercentLoss) {
+  sim::StubNetworkParams params = small_site_params();
+  sim::StubNetworkSim network(params);
+  core::SynDogAgent agent(network.router(), network.scheduler(),
+                          core::SynDogParams::paper_defaults());
+  FaultSchedule sched;
+  sched.burst_loss(FaultTarget::kDownlink, SimTime::zero(),
+                   SimTime::minutes(12), 0.2);
+  fault::ChaosController chaos(network, std::move(sched), 7);
+  network.schedule_outbound_background(background_starts(3.0, 12, 33));
+
+  // Table-2 floor-rate flood (37 SYN/s) from host 4, starting at min 6.
+  attack::FloodSpec flood;
+  flood.rate = 37.0;
+  flood.start = SimTime::minutes(6);
+  flood.duration = SimTime::minutes(6);
+  util::Rng flood_rng(41);
+  network.launch_flood(4, attack::generate_flood_times(flood, flood_rng),
+                       net::Ipv4Address(198, 51, 100, 7), 80,
+                       *net::Ipv4Prefix::parse("203.0.113.0/24"));
+  network.run_until(SimTime::minutes(12));
+
+  ASSERT_TRUE(agent.ever_alarmed());
+  const std::int64_t onset =
+      static_cast<std::int64_t>(6 * 60 / kT0Seconds);
+  EXPECT_GE(agent.first_alarm_period(), onset);
+  EXPECT_LE(agent.first_alarm_period(), onset + 6);
+  for (const core::PeriodReport& r : agent.history()) {
+    if (r.period_index < onset) {
+      EXPECT_FALSE(r.alarm) << "false alarm at period " << r.period_index;
+    }
+  }
+  EXPECT_GT(network.downlink().dropped_chaos_loss(), 0u);
+}
+
+// --- duplication + jitter: noisy but benign --------------------------------
+
+TEST(ChaosControllerTest, DuplicationAndJitterDoNotFalseAlarm) {
+  sim::StubNetworkSim network(small_site_params());
+  core::SynDogAgent agent(network.router(), network.scheduler(),
+                          core::SynDogParams::paper_defaults());
+  FaultSchedule sched;
+  sched.duplication(FaultTarget::kDownlink, SimTime::minutes(2),
+                    SimTime::minutes(6), 0.15);
+  sched.delay_jitter(FaultTarget::kDownlink, SimTime::minutes(2),
+                     SimTime::minutes(6), SimTime::milliseconds(200));
+  fault::ChaosController chaos(network, std::move(sched), 7);
+  network.schedule_outbound_background(background_starts(3.0, 8, 33));
+  network.run_until(SimTime::minutes(8));
+
+  // Duplicated SYN/ACKs only push Δn further negative; the clamp keeps
+  // that from banking credit, and no alarm may fire either way.
+  EXPECT_FALSE(agent.ever_alarmed());
+  EXPECT_GT(network.downlink().duplicated(), 0u);
+  EXPECT_GT(network.downlink().delayed(), 0u);
+  for (const core::PeriodReport& r : agent.history()) {
+    ASSERT_TRUE(std::isfinite(r.x));
+    ASSERT_TRUE(std::isfinite(r.y));
+  }
+}
+
+// --- tap outage: blind periods, quarantine, recovery ------------------------
+
+TEST(ChaosControllerTest, TapOutageIsGapAccountedAndQuarantined) {
+  sim::StubNetworkSim network(small_site_params());
+  core::SynDogAgent agent(network.router(), network.scheduler(),
+                          core::SynDogParams::paper_defaults());
+  obs::Registry registry;
+  obs::EventTracer tracer;
+  agent.attach_observer(&tracer, registry);
+
+  FaultSchedule sched;
+  sched.tap_outage(SimTime::seconds(120), SimTime::seconds(160));
+  fault::ChaosController chaos(network, std::move(sched), 7);
+  chaos.attach_observer(&registry, &tracer);
+  chaos.set_outage_listener([&agent](SimTime, bool active) {
+    agent.notify_sniffer_outage(active);
+  });
+  network.schedule_outbound_background(background_starts(3.0, 8, 33));
+
+  bool saw_blind = false;
+  network.scheduler().schedule_at(SimTime::seconds(130), [&] {
+    saw_blind = agent.health() == core::AgentHealth::kBlind;
+  });
+  network.run_until(SimTime::minutes(8));
+
+  EXPECT_TRUE(saw_blind);
+  EXPECT_FALSE(agent.ever_alarmed());
+  // Three rollovers overlap the outage: the window-open edge fires just
+  // before the t=120 rollover (earlier insertion wins the tie), and the
+  // rollover after the window closes discards its partial harvest too.
+  EXPECT_EQ(agent.blind_periods(), 3);
+  EXPECT_EQ(agent.recoveries(), 1);
+  EXPECT_GE(agent.detector().gap_periods(), 3);
+  EXPECT_EQ(agent.quarantine_remaining(), 0);
+  EXPECT_EQ(agent.health(), core::AgentHealth::kHealthy);
+  EXPECT_GT(network.router().stats().tap_suppressed, 0u);
+
+  // Telemetry: both fault edges and the health transitions were recorded.
+  EXPECT_EQ(registry.counter("fault.edges").value(), 2u);
+  int fault_edges = 0;
+  int health_transitions = 0;
+  tracer.for_each([&](const obs::Event& e) {
+    if (std::holds_alternative<obs::FaultEdge>(e.payload)) ++fault_edges;
+    if (std::holds_alternative<obs::HealthTransition>(e.payload)) {
+      ++health_transitions;
+    }
+  });
+  EXPECT_EQ(fault_edges, 2);
+  EXPECT_GE(health_transitions, 2);  // -> blind, -> degraded, -> healthy
+}
+
+// --- asymmetric routing: tolerated below the drift budget -------------------
+
+TEST(ChaosControllerTest, MildAsymmetricRoutingIsToleratedAndCounted) {
+  sim::StubNetworkSim network(small_site_params());
+  core::SynDogAgent agent(network.router(), network.scheduler(),
+                          core::SynDogParams::paper_defaults());
+  FaultSchedule sched;
+  sched.asymmetric_route(SimTime::minutes(2), SimTime::minutes(8), 0.1);
+  fault::ChaosController chaos(network, std::move(sched), 7);
+  network.schedule_outbound_background(background_starts(3.0, 8, 33));
+  network.run_until(SimTime::minutes(8));
+
+  // 10% of returning SYN/ACKs dodge the monitored interface: a steady
+  // +0.1 drift on Xn, well inside the paper's a = 0.35 budget.
+  EXPECT_FALSE(agent.ever_alarmed());
+  EXPECT_GT(chaos.diverted_syn_acks(), 0u);
+  EXPECT_EQ(network.router().stats().inbound_tap_bypassed,
+            chaos.diverted_syn_acks());
+}
+
+// --- stalled period timer ---------------------------------------------------
+
+TEST(SynDogAgentTest, StalledTimerIsGapAccountedAndRescaled) {
+  sim::StubNetworkSim network(small_site_params());
+  core::SynDogAgent agent(network.router(), network.scheduler(),
+                          core::SynDogParams::paper_defaults());
+  network.schedule_outbound_background(background_starts(3.0, 8, 33));
+  // Suspend the agent process across 3.5 periods: the first rollover only
+  // happens at t = 70 s.
+  agent.stall_until(SimTime::seconds(70));
+  network.run_until(SimTime::minutes(8));
+
+  EXPECT_FALSE(agent.ever_alarmed());
+  EXPECT_EQ(agent.detector().gap_periods(), 3);
+  ASSERT_FALSE(agent.history().empty());
+  // The smeared harvest was rescaled to one period's worth, so the first
+  // fed report is the same order of magnitude as a normal period.
+  const core::PeriodReport& first = agent.history().front();
+  EXPECT_EQ(first.period_index, 3);
+  EXPECT_LT(first.syn_count, 2 * 3 * 20);  // ~60/period, not ~210
+  for (const core::PeriodReport& r : agent.history()) {
+    ASSERT_TRUE(std::isfinite(r.x));
+    ASSERT_TRUE(std::isfinite(r.y));
+  }
+  EXPECT_EQ(agent.health(), core::AgentHealth::kHealthy);
+}
+
+}  // namespace
+}  // namespace syndog

@@ -149,6 +149,57 @@ TEST(LinkTest, QueueLimitTailDrops) {
   EXPECT_EQ(link.dropped_queue_full(), 5u);
 }
 
+TEST(LinkTest, ChaosVerdictsAreCountedAndExposedAsMetrics) {
+  Scheduler sched;
+  LinkParams params;
+  params.delay = SimTime::milliseconds(1);
+  int delivered = 0;
+  Link link(sched, params, [&](const net::Packet&) { ++delivered; }, 1);
+
+  // Deterministic perturber cycling through every verdict kind.
+  struct ScriptedChaos : LinkChaos {
+    int n = 0;
+    Verdict inspect(SimTime, const net::Packet&) override {
+      Verdict v;
+      switch (n++ % 4) {
+        case 0: v.drop = Drop::kLinkDown; break;
+        case 1: v.drop = Drop::kLoss; break;
+        case 2: v.extra_copies = 1; break;
+        default: v.extra_delay = SimTime::milliseconds(5); break;
+      }
+      return v;
+    }
+  } chaos;
+  obs::Registry registry;
+  link.attach_observer(registry, "dl");
+  link.set_chaos(&chaos);
+  for (int i = 0; i < 40; ++i) link.send(small_packet());
+  sched.run_all();
+
+  EXPECT_EQ(link.dropped_link_down(), 10u);
+  EXPECT_EQ(link.dropped_chaos_loss(), 10u);
+  EXPECT_EQ(link.duplicated(), 10u);
+  EXPECT_EQ(link.delayed(), 10u);
+  // 10 duplicated (x2) + 10 delayed deliveries; the rest dropped.
+  EXPECT_EQ(link.delivered(), 30u);
+  EXPECT_EQ(delivered, 30);
+  EXPECT_EQ(link.sent(), 40u);
+
+  // The same counters, mirrored into the registry under "link.dl.*".
+  EXPECT_EQ(registry.counter("link.dl.sent").value(), 40u);
+  EXPECT_EQ(registry.counter("link.dl.dropped_link_down").value(), 10u);
+  EXPECT_EQ(registry.counter("link.dl.dropped_chaos_loss").value(), 10u);
+  EXPECT_EQ(registry.counter("link.dl.duplicated").value(), 10u);
+  EXPECT_EQ(registry.counter("link.dl.delayed").value(), 10u);
+  EXPECT_EQ(registry.counter("link.dl.delivered").value(), 30u);
+
+  // Detaching restores the unperturbed path.
+  link.set_chaos(nullptr);
+  for (int i = 0; i < 5; ++i) link.send(small_packet());
+  sched.run_all();
+  EXPECT_EQ(link.delivered(), 35u);
+}
+
 // --- TcpHost handshake ---------------------------------------------------------
 
 struct HandshakePair {

@@ -45,7 +45,7 @@ from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
 #
 # Keep in sync with DESIGN.md §3 and the DEPS lists in src/*/CMakeLists.txt:
 #   util -> obs/stats/net -> pcap/classify -> detect/trace -> sim/attack
-#        -> core/traceback
+#        -> fault -> core/traceback
 # obs is the telemetry layer: it may depend only on util (it must stay
 # embeddable under every other module), while any module may depend on it.
 LAYER_DEPS: Dict[str, Set[str]] = {
@@ -58,6 +58,7 @@ LAYER_DEPS: Dict[str, Set[str]] = {
     "detect": {"obs", "stats", "util"},
     "trace": {"net", "stats", "util"},
     "sim": {"net", "obs", "util"},
+    "fault": {"net", "obs", "sim", "util"},
     "attack": {"util"},
     "traceback": {"util"},
     "core": {"classify", "detect", "net", "obs", "sim", "stats", "util"},
