@@ -82,11 +82,11 @@ void InternetCloud::receive(const net::Packet& packet) {
     spec.flags = net::TcpFlags::ack_only();
     spec.seq = packet.tcp->ack;
     spec.ack = packet.tcp->seq + 1;
-    const net::Packet ack = net::make_tcp_packet(spec);
+    net::Packet ack = net::make_tcp_packet(spec);
     const double rtt =
         rng_.lognormal(std::log(params_.rtt_median_s), params_.rtt_sigma);
     scheduler_.schedule_after(util::SimTime::from_seconds(rtt),
-                              [this, ack] { route(ack); });
+                              [this, p = std::move(ack)] { route(p); });
   }
   if (flags.fin()) {
     // A stub client closing its connection to a generic server: the far
@@ -102,11 +102,11 @@ void InternetCloud::receive(const net::Packet& packet) {
     spec.flags = net::TcpFlags::fin_ack();
     spec.seq = packet.tcp->ack;
     spec.ack = packet.tcp->seq + 1;
-    const net::Packet fin = net::make_tcp_packet(spec);
+    net::Packet fin = net::make_tcp_packet(spec);
     const double rtt =
         rng_.lognormal(std::log(params_.rtt_median_s), params_.rtt_sigma);
     scheduler_.schedule_after(util::SimTime::from_seconds(rtt),
-                              [this, fin] { route(fin); });
+                              [this, p = std::move(fin)] { route(p); });
     return;
   }
   // Other segment kinds (final ACKs, data) terminate silently at the
@@ -148,13 +148,13 @@ void InternetCloud::synthesize_syn_ack(const net::Packet& syn) {
   spec.dst_port = syn.tcp->src_port;
   spec.seq = rng_.next_u32();
   spec.ack = syn.tcp->seq + 1;
-  const net::Packet reply = net::make_syn_ack(spec);
+  net::Packet reply = net::make_syn_ack(spec);
 
   const double rtt =
       rng_.lognormal(std::log(params_.rtt_median_s), params_.rtt_sigma);
   ++stats_.syn_acks_generated;
   scheduler_.schedule_after(util::SimTime::from_seconds(rtt),
-                            [this, reply] { route(reply); });
+                            [this, p = std::move(reply)] { route(p); });
 }
 
 }  // namespace syndog::sim

@@ -97,7 +97,7 @@ class Link {
   void attach_observer(obs::Registry& registry, std::string_view name);
 
  private:
-  void schedule_delivery(util::SimTime at, const net::Packet& packet);
+  void schedule_delivery(util::SimTime at, net::Packet packet);
 
   Scheduler& scheduler_;
   LinkParams params_;

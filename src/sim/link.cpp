@@ -26,14 +26,14 @@ Link::Link(Scheduler& scheduler, LinkParams params, Deliver deliver,
   }
 }
 
-void Link::schedule_delivery(util::SimTime at, const net::Packet& packet) {
+void Link::schedule_delivery(util::SimTime at, net::Packet packet) {
   ++in_flight_;
-  // Copy the packet into the event; the caller's buffer may not outlive it.
-  scheduler_.schedule_at(at, [this, packet]() {
+  // Move the packet into the event; the caller's buffer may not outlive it.
+  scheduler_.schedule_at(at, [this, p = std::move(packet)]() {
     --in_flight_;
     ++delivered_;
     bump(delivered_counter_);
-    deliver_(packet);
+    deliver_(p);
   });
 }
 
