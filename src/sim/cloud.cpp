@@ -6,8 +6,7 @@
 namespace syndog::sim {
 
 InternetCloud::InternetCloud(Scheduler& scheduler, CloudParams params,
-                             std::function<void(const net::Packet&)> downlink,
-                             std::uint64_t seed)
+                             PacketSink downlink, std::uint64_t seed)
     : scheduler_(scheduler), params_(params), rng_(seed) {
   if (!downlink) {
     throw std::invalid_argument("InternetCloud: downlink required");
@@ -27,9 +26,8 @@ void InternetCloud::attach_host(net::Ipv4Address ip, TcpHost* host) {
   hosts_[ip.value()] = host;
 }
 
-void InternetCloud::add_stub_route(
-    net::Ipv4Prefix prefix,
-    std::function<void(const net::Packet&)> downlink) {
+void InternetCloud::add_stub_route(net::Ipv4Prefix prefix,
+                                   PacketSink downlink) {
   if (!downlink) {
     throw std::invalid_argument("InternetCloud: downlink required");
   }
@@ -85,8 +83,11 @@ void InternetCloud::receive(const net::Packet& packet) {
     net::Packet ack = net::make_tcp_packet(spec);
     const double rtt =
         rng_.lognormal(std::log(params_.rtt_median_s), params_.rtt_sigma);
-    scheduler_.schedule_after(util::SimTime::from_seconds(rtt),
-                              [this, p = std::move(ack)] { route(p); });
+    scheduler_.schedule_after(
+        util::SimTime::from_seconds(rtt),
+        [this, h = scheduler_.packets().acquire(std::move(ack))] {
+          route(*h);
+        });
   }
   if (flags.fin()) {
     // A stub client closing its connection to a generic server: the far
@@ -105,8 +106,11 @@ void InternetCloud::receive(const net::Packet& packet) {
     net::Packet fin = net::make_tcp_packet(spec);
     const double rtt =
         rng_.lognormal(std::log(params_.rtt_median_s), params_.rtt_sigma);
-    scheduler_.schedule_after(util::SimTime::from_seconds(rtt),
-                              [this, p = std::move(fin)] { route(p); });
+    scheduler_.schedule_after(
+        util::SimTime::from_seconds(rtt),
+        [this, h = scheduler_.packets().acquire(std::move(fin))] {
+          route(*h);
+        });
     return;
   }
   // Other segment kinds (final ACKs, data) terminate silently at the
@@ -153,8 +157,11 @@ void InternetCloud::synthesize_syn_ack(const net::Packet& syn) {
   const double rtt =
       rng_.lognormal(std::log(params_.rtt_median_s), params_.rtt_sigma);
   ++stats_.syn_acks_generated;
-  scheduler_.schedule_after(util::SimTime::from_seconds(rtt),
-                            [this, p = std::move(reply)] { route(p); });
+  scheduler_.schedule_after(
+      util::SimTime::from_seconds(rtt),
+      [this, h = scheduler_.packets().acquire(std::move(reply))] {
+        route(*h);
+      });
 }
 
 }  // namespace syndog::sim

@@ -1,0 +1,30 @@
+// Shared callback seam types for the sim module.
+//
+// These are the only std::function types allowed in sim headers. They are
+// configuration-time seams — bound once when a topology is wired up
+// (Link's deliver target, a router tap, the cloud's downlinks) and then
+// only *invoked* on the hot path, never constructed per event. The
+// per-event callbacks, which ARE constructed millions of times, go
+// through Scheduler::Callback (util::InlineCallback) instead; the
+// hotpath.std_function lint rule enforces the split.
+#pragma once
+
+#include <functional>  // syndog-lint: allow(hotpath.std_function)
+
+#include "syndog/net/packet.hpp"
+#include "syndog/util/time.hpp"
+
+namespace syndog::sim {
+
+// syndog-lint: allow(hotpath.std_function) — config-time seams, bound once.
+
+/// Consumes a packet (link delivery target, cloud downlink, host egress).
+using PacketSink = std::function<void(const net::Packet&)>;
+
+/// Observes a timestamped packet without consuming it (router taps).
+using PacketTap = std::function<void(util::SimTime, const net::Packet&)>;
+
+/// Predicate over a timestamped packet (tap bypass / filtering seams).
+using PacketFilter = std::function<bool(util::SimTime, const net::Packet&)>;
+
+}  // namespace syndog::sim

@@ -9,10 +9,10 @@
 #pragma once
 
 #include <cstdint>
-#include <functional>
 #include <unordered_map>
 
 #include "syndog/net/packet.hpp"
+#include "syndog/sim/callbacks.hpp"
 #include "syndog/sim/scheduler.hpp"
 #include "syndog/sim/tcp_host.hpp"
 #include "syndog/util/rng.hpp"
@@ -49,8 +49,7 @@ class InternetCloud {
  public:
   /// `downlink` carries reply packets back toward the leaf router.
   InternetCloud(Scheduler& scheduler, CloudParams params,
-                std::function<void(const net::Packet&)> downlink,
-                std::uint64_t seed);
+                PacketSink downlink, std::uint64_t seed);
 
   /// Attaches a real simulated host (e.g. the victim) at its address;
   /// packets to it are delivered instead of synthesized.
@@ -59,8 +58,7 @@ class InternetCloud {
   /// Adds a further stub network behind its own downlink (multi-stub
   /// topologies: one cloud, many leaf routers). The constructor's
   /// downlink serves params.stub_prefix; routes are checked in order.
-  void add_stub_route(net::Ipv4Prefix prefix,
-                      std::function<void(const net::Packet&)> downlink);
+  void add_stub_route(net::Ipv4Prefix prefix, PacketSink downlink);
 
   /// Handles a packet arriving from the stub network's uplink.
   void receive(const net::Packet& packet);
@@ -80,9 +78,7 @@ class InternetCloud {
   CloudParams params_;
   util::Rng rng_;
   std::unordered_map<std::uint32_t, TcpHost*> hosts_;
-  std::vector<std::pair<net::Ipv4Prefix,
-                        std::function<void(const net::Packet&)>>>
-      stub_routes_;
+  std::vector<std::pair<net::Ipv4Prefix, PacketSink>> stub_routes_;
   CloudStats stats_;
 };
 

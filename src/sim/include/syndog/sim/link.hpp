@@ -13,11 +13,11 @@
 #pragma once
 
 #include <cstdint>
-#include <functional>
 #include <string_view>
 
 #include "syndog/net/packet.hpp"
 #include "syndog/obs/metrics.hpp"
+#include "syndog/sim/callbacks.hpp"
 #include "syndog/sim/scheduler.hpp"
 #include "syndog/util/rng.hpp"
 
@@ -61,7 +61,7 @@ class LinkChaos {
 
 class Link {
  public:
-  using Deliver = std::function<void(const net::Packet&)>;
+  using Deliver = PacketSink;
 
   Link(Scheduler& scheduler, LinkParams params, Deliver deliver,
        std::uint64_t seed);

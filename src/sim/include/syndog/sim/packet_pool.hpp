@@ -1,0 +1,111 @@
+// Freelist pool of net::Packet slots for in-flight events.
+//
+// A packet "in flight" in the simulator — inside a link's propagation
+// delay, a cloud RTT, or a host's retransmission timer — used to live as
+// a by-value lambda capture (a 96-byte copy per event, and with
+// std::function, a heap allocation to hold it). The pool replaces that
+// with a recycled slot: schedule sites acquire() a slot, move only the
+// small RAII Handle into the event callback, and the slot returns to the
+// freelist when the handle dies. In steady state no event allocates.
+//
+// Slots live in a std::deque so acquired packets have stable addresses
+// (the deque never relocates elements on growth); the freelist is a LIFO
+// so recently-used slots — still warm in cache — are reused first.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <utility>
+#include <vector>
+
+#include "syndog/net/packet.hpp"
+
+namespace syndog::sim {
+
+class PacketPool {
+ public:
+  /// Move-only owner of one pooled packet slot; releases it on destroy.
+  class Handle {
+   public:
+    Handle() noexcept = default;
+    Handle(const Handle&) = delete;
+    Handle& operator=(const Handle&) = delete;
+    Handle(Handle&& other) noexcept
+        : pool_(std::exchange(other.pool_, nullptr)),
+          index_(other.index_) {}
+    Handle& operator=(Handle&& other) noexcept {
+      if (this != &other) {
+        release();
+        pool_ = std::exchange(other.pool_, nullptr);
+        index_ = other.index_;
+      }
+      return *this;
+    }
+    ~Handle() { release(); }
+
+    [[nodiscard]] explicit operator bool() const noexcept {
+      return pool_ != nullptr;
+    }
+    [[nodiscard]] net::Packet& operator*() const noexcept {
+      return pool_->slots_[index_];
+    }
+    [[nodiscard]] net::Packet* operator->() const noexcept {
+      return &pool_->slots_[index_];
+    }
+
+   private:
+    friend class PacketPool;
+    Handle(PacketPool* pool, std::uint32_t index) noexcept
+        : pool_(pool), index_(index) {}
+    void release() noexcept {
+      if (pool_ != nullptr) {
+        pool_->free_.push_back(index_);
+        --pool_->in_use_;
+        pool_ = nullptr;
+      }
+    }
+
+    PacketPool* pool_ = nullptr;
+    std::uint32_t index_ = 0;
+  };
+
+  PacketPool() = default;
+  PacketPool(const PacketPool&) = delete;
+  PacketPool& operator=(const PacketPool&) = delete;
+
+  [[nodiscard]] Handle acquire(const net::Packet& packet) {
+    return emplace(packet);
+  }
+  [[nodiscard]] Handle acquire(net::Packet&& packet) {
+    return emplace(std::move(packet));
+  }
+
+  /// Slots currently held by live handles.
+  [[nodiscard]] std::size_t in_use() const noexcept { return in_use_; }
+  /// Total slots ever created (high-water mark of concurrent in-flight).
+  [[nodiscard]] std::size_t capacity() const noexcept {
+    return slots_.size();
+  }
+
+ private:
+  template <typename P>
+  Handle emplace(P&& packet) {
+    std::uint32_t index;
+    if (!free_.empty()) {
+      index = free_.back();
+      free_.pop_back();
+      slots_[index] = std::forward<P>(packet);
+    } else {
+      index = static_cast<std::uint32_t>(slots_.size());
+      slots_.push_back(std::forward<P>(packet));
+    }
+    ++in_use_;
+    return Handle(this, index);
+  }
+
+  std::deque<net::Packet> slots_;
+  std::vector<std::uint32_t> free_;
+  std::size_t in_use_ = 0;
+};
+
+}  // namespace syndog::sim

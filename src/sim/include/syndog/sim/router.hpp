@@ -9,13 +9,13 @@
 #pragma once
 
 #include <cstdint>
-#include <functional>
 #include <string_view>
 #include <unordered_map>
 #include <vector>
 
 #include "syndog/net/packet.hpp"
 #include "syndog/obs/metrics.hpp"
+#include "syndog/sim/callbacks.hpp"
 #include "syndog/util/time.hpp"
 
 namespace syndog::sim {
@@ -31,12 +31,11 @@ struct RouterStats {
 
 class LeafRouter {
  public:
-  using Tap = std::function<void(util::SimTime, const net::Packet&)>;
-  using Deliver = std::function<void(const net::Packet&)>;
+  using Tap = PacketTap;
+  using Deliver = PacketSink;
   /// Called (once per drop) with the offending packet when the ingress
   /// filter fires; gives the source locator its spoofed-source evidence.
-  using IngressViolation = std::function<void(util::SimTime,
-                                              const net::Packet&)>;
+  using IngressViolation = PacketTap;
 
   LeafRouter(net::Ipv4Prefix stub_prefix, net::MacAddress mac);
 
@@ -65,7 +64,7 @@ class LeafRouter {
   /// forwarded without firing the inbound taps, as if they returned via a
   /// different leaf router and rejoined the LAN behind the monitored
   /// interface. nullptr disables.
-  using TapBypass = std::function<bool(util::SimTime, const net::Packet&)>;
+  using TapBypass = PacketFilter;
   void set_inbound_tap_bypass(TapBypass bypass) {
     inbound_tap_bypass_ = std::move(bypass);
   }

@@ -1,30 +1,52 @@
 // Discrete-event scheduler.
 //
-// A binary-heap event queue over SimTime. Ties are broken by insertion
-// order so runs are fully deterministic. Cancellation is lazy: cancelled
-// events stay in the heap but are skipped when popped.
+// Events live in a slab arena of reusable slots; the run queue is a
+// vector-backed 4-ary min-heap of {time, seq, slot} entries. Ties are
+// broken by schedule order (a monotonic sequence number) so runs are
+// fully deterministic — the exact order the old binary-heap/lazy-cancel
+// design produced, preserved bit-for-bit.
+//
+// EventIds encode {slot index, generation}; cancel() checks the slot's
+// current generation and, on a match, destroys the callback in place and
+// bumps the generation — O(1), no side table, and cancelling an
+// already-run, stale, or unknown id is a structurally harmless no-op
+// (the generation no longer matches). The heap entry of a cancelled
+// event stays queued and is discarded when popped.
+//
+// The hot path performs zero heap allocations in steady state: callbacks
+// are util::InlineCallback (in-slot storage, compile-time capture-size
+// cap) and slots/heap entries are recycled. In-flight packets ride in
+// the scheduler-owned PacketPool — callbacks capture a pool Handle, not
+// a net::Packet.
 #pragma once
 
 #include <cstdint>
-#include <functional>
-#include <memory>
-#include <queue>
-#include <unordered_set>
 #include <vector>
 
 #include "syndog/obs/metrics.hpp"
 #include "syndog/obs/trace.hpp"
+#include "syndog/sim/packet_pool.hpp"
+#include "syndog/util/inline_callback.hpp"
 #include "syndog/util/time.hpp"
 
 namespace syndog::sim {
 
 using EventId = std::uint64_t;
 
+/// Inline budget for event callbacks. The largest legitimate capture in
+/// the tree (flood-spec generators) is ~48 bytes; packets themselves
+/// must go through the PacketPool, not the capture.
+inline constexpr std::size_t kSchedulerCallbackCapacity = 64;
+
 class Scheduler {
  public:
-  using Callback = std::function<void()>;
+  using Callback = util::InlineCallback<kSchedulerCallbackCapacity>;
 
   [[nodiscard]] util::SimTime now() const { return now_; }
+
+  /// Pool for in-flight packet payloads. Owned by the scheduler so that
+  /// pool handles captured in pending callbacks can never outlive it.
+  [[nodiscard]] PacketPool& packets() { return packets_; }
 
   /// Schedules `fn` at absolute time `at` (must be >= now). Returns an id
   /// usable with cancel().
@@ -33,8 +55,8 @@ class Scheduler {
     return schedule_at(now_ + delay, std::move(fn));
   }
 
-  /// Cancels a pending event; cancelling an already-run or unknown id is a
-  /// harmless no-op.
+  /// Cancels a pending event in O(1); cancelling an already-run, stale,
+  /// or unknown id is a harmless no-op.
   void cancel(EventId id);
 
   /// Runs the next pending event; returns false when the queue is empty.
@@ -45,9 +67,7 @@ class Scheduler {
   /// Drains the queue (bounded by `max_events` as a runaway guard).
   std::size_t run_all(std::size_t max_events = SIZE_MAX);
 
-  [[nodiscard]] std::size_t pending() const {
-    return queue_.size() - cancelled_.size();
-  }
+  [[nodiscard]] std::size_t pending() const { return pending_; }
   [[nodiscard]] std::uint64_t executed() const { return executed_; }
 
   /// Attaches telemetry sinks (must outlive the scheduler; pass nullptr to
@@ -61,23 +81,42 @@ class Scheduler {
                        std::uint64_t sample_every = 1024);
 
  private:
-  struct Entry {
-    util::SimTime at;
-    EventId id;
-    // Heap entries need value semantics; the callback lives in a separate
-    // map? No: store callback here, shared nothing.
-    std::shared_ptr<Callback> fn;
-
-    bool operator>(const Entry& rhs) const {
-      if (at != rhs.at) return at > rhs.at;
-      return id > rhs.id;
-    }
+  /// One arena slot. `gen` tags the slot's current incarnation: bumped on
+  /// cancel and on execute, so any EventId minted for a previous
+  /// incarnation goes stale. `armed` distinguishes a live callback from a
+  /// cancelled-but-still-queued slot.
+  struct Slot {
+    Callback fn;
+    std::uint32_t gen = 1;
+    bool armed = false;
   };
 
-  std::priority_queue<Entry, std::vector<Entry>, std::greater<>> queue_;
-  std::unordered_set<EventId> cancelled_;
+  struct HeapEntry {
+    util::SimTime at;
+    std::uint64_t seq;   ///< schedule order; the deterministic tie-break
+    std::uint32_t slot;
+  };
+
+  static bool before(const HeapEntry& a, const HeapEntry& b) {
+    if (a.at != b.at) return a.at < b.at;
+    return a.seq < b.seq;
+  }
+
+  static EventId make_id(std::uint32_t slot, std::uint32_t gen) {
+    return (static_cast<EventId>(gen) << 32) | slot;
+  }
+
+  void heap_push(HeapEntry entry);
+  HeapEntry heap_pop();
+  void retire(std::uint32_t slot);
+
+  PacketPool packets_;  // declared first: outlives slots_' pool handles
+  std::vector<Slot> slots_;
+  std::vector<std::uint32_t> free_slots_;
+  std::vector<HeapEntry> heap_;  ///< 4-ary min-heap ordered by before()
   util::SimTime now_;
-  EventId next_id_ = 1;
+  std::uint64_t next_seq_ = 1;
+  std::size_t pending_ = 0;
   std::uint64_t executed_ = 0;
 
   // Telemetry (optional; see attach_observer).

@@ -10,12 +10,12 @@
 #pragma once
 
 #include <cstdint>
-#include <functional>
 #include <optional>
 #include <string>
 #include <unordered_map>
 
 #include "syndog/net/packet.hpp"
+#include "syndog/sim/callbacks.hpp"
 #include "syndog/sim/scheduler.hpp"
 #include "syndog/util/rng.hpp"
 
@@ -66,8 +66,7 @@ class TcpHost {
   /// L2 destination of every frame the host emits.
   TcpHost(std::string name, net::Ipv4Address ip, net::MacAddress mac,
           net::MacAddress gateway_mac, Scheduler& scheduler,
-          std::function<void(const net::Packet&)> send,
-          TcpHostParams params, std::uint64_t seed);
+          PacketSink send, TcpHostParams params, std::uint64_t seed);
 
   TcpHost(const TcpHost&) = delete;
   TcpHost& operator=(const TcpHost&) = delete;
@@ -158,7 +157,7 @@ class TcpHost {
   net::MacAddress mac_;
   net::MacAddress gateway_mac_;
   Scheduler& scheduler_;
-  std::function<void(const net::Packet&)> send_;
+  PacketSink send_;
   TcpHostParams params_;
   util::Rng rng_;
   TcpHostStats stats_;

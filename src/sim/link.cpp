@@ -28,13 +28,15 @@ Link::Link(Scheduler& scheduler, LinkParams params, Deliver deliver,
 
 void Link::schedule_delivery(util::SimTime at, net::Packet packet) {
   ++in_flight_;
-  // Move the packet into the event; the caller's buffer may not outlive it.
-  scheduler_.schedule_at(at, [this, p = std::move(packet)]() {
-    --in_flight_;
-    ++delivered_;
-    bump(delivered_counter_);
-    deliver_(p);
-  });
+  // The in-flight packet rides in the scheduler's pool; the event captures
+  // only the pool handle, so steady-state delivery allocates nothing.
+  scheduler_.schedule_at(
+      at, [this, h = scheduler_.packets().acquire(std::move(packet))]() {
+        --in_flight_;
+        ++delivered_;
+        bump(delivered_counter_);
+        deliver_(*h);
+      });
 }
 
 void Link::send(const net::Packet& packet) {

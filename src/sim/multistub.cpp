@@ -73,17 +73,19 @@ MultiStubSim::MultiStubSim(MultiStubParams params)
               static_cast<std::uint32_t>(s) * 0x10000 + i),
           router_mac, scheduler_,
           [this, router](const net::Packet& pkt) {
-            scheduler_.schedule_after(params_.lan_delay, [this, router,
-                                                          pkt] {
-              router->forward_from_intranet(scheduler_.now(), pkt);
-            });
+            scheduler_.schedule_after(
+                params_.lan_delay,
+                [this, router, h = scheduler_.packets().acquire(pkt)] {
+                  router->forward_from_intranet(scheduler_.now(), *h);
+                });
           },
           params_.host_params,
           util::splitmix64(params_.seed ^ (0x70000 + s * 1000 + i)));
       TcpHost* raw = host.get();
       router->attach_host(ip, [this, raw](const net::Packet& pkt) {
-        scheduler_.schedule_after(params_.lan_delay,
-                                  [raw, pkt] { raw->receive(pkt); });
+        scheduler_.schedule_after(
+            params_.lan_delay,
+            [raw, h = scheduler_.packets().acquire(pkt)] { raw->receive(*h); });
       });
       stub.hosts.push_back(std::move(host));
     }
@@ -184,8 +186,10 @@ void MultiStubSim::launch_flood(int stub, std::uint32_t host_index,
       spec.dst_port = victim_port;
       spec.seq = seq;
       scheduler_.schedule_after(
-          params_.lan_delay, [this, router, pkt = net::make_syn(spec)] {
-            router->forward_from_intranet(scheduler_.now(), pkt);
+          params_.lan_delay,
+          [this, router,
+           h = scheduler_.packets().acquire(net::make_syn(spec))] {
+            router->forward_from_intranet(scheduler_.now(), *h);
           });
     });
   }

@@ -41,15 +41,17 @@ StubNetworkSim::StubNetworkSim(StubNetworkParams params)
         "stub-" + std::to_string(i), ip, net::MacAddress::for_host(i),
         router_mac, scheduler_,
         [this](const net::Packet& pkt) {
-          scheduler_.schedule_after(params_.lan_delay, [this, pkt] {
-            router_->forward_from_intranet(scheduler_.now(), pkt);
-          });
+          scheduler_.schedule_after(
+              params_.lan_delay, [this, h = scheduler_.packets().acquire(pkt)] {
+                router_->forward_from_intranet(scheduler_.now(), *h);
+              });
         },
         params_.host_params, util::splitmix64(params_.seed ^ (0x700 + i)));
     TcpHost* raw = host.get();
     router_->attach_host(ip, [this, raw](const net::Packet& pkt) {
-      scheduler_.schedule_after(params_.lan_delay,
-                                [raw, pkt] { raw->receive(pkt); });
+      scheduler_.schedule_after(
+          params_.lan_delay,
+          [raw, h = scheduler_.packets().acquire(pkt)] { raw->receive(*h); });
     });
     hosts_.push_back(std::move(host));
   }
@@ -170,11 +172,11 @@ void StubNetworkSim::launch_flood(std::uint32_t host_index,
       spec.src_port = sport;
       spec.dst_port = victim_port;
       spec.seq = seq;
-      scheduler_.schedule_after(params_.lan_delay, [this,
-                                                    pkt = net::make_syn(
-                                                        spec)] {
-        router_->forward_from_intranet(scheduler_.now(), pkt);
-      });
+      scheduler_.schedule_after(
+          params_.lan_delay,
+          [this, h = scheduler_.packets().acquire(net::make_syn(spec))] {
+            router_->forward_from_intranet(scheduler_.now(), *h);
+          });
     });
   }
 }
@@ -187,13 +189,14 @@ void StubNetworkSim::replay_at_router(util::SimTime at,
                                       const net::Packet& packet) {
   const bool from_intranet = params_.stub_prefix.contains(packet.ip.src) ||
                              !params_.stub_prefix.contains(packet.ip.dst);
-  scheduler_.schedule_at(at, [this, from_intranet, packet] {
-    if (from_intranet) {
-      router_->forward_from_intranet(scheduler_.now(), packet);
-    } else {
-      router_->forward_from_internet(scheduler_.now(), packet);
-    }
-  });
+  scheduler_.schedule_at(
+      at, [this, from_intranet, h = scheduler_.packets().acquire(packet)] {
+        if (from_intranet) {
+          router_->forward_from_intranet(scheduler_.now(), *h);
+        } else {
+          router_->forward_from_internet(scheduler_.now(), *h);
+        }
+      });
 }
 
 }  // namespace syndog::sim

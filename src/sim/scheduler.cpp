@@ -1,48 +1,128 @@
 #include "syndog/sim/scheduler.hpp"
 
-#include <memory>
+#include <algorithm>
 #include <stdexcept>
 
 namespace syndog::sim {
+
+namespace {
+/// Generation bump that skips 0, so a default/garbage id (gen 0) can
+/// never match a live slot even after the 32-bit generation wraps.
+inline std::uint32_t next_gen(std::uint32_t gen) {
+  return ++gen == 0 ? 1 : gen;
+}
+}  // namespace
+
+void Scheduler::heap_push(HeapEntry entry) {
+  // Hole-based sift-up: shift parents down into the hole, write once.
+  std::size_t hole = heap_.size();
+  heap_.push_back(entry);
+  while (hole > 0) {
+    const std::size_t parent = (hole - 1) / 4;
+    if (!before(entry, heap_[parent])) break;
+    heap_[hole] = heap_[parent];
+    hole = parent;
+  }
+  heap_[hole] = entry;
+}
+
+Scheduler::HeapEntry Scheduler::heap_pop() {
+  const HeapEntry top = heap_.front();
+  const HeapEntry last = heap_.back();
+  heap_.pop_back();
+  if (!heap_.empty()) {
+    // Hole-based sift-down of `last` from the root.
+    const std::size_t n = heap_.size();
+    std::size_t hole = 0;
+    for (;;) {
+      const std::size_t first_child = 4 * hole + 1;
+      if (first_child >= n) break;
+      std::size_t best = first_child;
+      const std::size_t end_child = std::min(first_child + 4, n);
+      for (std::size_t c = first_child + 1; c < end_child; ++c) {
+        if (before(heap_[c], heap_[best])) best = c;
+      }
+      if (!before(heap_[best], last)) break;
+      heap_[hole] = heap_[best];
+      hole = best;
+    }
+    heap_[hole] = last;
+  }
+  return top;
+}
+
+void Scheduler::retire(std::uint32_t slot) { free_slots_.push_back(slot); }
 
 EventId Scheduler::schedule_at(util::SimTime at, Callback fn) {
   if (at < now_) {
     throw std::invalid_argument("Scheduler: cannot schedule in the past");
   }
-  const EventId id = next_id_++;
-  queue_.push(Entry{at, id, std::make_shared<Callback>(std::move(fn))});
+  if (!fn) {
+    throw std::invalid_argument("Scheduler: callback required");
+  }
+  std::uint32_t index;
+  if (!free_slots_.empty()) {
+    index = free_slots_.back();
+    free_slots_.pop_back();
+  } else {
+    index = static_cast<std::uint32_t>(slots_.size());
+    slots_.emplace_back();
+  }
+  Slot& slot = slots_[index];
+  slot.fn = std::move(fn);
+  slot.armed = true;
+  heap_push(HeapEntry{at, next_seq_++, index});
+  ++pending_;
   if (scheduled_counter_ != nullptr) {
     scheduled_counter_->add();
-    depth_gauge_->set(static_cast<double>(pending()));
+    depth_gauge_->set(static_cast<double>(pending_));
   }
-  return id;
+  return make_id(index, slot.gen);
 }
 
 void Scheduler::cancel(EventId id) {
-  if (id == 0 || id >= next_id_) return;
-  if (cancelled_.insert(id).second && cancelled_counter_ != nullptr) {
+  const auto index = static_cast<std::uint32_t>(id & 0xffffffffu);
+  const auto gen = static_cast<std::uint32_t>(id >> 32);
+  if (index >= slots_.size()) return;
+  Slot& slot = slots_[index];
+  if (!slot.armed || slot.gen != gen) return;  // executed, stale, unknown
+  slot.fn.reset();  // releases captured resources (e.g. pooled packets) now
+  slot.armed = false;
+  slot.gen = next_gen(slot.gen);
+  --pending_;
+  if (cancelled_counter_ != nullptr) {
     cancelled_counter_->add();
   }
+  // The heap entry stays queued; step() discards it and recycles the slot.
 }
 
 bool Scheduler::step() {
-  while (!queue_.empty()) {
-    Entry entry = queue_.top();
-    queue_.pop();
-    if (const auto it = cancelled_.find(entry.id); it != cancelled_.end()) {
-      cancelled_.erase(it);
+  while (!heap_.empty()) {
+    const HeapEntry entry = heap_pop();
+    Slot& slot = slots_[entry.slot];
+    if (!slot.armed) {
+      // Cancelled after scheduling; its slot is free again now that the
+      // stale heap entry is gone.
+      retire(entry.slot);
       continue;
     }
     now_ = entry.at;
     ++executed_;
+    --pending_;
     if (executed_counter_ != nullptr) {
       executed_counter_->add();
-      depth_gauge_->set(static_cast<double>(pending()));
+      depth_gauge_->set(static_cast<double>(pending_));
     }
     if (tracer_ != nullptr && executed_ % sample_every_ == 0) {
-      tracer_->record(now_, obs::QueueDepth{pending(), executed_});
+      tracer_->record(now_, obs::QueueDepth{pending_, executed_});
     }
-    (*entry.fn)();
+    // Move the callback out and recycle the slot *before* invoking, so a
+    // re-entrant schedule_at from inside the callback may reuse it.
+    Callback fn = std::move(slot.fn);
+    slot.armed = false;
+    slot.gen = next_gen(slot.gen);
+    retire(entry.slot);
+    fn();
     return true;
   }
   return false;
@@ -72,7 +152,7 @@ void Scheduler::attach_observer(obs::Registry* registry,
 
 std::size_t Scheduler::run_until(util::SimTime end) {
   std::size_t count = 0;
-  while (!queue_.empty() && queue_.top().at <= end) {
+  while (!heap_.empty() && heap_.front().at <= end) {
     if (step()) ++count;
   }
   if (now_ < end) now_ = end;

@@ -6,8 +6,7 @@ namespace syndog::sim {
 
 TcpHost::TcpHost(std::string name, net::Ipv4Address ip, net::MacAddress mac,
                  net::MacAddress gateway_mac, Scheduler& scheduler,
-                 std::function<void(const net::Packet&)> send,
-                 TcpHostParams params, std::uint64_t seed)
+                 PacketSink send, TcpHostParams params, std::uint64_t seed)
     : name_(std::move(name)), ip_(ip), mac_(mac), gateway_mac_(gateway_mac),
       scheduler_(scheduler), send_(std::move(send)), params_(params),
       rng_(seed) {

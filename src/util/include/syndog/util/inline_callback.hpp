@@ -1,0 +1,110 @@
+// Fixed-capacity, non-allocating, move-only callable.
+//
+// InlineCallback<N> stores any callable whose capture state fits in N
+// bytes directly inside the object — no heap allocation, ever. Oversized
+// or over-aligned callables are rejected at compile time (static_assert),
+// which is the point: the discrete-event scheduler's hot path must stay
+// allocation-free, so a capture that silently grew past the budget should
+// fail the build, not fall back to operator new the way std::function and
+// std::move_only_function are allowed to.
+//
+// Unlike std::function it is move-only, so callables holding move-only
+// resources (e.g. sim::PacketPool::Handle) are accepted. The stored
+// callable must be nothrow-move-constructible: moves relocate it between
+// buffers and must not be able to fail halfway.
+#pragma once
+
+#include <cstddef>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+namespace syndog::util {
+
+template <std::size_t Capacity>
+class InlineCallback {
+ public:
+  InlineCallback() noexcept = default;
+
+  InlineCallback(const InlineCallback&) = delete;
+  InlineCallback& operator=(const InlineCallback&) = delete;
+
+  InlineCallback(InlineCallback&& other) noexcept : vt_(other.vt_) {
+    if (vt_ != nullptr) {
+      vt_->relocate(storage_, other.storage_);
+      other.vt_ = nullptr;
+    }
+  }
+
+  InlineCallback& operator=(InlineCallback&& other) noexcept {
+    if (this != &other) {
+      reset();
+      vt_ = other.vt_;
+      if (vt_ != nullptr) {
+        vt_->relocate(storage_, other.storage_);
+        other.vt_ = nullptr;
+      }
+    }
+    return *this;
+  }
+
+  /// Implicit from any void() callable that fits the inline budget.
+  template <typename Fn>
+    requires(!std::is_same_v<std::remove_cvref_t<Fn>, InlineCallback> &&
+             std::is_invocable_r_v<void, std::remove_cvref_t<Fn>&>)
+  InlineCallback(Fn&& fn) noexcept {  // NOLINT(google-explicit-constructor)
+    using Decayed = std::remove_cvref_t<Fn>;
+    static_assert(sizeof(Decayed) <= Capacity,
+                  "InlineCallback: capture state exceeds inline capacity; "
+                  "shrink the capture (e.g. pool the payload) or raise N");
+    static_assert(alignof(Decayed) <= alignof(std::max_align_t),
+                  "InlineCallback: over-aligned callables not supported");
+    static_assert(std::is_nothrow_move_constructible_v<Decayed>,
+                  "InlineCallback: callable must be nothrow-movable");
+    ::new (static_cast<void*>(storage_)) Decayed(std::forward<Fn>(fn));
+    vt_ = &Ops<Decayed>::vtable;
+  }
+
+  ~InlineCallback() { reset(); }
+
+  /// Destroys the stored callable (if any); *this becomes empty.
+  void reset() noexcept {
+    if (vt_ != nullptr) {
+      vt_->destroy(storage_);
+      vt_ = nullptr;
+    }
+  }
+
+  [[nodiscard]] explicit operator bool() const noexcept {
+    return vt_ != nullptr;
+  }
+
+  /// Invokes the stored callable. Precondition: non-empty.
+  void operator()() { vt_->invoke(storage_); }
+
+ private:
+  struct VTable {
+    void (*invoke)(std::byte* self);
+    void (*relocate)(std::byte* dst, std::byte* src) noexcept;
+    void (*destroy)(std::byte* self) noexcept;
+  };
+
+  template <typename Fn>
+  struct Ops {
+    static Fn& as(std::byte* p) noexcept {
+      return *std::launder(reinterpret_cast<Fn*>(p));
+    }
+    static void invoke(std::byte* self) { as(self)(); }
+    static void relocate(std::byte* dst, std::byte* src) noexcept {
+      ::new (static_cast<void*>(dst)) Fn(std::move(as(src)));
+      as(src).~Fn();
+    }
+    static void destroy(std::byte* self) noexcept { as(self).~Fn(); }
+    static constexpr VTable vtable{&invoke, &relocate, &destroy};
+  };
+
+  alignas(std::max_align_t) std::byte storage_[Capacity];
+  const VTable* vt_ = nullptr;
+};
+
+}  // namespace syndog::util

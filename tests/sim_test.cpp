@@ -84,6 +84,52 @@ TEST(SchedulerTest, RejectsPastScheduling) {
                std::invalid_argument);
 }
 
+TEST(SchedulerTest, CancellingExecutedIdIsANoOp) {
+  Scheduler sched;
+  obs::Registry registry;
+  sched.attach_observer(&registry);
+  int ran = 0;
+  const EventId id = sched.schedule_at(SimTime::seconds(1), [&] { ++ran; });
+  sched.schedule_at(SimTime::seconds(2), [&] { ++ran; });
+  ASSERT_TRUE(sched.step());  // executes `id`
+  EXPECT_EQ(ran, 1);
+  // The old lazy-cancel design accepted any previously-issued id here:
+  // pending() underflowed and the cancelled-set grew without bound.
+  for (int i = 0; i < 100; ++i) sched.cancel(id);
+  EXPECT_EQ(sched.pending(), 1u);
+  EXPECT_EQ(registry.counter("sim.events_cancelled").value(), 0u);
+  sched.run_all();
+  EXPECT_EQ(ran, 2);
+  EXPECT_EQ(sched.pending(), 0u);
+}
+
+TEST(SchedulerTest, StaleIdCannotCancelRecycledSlot) {
+  Scheduler sched;
+  int ran = 0;
+  const EventId a = sched.schedule_at(SimTime::seconds(1), [&] { ++ran; });
+  sched.cancel(a);
+  sched.run_all();  // discards the stale heap entry, recycling the slot
+  // The next event reuses the slot; the generation tag in the old id must
+  // keep it from touching the new occupant.
+  const EventId b = sched.schedule_after(SimTime::seconds(1), [&] { ++ran; });
+  EXPECT_NE(a, b);
+  sched.cancel(a);
+  EXPECT_EQ(sched.pending(), 1u);
+  sched.run_all();
+  EXPECT_EQ(ran, 1);
+}
+
+TEST(SchedulerTest, CancelReleasesCapturedPoolSlots) {
+  Scheduler sched;
+  auto h = sched.packets().acquire(net::Packet{});
+  EXPECT_EQ(sched.packets().in_use(), 1u);
+  const EventId id = sched.schedule_at(
+      SimTime::seconds(1), [h = std::move(h)] { (void)*h; });
+  sched.cancel(id);  // destroys the callback now, releasing the pool slot
+  EXPECT_EQ(sched.packets().in_use(), 0u);
+  EXPECT_EQ(sched.pending(), 0u);
+}
+
 // --- Link -------------------------------------------------------------------
 
 net::Packet small_packet() {
@@ -213,16 +259,22 @@ struct HandshakePair {
         "client", net::Ipv4Address(10, 0, 0, 1),
         net::MacAddress::for_host(1), net::MacAddress::for_host(99), sched,
         [this](const net::Packet& pkt) {
-          sched.schedule_after(SimTime::milliseconds(5),
-                               [this, pkt] { server->receive(pkt); });
+          sched.schedule_after(
+              SimTime::milliseconds(5),
+              [this, h = sched.packets().acquire(pkt)] {
+                server->receive(*h);
+              });
         },
         params, 1);
     server = std::make_unique<TcpHost>(
         "server", net::Ipv4Address(10, 0, 0, 2),
         net::MacAddress::for_host(2), net::MacAddress::for_host(99), sched,
         [this](const net::Packet& pkt) {
-          sched.schedule_after(SimTime::milliseconds(5),
-                               [this, pkt] { client->receive(pkt); });
+          sched.schedule_after(
+              SimTime::milliseconds(5),
+              [this, h = sched.packets().acquire(pkt)] {
+                client->receive(*h);
+              });
         },
         params, 2);
   }

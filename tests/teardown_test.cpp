@@ -21,16 +21,22 @@ struct Pair {
         "client", net::Ipv4Address(10, 0, 0, 1),
         net::MacAddress::for_host(1), net::MacAddress::for_host(99), sched,
         [this](const net::Packet& pkt) {
-          sched.schedule_after(SimTime::milliseconds(5),
-                               [this, pkt] { server->receive(pkt); });
+          sched.schedule_after(
+              SimTime::milliseconds(5),
+              [this, h = sched.packets().acquire(pkt)] {
+                server->receive(*h);
+              });
         },
         params, 1);
     server = std::make_unique<TcpHost>(
         "server", net::Ipv4Address(10, 0, 0, 2),
         net::MacAddress::for_host(2), net::MacAddress::for_host(99), sched,
         [this](const net::Packet& pkt) {
-          sched.schedule_after(SimTime::milliseconds(5),
-                               [this, pkt] { client->receive(pkt); });
+          sched.schedule_after(
+              SimTime::milliseconds(5),
+              [this, h = sched.packets().acquire(pkt)] {
+                client->receive(*h);
+              });
         },
         params, 2);
   }
