@@ -13,9 +13,11 @@
 #include <memory>
 
 #include "common/experiment.hpp"
+#include "common/sidecar.hpp"
 #include "syndog/attack/campaign.hpp"
 #include "syndog/core/agent.hpp"
 #include "syndog/core/aggregator.hpp"
+#include "syndog/obs/wallclock.hpp"
 #include "syndog/sim/multistub.hpp"
 #include "syndog/util/strings.hpp"
 #include "syndog/util/table.hpp"
@@ -84,7 +86,27 @@ int main() {
                      *net::Ipv4Prefix::parse("240.0.0.0/8"));
   }
 
+  // Wall-clock the main run for the perf trajectory (scalars only; the
+  // simulation itself stays deterministic from seeds).
+  const obs::WallClock clock;
+  const std::uint64_t executed_before = net.scheduler().executed();
+  const std::int64_t wall_start = clock.now_ns();
   net.run_until(SimTime::minutes(10));
+  const double wall_s =
+      static_cast<double>(clock.now_ns() - wall_start) / 1e9;
+  const double events =
+      static_cast<double>(net.scheduler().executed() - executed_before);
+  bench::sidecar()->scalar("events_per_sec", events / wall_s);
+  bench::sidecar()->scalar("sim_seconds_per_wall_sec", 600.0 / wall_s);
+  const sim::CloudStats& cs = net.cloud().stats();
+  // Wide-area packet disposals per wall second (everything the cloud
+  // delivered, answered, absorbed, or sank).
+  bench::sidecar()->scalar(
+      "packets_per_sec",
+      static_cast<double>(cs.syns_seen + cs.syn_acks_generated +
+                          cs.delivered_to_hosts + cs.dropped_unreachable +
+                          cs.absorbed_elsewhere) /
+          wall_s);
 
   const std::int64_t onset =
       campaign.start / core::SynDogParams{}.observation_period;

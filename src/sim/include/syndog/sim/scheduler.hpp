@@ -1,17 +1,17 @@
 // Discrete-event scheduler.
 //
-// Events live in a slab arena of reusable slots; the run queue is a
-// vector-backed 4-ary min-heap of {time, seq, slot} entries. Ties are
-// broken by schedule order (a monotonic sequence number) so runs are
-// fully deterministic — the exact order the old binary-heap/lazy-cancel
-// design produced, preserved bit-for-bit.
+// Events live in a slab arena of reusable slots; the run queue is an
+// indexed, vector-backed 4-ary min-heap of 16-byte {time, seq|slot}
+// entries. Ties are broken by schedule order (a monotonic sequence
+// number) so runs are fully deterministic — the exact order the old
+// binary-heap/lazy-cancel design produced, preserved bit-for-bit.
 //
 // EventIds encode {slot index, generation}; cancel() checks the slot's
-// current generation and, on a match, destroys the callback in place and
-// bumps the generation — O(1), no side table, and cancelling an
-// already-run, stale, or unknown id is a structurally harmless no-op
-// (the generation no longer matches). The heap entry of a cancelled
-// event stays queued and is discarded when popped.
+// current generation and, on a match, destroys the callback, bumps the
+// generation, and removes the heap entry through the slot's tracked
+// heap position — no side table, no stale entries accumulating in the
+// queue. Cancelling an already-run, stale, or unknown id is a
+// structurally harmless no-op (the generation no longer matches).
 //
 // The hot path performs zero heap allocations in steady state: callbacks
 // are util::InlineCallback (in-slot storage, compile-time capture-size
@@ -55,8 +55,9 @@ class Scheduler {
     return schedule_at(now_ + delay, std::move(fn));
   }
 
-  /// Cancels a pending event in O(1); cancelling an already-run, stale,
-  /// or unknown id is a harmless no-op.
+  /// Cancels a pending event, removing its queue entry immediately
+  /// (O(log n), no search, no lingering tombstone); cancelling an
+  /// already-run, stale, or unknown id is a harmless no-op.
   void cancel(EventId id);
 
   /// Runs the next pending event; returns false when the queue is empty.
@@ -83,31 +84,48 @@ class Scheduler {
  private:
   /// One arena slot. `gen` tags the slot's current incarnation: bumped on
   /// cancel and on execute, so any EventId minted for a previous
-  /// incarnation goes stale. `armed` distinguishes a live callback from a
-  /// cancelled-but-still-queued slot.
+  /// incarnation goes stale. `armed` distinguishes a scheduled slot from
+  /// a free one (a forged id can't release a free slot twice).
+  /// `heap_pos` is the slot's current index in heap_, maintained by every
+  /// sift so cancel() can remove the entry without a search.
   struct Slot {
     Callback fn;
     std::uint32_t gen = 1;
+    std::uint32_t heap_pos = 0;
     bool armed = false;
   };
 
+  /// 16 bytes so a 4-child group spans one cache line. `key` packs the
+  /// monotonic schedule-order stamp (bits 63..24, the deterministic
+  /// tie-break) over the slot index (bits 23..0); comparing keys compares
+  /// seq first, and seqs are unique. schedule_at() range-checks both
+  /// fields (kMaxSlots concurrent events, kMaxSeq lifetime events).
   struct HeapEntry {
     util::SimTime at;
-    std::uint64_t seq;   ///< schedule order; the deterministic tie-break
-    std::uint32_t slot;
+    std::uint64_t key;
+
+    [[nodiscard]] std::uint32_t slot_index() const {
+      return static_cast<std::uint32_t>(key & (kMaxSlots - 1));
+    }
   };
+
+  static constexpr std::uint64_t kMaxSlots = 1u << 24;
+  static constexpr std::uint64_t kMaxSeq = std::uint64_t{1} << 40;
 
   static bool before(const HeapEntry& a, const HeapEntry& b) {
     if (a.at != b.at) return a.at < b.at;
-    return a.seq < b.seq;
+    return a.key < b.key;
   }
 
   static EventId make_id(std::uint32_t slot, std::uint32_t gen) {
     return (static_cast<EventId>(gen) << 32) | slot;
   }
 
+  void place(std::size_t pos, const HeapEntry& e);
+  std::size_t sift_up(std::size_t hole, const HeapEntry& e);
+  std::size_t sift_down(std::size_t hole, const HeapEntry& e);
   void heap_push(HeapEntry entry);
-  HeapEntry heap_pop();
+  void heap_remove(std::size_t pos);
   void retire(std::uint32_t slot);
 
   PacketPool packets_;  // declared first: outlives slots_' pool handles

@@ -13,42 +13,57 @@ inline std::uint32_t next_gen(std::uint32_t gen) {
 }
 }  // namespace
 
-void Scheduler::heap_push(HeapEntry entry) {
-  // Hole-based sift-up: shift parents down into the hole, write once.
-  std::size_t hole = heap_.size();
-  heap_.push_back(entry);
-  while (hole > 0) {
-    const std::size_t parent = (hole - 1) / 4;
-    if (!before(entry, heap_[parent])) break;
-    heap_[hole] = heap_[parent];
-    hole = parent;
-  }
-  heap_[hole] = entry;
+void Scheduler::place(std::size_t pos, const HeapEntry& e) {
+  heap_[pos] = e;
+  slots_[e.slot_index()].heap_pos = static_cast<std::uint32_t>(pos);
 }
 
-Scheduler::HeapEntry Scheduler::heap_pop() {
-  const HeapEntry top = heap_.front();
+std::size_t Scheduler::sift_up(std::size_t hole, const HeapEntry& e) {
+  // Hole-based: shift parents down into the hole; the caller writes `e`
+  // into the returned position exactly once.
+  while (hole > 0) {
+    const std::size_t parent = (hole - 1) / 4;
+    if (!before(e, heap_[parent])) break;
+    place(hole, heap_[parent]);
+    hole = parent;
+  }
+  return hole;
+}
+
+std::size_t Scheduler::sift_down(std::size_t hole, const HeapEntry& e) {
+  const std::size_t n = heap_.size();
+  for (;;) {
+    const std::size_t first_child = 4 * hole + 1;
+    if (first_child >= n) break;
+    std::size_t best = first_child;
+    const std::size_t end_child = std::min(first_child + 4, n);
+    for (std::size_t c = first_child + 1; c < end_child; ++c) {
+      if (before(heap_[c], heap_[best])) best = c;
+    }
+    if (!before(heap_[best], e)) break;
+    place(hole, heap_[best]);
+    hole = best;
+  }
+  return hole;
+}
+
+void Scheduler::heap_push(HeapEntry entry) {
+  heap_.push_back(entry);
+  place(sift_up(heap_.size() - 1, entry), entry);
+}
+
+void Scheduler::heap_remove(std::size_t pos) {
   const HeapEntry last = heap_.back();
   heap_.pop_back();
-  if (!heap_.empty()) {
-    // Hole-based sift-down of `last` from the root.
-    const std::size_t n = heap_.size();
-    std::size_t hole = 0;
-    for (;;) {
-      const std::size_t first_child = 4 * hole + 1;
-      if (first_child >= n) break;
-      std::size_t best = first_child;
-      const std::size_t end_child = std::min(first_child + 4, n);
-      for (std::size_t c = first_child + 1; c < end_child; ++c) {
-        if (before(heap_[c], heap_[best])) best = c;
-      }
-      if (!before(heap_[best], last)) break;
-      heap_[hole] = heap_[best];
-      hole = best;
-    }
-    heap_[hole] = last;
+  if (pos == heap_.size()) return;  // removed the tail entry itself
+  // Re-seat the former tail into the hole; it may belong above (the
+  // removed entry could have been on another subtree's path) or below.
+  const std::size_t up = sift_up(pos, last);
+  if (up != pos) {
+    place(up, last);
+    return;
   }
-  return top;
+  place(sift_down(pos, last), last);
 }
 
 void Scheduler::retire(std::uint32_t slot) { free_slots_.push_back(slot); }
@@ -65,13 +80,21 @@ EventId Scheduler::schedule_at(util::SimTime at, Callback fn) {
     index = free_slots_.back();
     free_slots_.pop_back();
   } else {
+    if (slots_.size() >= kMaxSlots) {
+      throw std::length_error(
+          "Scheduler: more than 2^24 events pending at once");
+    }
     index = static_cast<std::uint32_t>(slots_.size());
     slots_.emplace_back();
+  }
+  if (next_seq_ >= kMaxSeq) {
+    throw std::overflow_error(
+        "Scheduler: schedule-order stamp exhausted (2^40 events)");
   }
   Slot& slot = slots_[index];
   slot.fn = std::move(fn);
   slot.armed = true;
-  heap_push(HeapEntry{at, next_seq_++, index});
+  heap_push(HeapEntry{at, (next_seq_++ << 24) | index});
   ++pending_;
   if (scheduled_counter_ != nullptr) {
     scheduled_counter_->add();
@@ -86,46 +109,40 @@ void Scheduler::cancel(EventId id) {
   if (index >= slots_.size()) return;
   Slot& slot = slots_[index];
   if (!slot.armed || slot.gen != gen) return;  // executed, stale, unknown
+  heap_remove(slot.heap_pos);
   slot.fn.reset();  // releases captured resources (e.g. pooled packets) now
   slot.armed = false;
   slot.gen = next_gen(slot.gen);
+  retire(index);
   --pending_;
   if (cancelled_counter_ != nullptr) {
     cancelled_counter_->add();
   }
-  // The heap entry stays queued; step() discards it and recycles the slot.
 }
 
 bool Scheduler::step() {
-  while (!heap_.empty()) {
-    const HeapEntry entry = heap_pop();
-    Slot& slot = slots_[entry.slot];
-    if (!slot.armed) {
-      // Cancelled after scheduling; its slot is free again now that the
-      // stale heap entry is gone.
-      retire(entry.slot);
-      continue;
-    }
-    now_ = entry.at;
-    ++executed_;
-    --pending_;
-    if (executed_counter_ != nullptr) {
-      executed_counter_->add();
-      depth_gauge_->set(static_cast<double>(pending_));
-    }
-    if (tracer_ != nullptr && executed_ % sample_every_ == 0) {
-      tracer_->record(now_, obs::QueueDepth{pending_, executed_});
-    }
-    // Move the callback out and recycle the slot *before* invoking, so a
-    // re-entrant schedule_at from inside the callback may reuse it.
-    Callback fn = std::move(slot.fn);
-    slot.armed = false;
-    slot.gen = next_gen(slot.gen);
-    retire(entry.slot);
-    fn();
-    return true;
+  if (heap_.empty()) return false;
+  const HeapEntry entry = heap_.front();
+  heap_remove(0);
+  Slot& slot = slots_[entry.slot_index()];
+  now_ = entry.at;
+  ++executed_;
+  --pending_;
+  if (executed_counter_ != nullptr) {
+    executed_counter_->add();
+    depth_gauge_->set(static_cast<double>(pending_));
   }
-  return false;
+  if (tracer_ != nullptr && executed_ % sample_every_ == 0) {
+    tracer_->record(now_, obs::QueueDepth{pending_, executed_});
+  }
+  // Move the callback out and recycle the slot *before* invoking, so a
+  // re-entrant schedule_at from inside the callback may reuse it.
+  Callback fn = std::move(slot.fn);
+  slot.armed = false;
+  slot.gen = next_gen(slot.gen);
+  retire(entry.slot_index());
+  fn();
+  return true;
 }
 
 void Scheduler::attach_observer(obs::Registry* registry,
@@ -152,8 +169,11 @@ void Scheduler::attach_observer(obs::Registry* registry,
 
 std::size_t Scheduler::run_until(util::SimTime end) {
   std::size_t count = 0;
+  // The heap holds live events only (cancel removes entries eagerly), so
+  // the front's time bound is exact: nothing past `end` ever runs.
   while (!heap_.empty() && heap_.front().at <= end) {
-    if (step()) ++count;
+    step();
+    ++count;
   }
   if (now_ < end) now_ = end;
   return count;

@@ -153,13 +153,12 @@ TEST(SchedulerStressTest, RandomizedOpsMatchReferenceModel) {
   Scheduler sched;
 
   // Reference model: the queue as a flat list of entries carrying the
-  // schedule-order stamp. Cancelled entries stay listed (like the heap's
-  // stale entries) so run_until's boundary check sees them too.
+  // schedule-order stamp. cancel removes entries eagerly (the scheduler
+  // keeps no tombstones), so run_until's time bound is exact.
   struct RefEntry {
     SimTime at;
     std::uint64_t seq;
     int tag;
-    bool cancelled;
   };
   std::vector<RefEntry> ref;
   std::vector<int> actual;
@@ -175,30 +174,15 @@ TEST(SchedulerStressTest, RandomizedOpsMatchReferenceModel) {
                               return a.seq < b.seq;
                             });
   };
-  // Mirrors Scheduler::run_until including its boundary quirk: when the
-  // earliest *entry* is within `end` but cancelled, step() still executes
-  // the next armed event even if that one lies beyond `end`.
   const auto ref_run_until = [&](SimTime end) {
     for (;;) {
-      auto it = min_entry();
+      const auto it = min_entry();
       if (it == ref.end() || it->at > end) return;
-      for (;;) {
-        it = min_entry();
-        if (it == ref.end()) break;
-        const RefEntry e = *it;
-        ref.erase(it);
-        if (!e.cancelled) {
-          expected.push_back(e.tag);
-          break;
-        }
-      }
+      expected.push_back(it->tag);
+      ref.erase(it);
     }
   };
-  const auto ref_pending = [&ref] {
-    return static_cast<std::size_t>(
-        std::count_if(ref.begin(), ref.end(),
-                      [](const RefEntry& e) { return !e.cancelled; }));
-  };
+  const auto ref_pending = [&ref] { return ref.size(); };
 
   for (int round = 0; round < 4000; ++round) {
     const auto op = rng.uniform_int(0, 9);
@@ -208,7 +192,7 @@ TEST(SchedulerStressTest, RandomizedOpsMatchReferenceModel) {
       const int tag = next_tag++;
       const EventId id =
           sched.schedule_at(at, [tag, &actual] { actual.push_back(tag); });
-      ref.push_back(RefEntry{at, seq++, tag, false});
+      ref.push_back(RefEntry{at, seq++, tag});
       issued.emplace_back(id, tag);
     } else if (op < 8) {
       if (issued.empty()) continue;
@@ -217,9 +201,7 @@ TEST(SchedulerStressTest, RandomizedOpsMatchReferenceModel) {
       const auto& [id, tag] = issued[static_cast<std::size_t>(
           rng.uniform_int(0, static_cast<std::int64_t>(issued.size()) - 1))];
       sched.cancel(id);
-      for (RefEntry& e : ref) {
-        if (e.tag == tag) e.cancelled = true;
-      }
+      std::erase_if(ref, [tag](const RefEntry& e) { return e.tag == tag; });
     } else {
       const SimTime end =
           sched.now() + SimTime::microseconds(rng.uniform_int(0, 60));
@@ -273,8 +255,8 @@ TEST(SchedulerStressTest, SteadyStateEventLoopDoesNotAllocate) {
   Scheduler sched;
 
   // Self-sustaining churn: each event reschedules itself and also
-  // schedules-then-cancels a decoy, exercising the schedule, cancel, and
-  // stale-entry-pop paths every iteration.
+  // schedules-then-cancels a decoy, exercising the schedule, eager
+  // heap-removal, and pop paths every iteration.
   struct Churn {
     Scheduler* sched;
     void operator()() const {

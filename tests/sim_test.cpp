@@ -107,8 +107,7 @@ TEST(SchedulerTest, StaleIdCannotCancelRecycledSlot) {
   Scheduler sched;
   int ran = 0;
   const EventId a = sched.schedule_at(SimTime::seconds(1), [&] { ++ran; });
-  sched.cancel(a);
-  sched.run_all();  // discards the stale heap entry, recycling the slot
+  sched.cancel(a);  // removes the heap entry and recycles the slot now
   // The next event reuses the slot; the generation tag in the old id must
   // keep it from touching the new occupant.
   const EventId b = sched.schedule_after(SimTime::seconds(1), [&] { ++ran; });

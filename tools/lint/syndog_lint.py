@@ -18,6 +18,11 @@ cannot express; each rule's rationale is documented in docs/STATIC_ANALYSIS.md:
                 self-contained: a generated translation unit containing only
                 that #include must compile (-fsyntax-only).
 
+  hotpath       std::function is banned in src/sim public headers: per-event
+                callbacks must be Scheduler::Callback (util::InlineCallback,
+                allocation-free). The one sanctioned home for config-time
+                std::function seams is syndog/sim/callbacks.hpp.
+
 Stdlib-only by design — runs anywhere a Python 3.8+ interpreter exists.
 Exit status: 0 when clean, 1 when any finding is reported, 2 on usage error.
 
@@ -112,6 +117,16 @@ _RNG_OWNERS = (
 _WALL_CLOCK_OWNER_DIRS = (
     Path("src/util"),
     Path("src/obs"),
+)
+
+# The one sim header that may define std::function seam types: bound once
+# at topology wiring time, never constructed per event (see its prologue).
+_STD_FUNCTION_OWNERS = (
+    Path("src/sim/include/syndog/sim/callbacks.hpp"),
+)
+
+_STD_FUNCTION_RE = re.compile(
+    r"\bstd\s*::\s*function\b|#\s*include\s*<functional>"
 )
 
 _WAIVER_RE = re.compile(r"syndog-lint:\s*allow\(([\w.,\s-]+)\)")
@@ -218,6 +233,42 @@ def check_determinism(root: Path) -> List[Finding]:
                 if _waived(raw_line, rule):
                     continue
                 findings.append(Finding(path, lineno, rule, message))
+    return findings
+
+
+# --------------------------------------------------------------------------
+# hotpath
+
+
+def check_hotpath(root: Path) -> List[Finding]:
+    """std::function stays out of sim public headers (DES hot path)."""
+    findings: List[Finding] = []
+    owners = {(root / p).resolve() for p in _STD_FUNCTION_OWNERS}
+    include_root = root / "src" / "sim" / "include"
+    if not include_root.is_dir():
+        return findings
+    for path in sorted(include_root.rglob("*.hpp")):
+        if path.resolve() in owners:
+            continue
+        raw = path.read_text(encoding="utf-8", errors="replace")
+        stripped = _strip_comments(raw)
+        raw_lines = raw.splitlines()
+        for lineno, line in enumerate(stripped.splitlines(), start=1):
+            if not _STD_FUNCTION_RE.search(line):
+                continue
+            raw_line = raw_lines[lineno - 1] if lineno <= len(raw_lines) else ""
+            if _waived(raw_line, "hotpath.std_function"):
+                continue
+            findings.append(
+                Finding(
+                    path,
+                    lineno,
+                    "hotpath.std_function",
+                    "std::function allocates per construction; per-event "
+                    "callbacks use Scheduler::Callback (util::InlineCallback) "
+                    "and config-time seams live in syndog/sim/callbacks.hpp",
+                )
+            )
     return findings
 
 
@@ -416,8 +467,8 @@ def main(argv: Sequence[str]) -> int:
     )
     parser.add_argument(
         "--checks",
-        default="determinism,layering,headers",
-        help="comma list from {determinism, layering, headers}",
+        default="determinism,hotpath,layering,headers",
+        help="comma list from {determinism, hotpath, layering, headers}",
     )
     parser.add_argument(
         "--cxx",
@@ -438,7 +489,7 @@ def main(argv: Sequence[str]) -> int:
         return 2
 
     requested = [c.strip() for c in args.checks.split(",") if c.strip()]
-    known = {"determinism", "layering", "headers"}
+    known = {"determinism", "hotpath", "layering", "headers"}
     unknown = set(requested) - known
     if unknown:
         print(f"syndog_lint: unknown checks: {', '.join(sorted(unknown))}", file=sys.stderr)
@@ -447,6 +498,8 @@ def main(argv: Sequence[str]) -> int:
     findings: List[Finding] = []
     if "determinism" in requested:
         findings.extend(check_determinism(root))
+    if "hotpath" in requested:
+        findings.extend(check_hotpath(root))
     if "layering" in requested:
         findings.extend(check_layering(root))
     if "headers" in requested:
