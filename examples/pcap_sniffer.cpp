@@ -8,7 +8,11 @@
 // SYN / SYN-ACK counters, and runs the SYN-dog CUSUM over them.
 //
 //   $ pcap_sniffer                # self-generate syndog_demo.pcap, analyze
-//   $ pcap_sniffer capture.pcap   # analyze an existing Ethernet pcap
+//   $ pcap_sniffer capture.pcap   # analyze an existing Ethernet capture
+//
+// Analysis streams through ingest::ReplayEngine, so captures of any size
+// run in O(ring) memory and pcapng works transparently; the per-period
+// accounting below is byte-identical to the original whole-file loop.
 #include <cstdio>
 #include <fstream>
 #include <stdexcept>
@@ -18,6 +22,7 @@
 #include "syndog/classify/segment.hpp"
 #include "syndog/core/sniffer.hpp"
 #include "syndog/core/syndog.hpp"
+#include "syndog/ingest/replay.hpp"
 #include "syndog/pcap/pcap.hpp"
 #include "syndog/trace/render.hpp"
 #include "syndog/trace/site.hpp"
@@ -67,66 +72,76 @@ std::string generate_demo_capture() {
 
 }  // namespace
 
+/// Per-period SYN / SYN-ACK accounting over the replay stream: the same
+/// sniffers, detector, and period boundaries as the original whole-file
+/// loop, but fed frame-by-frame from the bounded ingest ring.
+class AnalysisSink final : public ingest::ReplaySink {
+ public:
+  void on_frame(util::SimTime at, const ingest::Frame& frame) override {
+    while (at >= period_end_) {
+      close_period();
+      period_end_ += t0_;
+    }
+    // Direction from addressing: frames sourced inside the stub (or
+    // leaving it with a spoofed source) are outbound.
+    const net::Packet& pkt = frame.packet;
+    const bool outbound_dir =
+        stub_.contains(pkt.ip.src) || !stub_.contains(pkt.ip.dst);
+    mix_.add(outbound_dir ? outbound_.on_packet(pkt)
+                          : inbound_.on_packet(pkt));
+  }
+
+  /// Closes the trailing partial period.
+  void finish() { close_period(); }
+
+  [[nodiscard]] bool alarmed() const { return alarmed_printed_; }
+  [[nodiscard]] const classify::SegmentCounters& mix() const { return mix_; }
+
+ private:
+  void close_period() {
+    const core::PeriodReport r = dog_.observe_period(
+        static_cast<std::int64_t>(outbound_.harvest()),
+        static_cast<std::int64_t>(inbound_.harvest()));
+    std::printf("%3lld  %5lld  %5lld  %+.3f  %6.3f %s\n",
+                static_cast<long long>(r.period_index),
+                static_cast<long long>(r.syn_count),
+                static_cast<long long>(r.syn_ack_count), r.x, r.y,
+                r.alarm ? "ALARM" : "");
+    if (r.alarm && !alarmed_printed_) {
+      alarmed_printed_ = true;
+      std::printf("      ^^^ SYN flooding sources inside this stub "
+                  "network\n");
+    }
+  }
+
+  net::Ipv4Prefix stub_ = *net::Ipv4Prefix::parse("10.1.0.0/16");
+  core::Sniffer outbound_{core::SnifferRole::kOutbound};
+  core::Sniffer inbound_{core::SnifferRole::kInbound};
+  core::SynDog dog_{core::SynDogParams::paper_defaults()};
+  classify::SegmentCounters mix_;
+  util::SimTime t0_ = dog_.params().observation_period;
+  util::SimTime period_end_ = t0_;
+  bool alarmed_printed_ = false;
+};
+
 int analyze(const std::string& path) {
   std::ifstream file(path, std::ios::binary);
   if (!file) {
     std::fprintf(stderr, "cannot open %s\n", path.c_str());
     return 1;
   }
-  pcap::Reader reader(file);
-  std::printf("%s: pcap v%u.%u, %s resolution, snaplen %u\n", path.c_str(),
-              reader.header().version_major, reader.header().version_minor,
-              reader.header().nanosecond ? "ns" : "us",
-              reader.header().snaplen);
-
-  // Stream the capture through the sniffers, closing out an observation
-  // period every t0 = 20 s of capture time.
-  const net::Ipv4Prefix stub = *net::Ipv4Prefix::parse("10.1.0.0/16");
-  core::Sniffer outbound(core::SnifferRole::kOutbound);
-  core::Sniffer inbound(core::SnifferRole::kInbound);
-  core::SynDog dog(core::SynDogParams::paper_defaults());
-  classify::SegmentCounters mix;
+  ingest::ReplayEngine engine(file, {});
+  AnalysisSink sink;
+  engine.add_sink(sink);
+  std::printf("%s: %s stream\n", path.c_str(),
+              engine.pipeline().format() == ingest::CaptureFormat::kPcapng
+                  ? "pcapng"
+                  : "pcap");
 
   std::printf("\n  n   SYN  SYN/ACK     Xn      yn\n");
-  const util::SimTime t0 = dog.params().observation_period;
-  util::SimTime period_end = t0;
-  bool alarmed_printed = false;
-  const auto close_period = [&] {
-    const core::PeriodReport r = dog.observe_period(
-        static_cast<std::int64_t>(outbound.harvest()),
-        static_cast<std::int64_t>(inbound.harvest()));
-    std::printf("%3lld  %5lld  %5lld  %+.3f  %6.3f %s\n",
-                static_cast<long long>(r.period_index),
-                static_cast<long long>(r.syn_count),
-                static_cast<long long>(r.syn_ack_count), r.x, r.y,
-                r.alarm ? "ALARM" : "");
-    if (r.alarm && !alarmed_printed) {
-      alarmed_printed = true;
-      std::printf("      ^^^ SYN flooding sources inside this stub "
-                  "network\n");
-    }
-  };
-
-  while (const auto rec = reader.next()) {
-    while (rec->timestamp >= period_end) {
-      close_period();
-      period_end += t0;
-    }
-    // Direction from addressing: frames sourced inside the stub (or
-    // leaving it with a spoofed source) are outbound.
-    const auto pkt = net::decode_frame(rec->data);
-    if (!pkt) continue;
-    mix.add(classify::classify_packet(*pkt));
-    const bool outbound_dir = stub.contains(pkt->ip.src) ||
-                              !stub.contains(pkt->ip.dst);
-    if (outbound_dir) {
-      outbound.on_frame(rec->data);
-    } else {
-      inbound.on_frame(rec->data);
-    }
-  }
-  close_period();
-  if (reader.truncated()) {
+  const ingest::PipelineStats& stats = engine.run();
+  sink.finish();
+  if (stats.truncated) {
     std::fprintf(stderr, "warning: capture ends mid-record\n");
   }
 
@@ -135,11 +150,11 @@ int analyze(const std::string& path) {
     std::printf("%s=%llu ",
                 std::string(classify::to_string(
                     static_cast<classify::SegmentKind>(k))).c_str(),
-                static_cast<unsigned long long>(mix.counts[k]));
+                static_cast<unsigned long long>(sink.mix().counts[k]));
   }
   std::printf("\n%llu records; detector %s\n",
-              static_cast<unsigned long long>(reader.records_read()),
-              alarmed_printed ? "ALARMED" : "saw nothing suspicious");
+              static_cast<unsigned long long>(stats.records),
+              sink.alarmed() ? "ALARMED" : "saw nothing suspicious");
   return 0;
 }
 

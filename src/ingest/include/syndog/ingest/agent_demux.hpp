@@ -1,0 +1,103 @@
+// Multi-agent capture demultiplexer.
+//
+// Routes replayed frames to per-stub first-mile deployments — each stub
+// gets its own sim::LeafRouter with a core::SynDogAgent tapped onto it —
+// so one pass over one capture drives N independent detectors, emitting
+// the same period_rollover / cusum_update / alarm telemetry as the
+// simulated topologies.
+//
+// Direction rules per frame (src/dst matched against the stub prefixes):
+//   * src in stub A, dst elsewhere   -> outbound through A's router
+//   * dst in stub B, src elsewhere   -> inbound through B's router
+//   * src in A and dst in B (A != B) -> both of the above
+//   * src and dst in the same stub   -> LAN-local; never crosses the
+//     monitored interface, counted in local_frames()
+//   * neither matches any stub       -> attributed to options.default_stub
+//     as outbound (a spoofed-source flood leaving that stub — the
+//     capture's vantage point), or counted unroutable when default_stub
+//     is -1.
+// With a single stub and default_stub = 0 this reproduces the direction
+// heuristic of examples/pcap_sniffer: outbound iff contains(src) or not
+// contains(dst).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "syndog/core/agent.hpp"
+#include "syndog/ingest/replay.hpp"
+#include "syndog/net/address.hpp"
+#include "syndog/obs/metrics.hpp"
+#include "syndog/obs/trace.hpp"
+#include "syndog/sim/scheduler.hpp"
+
+namespace syndog::ingest {
+
+struct StubSpec {
+  net::Ipv4Prefix prefix;
+  std::string name;  ///< labels telemetry; must be unique per demux
+};
+
+struct DemuxOptions {
+  core::AgentMode mode = core::AgentMode::kFirstMile;
+  /// Stub index credited with frames matching no prefix; -1 drops them
+  /// into unroutable_frames() instead.
+  int default_stub = 0;
+};
+
+class AgentDemux final : public ReplaySink {
+ public:
+  /// Builds one router + agent pair per stub on `scheduler` (typically
+  /// ReplayEngine::scheduler(); must outlive the demux). Agents start
+  /// their period timers immediately, so construct the demux before
+  /// replaying.
+  AgentDemux(sim::Scheduler& scheduler, std::vector<StubSpec> stubs,
+             core::SynDogParams params, DemuxOptions options = {});
+  ~AgentDemux() override;
+
+  AgentDemux(const AgentDemux&) = delete;
+  AgentDemux& operator=(const AgentDemux&) = delete;
+
+  /// Wires per-stub router counters ("router.<name>.*"), agent telemetry,
+  /// and demux counters ("ingest.demux.*") into the sinks. `tracer` may
+  /// be nullptr; both must outlive the demux.
+  void attach_observer(obs::EventTracer* tracer, obs::Registry& registry);
+
+  void on_frame(util::SimTime at, const Frame& frame) override;
+
+  /// Closes the final partial observation period on every agent by
+  /// advancing the shared scheduler to the next period boundary. Call
+  /// once, after the replay (not in addition to
+  /// ReplayEngine::close_final_period — they advance the same clock).
+  void close_final_period();
+
+  [[nodiscard]] std::size_t stub_count() const { return stubs_.size(); }
+  [[nodiscard]] const StubSpec& stub(std::size_t i) const;
+  [[nodiscard]] const core::SynDogAgent& agent(std::size_t i) const;
+  [[nodiscard]] const std::vector<core::AlarmEvent>& alarms(
+      std::size_t i) const;
+  /// Frames whose src and dst fall inside the same stub.
+  [[nodiscard]] std::uint64_t local_frames() const { return local_; }
+  /// Frames matching no stub while default_stub is -1.
+  [[nodiscard]] std::uint64_t unroutable_frames() const {
+    return unroutable_;
+  }
+
+ private:
+  struct Stub;
+
+  [[nodiscard]] int find_stub(net::Ipv4Address addr) const;
+
+  sim::Scheduler& scheduler_;
+  core::SynDogParams params_;
+  DemuxOptions options_;
+  std::vector<std::unique_ptr<Stub>> stubs_;
+  std::uint64_t local_ = 0;
+  std::uint64_t unroutable_ = 0;
+  obs::Counter* local_counter_ = nullptr;
+  obs::Counter* unroutable_counter_ = nullptr;
+};
+
+}  // namespace syndog::ingest

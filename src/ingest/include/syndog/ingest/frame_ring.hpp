@@ -1,0 +1,111 @@
+// Bounded single-producer / single-consumer ring of decoded frames.
+//
+// The ring is the pipeline's only buffer between the capture decoder and
+// the sinks: a fixed number of `Frame` slots allocated once at
+// construction and recycled forever, so streaming an arbitrarily large
+// capture runs in O(capacity) memory with no steady-state allocation
+// (the same slot-arena discipline as sim::PacketPool, applied to the
+// ingest side). `net::Packet` is a fixed-footprint value type, so reusing
+// a slot is a plain overwrite.
+//
+// Concurrency contract: exactly one producer thread calls try_claim() /
+// publish(); exactly one consumer thread calls readable() / release().
+// In the pipeline's default single-threaded mode both roles run on the
+// same thread and the atomics collapse to plain loads/stores. Capacity is
+// rounded up to a power of two so index masking replaces modulo.
+#pragma once
+
+#include <algorithm>
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <stdexcept>
+#include <vector>
+
+#include "syndog/net/packet.hpp"
+#include "syndog/util/time.hpp"
+
+namespace syndog::ingest {
+
+/// One decoded capture record occupying a ring slot.
+struct Frame {
+  util::SimTime at;                  ///< capture timestamp
+  net::Packet packet;                ///< decoded link/network/transport
+  std::uint32_t wire_bytes = 0;      ///< original length on the wire
+  std::uint32_t captured_bytes = 0;  ///< bytes present in the capture
+};
+
+class FrameRing {
+ public:
+  /// Rounds `capacity` up to a power of two (minimum 2) and allocates all
+  /// slots up front. This is the only allocation the ring ever performs.
+  explicit FrameRing(std::size_t capacity) {
+    if (capacity == 0) {
+      throw std::invalid_argument("FrameRing: capacity must be positive");
+    }
+    std::size_t pow2 = 2;
+    while (pow2 < capacity) pow2 <<= 1;
+    slots_.resize(pow2);
+    mask_ = pow2 - 1;
+  }
+
+  [[nodiscard]] std::size_t capacity() const { return slots_.size(); }
+  /// Occupied slots. Exact on the owning threads; a snapshot otherwise.
+  [[nodiscard]] std::size_t size() const {
+    return static_cast<std::size_t>(
+        head_.load(std::memory_order_acquire) -
+        tail_.load(std::memory_order_acquire));
+  }
+  [[nodiscard]] bool empty() const { return size() == 0; }
+
+  // -- producer side ------------------------------------------------------
+
+  /// Slot to fill next, or nullptr when the ring is full. The slot is not
+  /// visible to the consumer until publish().
+  [[nodiscard]] Frame* try_claim() {
+    const std::uint64_t head = head_.load(std::memory_order_relaxed);
+    if (head - tail_.load(std::memory_order_acquire) == slots_.size()) {
+      return nullptr;
+    }
+    return &slots_[static_cast<std::size_t>(head) & mask_];
+  }
+
+  /// Makes the slot returned by the last try_claim() visible.
+  void publish() {
+    head_.store(head_.load(std::memory_order_relaxed) + 1,
+                std::memory_order_release);
+  }
+
+  // -- consumer side ------------------------------------------------------
+
+  /// Longest contiguous run of published frames (the run stops at the
+  /// array wrap point; call again after release() for the rest).
+  [[nodiscard]] std::span<const Frame> readable() const {
+    const std::uint64_t tail = tail_.load(std::memory_order_relaxed);
+    const std::uint64_t head = head_.load(std::memory_order_acquire);
+    const std::size_t n = static_cast<std::size_t>(head - tail);
+    const std::size_t at = static_cast<std::size_t>(tail) & mask_;
+    return {slots_.data() + at, std::min(n, slots_.size() - at)};
+  }
+
+  /// Recycles the first `n` readable slots back to the producer.
+  void release(std::size_t n) {
+    const std::uint64_t tail = tail_.load(std::memory_order_relaxed);
+    if (n > static_cast<std::size_t>(
+                head_.load(std::memory_order_acquire) - tail)) {
+      throw std::logic_error("FrameRing: releasing more than readable");
+    }
+    tail_.store(tail + n, std::memory_order_release);
+  }
+
+ private:
+  std::vector<Frame> slots_;
+  std::size_t mask_ = 0;
+  /// Producer and consumer cursors on separate cache lines so the
+  /// two-thread mode does not false-share.
+  alignas(64) std::atomic<std::uint64_t> head_{0};  ///< next slot to write
+  alignas(64) std::atomic<std::uint64_t> tail_{0};  ///< next slot to read
+};
+
+}  // namespace syndog::ingest

@@ -1,0 +1,116 @@
+// Capture replay onto the discrete-event simulator clock.
+//
+// ReplayEngine owns a CapturePipeline and a sim::Scheduler and bridges
+// them: before each frame is handed to the replay sinks, the scheduler is
+// advanced to the frame's (epoch-rebased) capture timestamp, firing any
+// due timers first. Components that live on scheduler time — notably
+// core::SynDogAgent's observation-period timer — therefore behave exactly
+// as they do in simulation: a period boundary at or before a frame's
+// timestamp closes before that frame is seen, which is precisely the
+// semantics of the whole-file analysis loop in examples/pcap_sniffer.
+//
+// Two replay clocks:
+//   * kAsFastAsPossible (default): wall time never consulted; the replay
+//     is a pure function of the capture bytes.
+//   * kPaced: frames are throttled against obs::WallClock so capture time
+//     advances at `speed` x real time. Pacing only ever sleeps — it
+//     cannot reorder or drop — so results stay byte-identical to the
+//     unpaced run.
+#pragma once
+
+#include <cstdint>
+#include <istream>
+#include <span>
+#include <vector>
+
+#include "syndog/ingest/pipeline.hpp"
+#include "syndog/obs/metrics.hpp"
+#include "syndog/obs/wallclock.hpp"
+#include "syndog/sim/scheduler.hpp"
+#include "syndog/util/time.hpp"
+
+namespace syndog::ingest {
+
+enum class ReplayClock : std::uint8_t {
+  kAsFastAsPossible,
+  kPaced,  ///< throttle to `speed` x capture time per wall time
+};
+
+/// How capture timestamps map onto the scheduler's epoch-zero clock.
+enum class TimeOrigin : std::uint8_t {
+  /// kFirstFrame when the first timestamp exceeds 24 h (a real capture
+  /// stamped with an absolute epoch), kCaptureZero otherwise (synthetic
+  /// captures already start near zero).
+  kAuto,
+  kCaptureZero,  ///< use timestamps as-is
+  kFirstFrame,   ///< subtract the first frame's timestamp
+};
+
+struct ReplayConfig {
+  ReplayClock clock = ReplayClock::kAsFastAsPossible;
+  double speed = 1.0;  ///< kPaced: capture seconds per wall second
+  TimeOrigin origin = TimeOrigin::kAuto;
+  PipelineConfig pipeline;
+  void validate() const;
+};
+
+/// Receives frames in capture order; the engine's scheduler has already
+/// been advanced to `at` (so any timer due earlier has fired).
+class ReplaySink {
+ public:
+  virtual ~ReplaySink() = default;
+  virtual void on_frame(util::SimTime at, const Frame& frame) = 0;
+};
+
+class ReplayEngine final : private FrameSink {
+ public:
+  /// The stream must outlive the engine. Throws on an unrecognizable
+  /// capture format (before any record is read).
+  explicit ReplayEngine(std::istream& in, ReplayConfig cfg = {});
+
+  [[nodiscard]] sim::Scheduler& scheduler() { return scheduler_; }
+  [[nodiscard]] CapturePipeline& pipeline() { return pipeline_; }
+
+  /// Registers a replay sink (must outlive run()).
+  void add_sink(ReplaySink& sink);
+
+  /// Wires pipeline counters and scheduler instruments into `registry`.
+  void attach_observer(obs::Registry& registry);
+
+  /// Pacing seam for tests; nullptr restores the real monotonic clock.
+  void set_wall_clock(const obs::WallClock* clock);
+
+  /// Streams the whole capture. Call once.
+  const PipelineStats& run();
+
+  /// Advances the scheduler to the end of the observation period
+  /// containing the last replayed frame, closing the final partial
+  /// period — the timer analogue of the manual loop's trailing
+  /// close_period(). Call after run(), once, with the agents' t0.
+  void close_final_period(util::SimTime t0);
+
+  /// Capture timestamp subtracted from every frame (0 until the first
+  /// frame is seen under kAuto/kFirstFrame).
+  [[nodiscard]] util::SimTime epoch() const { return epoch_; }
+  [[nodiscard]] util::SimTime last_frame_at() const { return last_at_; }
+  [[nodiscard]] std::uint64_t frames_replayed() const { return frames_; }
+
+ private:
+  std::size_t on_batch(std::span<const Frame> batch) override;
+  void pace(util::SimTime at);
+
+  ReplayConfig cfg_;
+  sim::Scheduler scheduler_;
+  CapturePipeline pipeline_;
+  std::vector<ReplaySink*> sinks_;
+  obs::WallClock real_clock_;
+  const obs::WallClock* wall_;
+  bool first_seen_ = false;
+  util::SimTime epoch_ = util::SimTime::zero();
+  util::SimTime last_at_ = util::SimTime::zero();
+  std::int64_t pace_wall0_ns_ = 0;
+  util::SimTime pace_sim0_ = util::SimTime::zero();
+  std::uint64_t frames_ = 0;
+};
+
+}  // namespace syndog::ingest

@@ -1,0 +1,102 @@
+#include "syndog/ingest/replay.hpp"
+
+#include <chrono>
+#include <stdexcept>
+#include <thread>
+
+namespace syndog::ingest {
+
+namespace {
+
+/// kAuto threshold: a first timestamp beyond this is an absolute-epoch
+/// stamp from a real capture, not a synthetic zero-based trace.
+constexpr util::SimTime kAbsoluteEpochFloor = util::SimTime::seconds(86400);
+
+}  // namespace
+
+void ReplayConfig::validate() const {
+  if (clock == ReplayClock::kPaced && !(speed > 0.0)) {
+    throw std::invalid_argument("ReplayConfig: paced speed must be > 0");
+  }
+  pipeline.validate();
+}
+
+ReplayEngine::ReplayEngine(std::istream& in, ReplayConfig cfg)
+    : cfg_((cfg.validate(), cfg)),
+      pipeline_(in, cfg.pipeline),
+      wall_(&real_clock_) {
+  pipeline_.add_sink("replay", *this, BackpressurePolicy::kBlock);
+}
+
+void ReplayEngine::add_sink(ReplaySink& sink) { sinks_.push_back(&sink); }
+
+void ReplayEngine::attach_observer(obs::Registry& registry) {
+  pipeline_.attach_observer(registry);
+  scheduler_.attach_observer(&registry);
+}
+
+void ReplayEngine::set_wall_clock(const obs::WallClock* clock) {
+  wall_ = clock != nullptr ? clock : &real_clock_;
+}
+
+void ReplayEngine::pace(util::SimTime at) {
+  const double capture_ns = static_cast<double>((at - pace_sim0_).ns());
+  const std::int64_t target_wall_ns =
+      pace_wall0_ns_ + static_cast<std::int64_t>(capture_ns / cfg_.speed);
+  for (;;) {
+    const std::int64_t behind_ns = target_wall_ns - wall_->now_ns();
+    if (behind_ns <= 0) break;
+    // Sleep most of the gap, then re-check; caps per-sleep latency so a
+    // swapped-in test clock cannot strand us for the full capture span.
+    std::this_thread::sleep_for(std::chrono::nanoseconds(
+        std::min<std::int64_t>(behind_ns, 50'000'000)));
+  }
+}
+
+std::size_t ReplayEngine::on_batch(std::span<const Frame> batch) {
+  for (const Frame& frame : batch) {
+    if (!first_seen_) {
+      first_seen_ = true;
+      switch (cfg_.origin) {
+        case TimeOrigin::kCaptureZero:
+          break;
+        case TimeOrigin::kFirstFrame:
+          epoch_ = frame.at;
+          break;
+        case TimeOrigin::kAuto:
+          if (frame.at > kAbsoluteEpochFloor) epoch_ = frame.at;
+          break;
+      }
+      pace_wall0_ns_ = wall_->now_ns();
+      pace_sim0_ = frame.at - epoch_;
+    }
+    util::SimTime at = frame.at - epoch_;
+    // Out-of-order or pre-epoch timestamps cannot rewind the DES clock.
+    if (at < scheduler_.now()) at = scheduler_.now();
+    if (cfg_.clock == ReplayClock::kPaced) pace(at);
+    // Fire every timer due at or before this frame (period rollovers
+    // land before the frame that crosses the boundary, as in the
+    // whole-file analysis loop).
+    scheduler_.run_until(at);
+    for (ReplaySink* sink : sinks_) sink->on_frame(at, frame);
+    last_at_ = at;
+    ++frames_;
+  }
+  return batch.size();
+}
+
+const PipelineStats& ReplayEngine::run() {
+  pipeline_.run();
+  return pipeline_.stats();
+}
+
+void ReplayEngine::close_final_period(util::SimTime t0) {
+  if (t0 <= util::SimTime::zero()) {
+    throw std::invalid_argument("close_final_period: t0 must be positive");
+  }
+  const std::int64_t boundary_ns =
+      (scheduler_.now().ns() / t0.ns() + 1) * t0.ns();
+  scheduler_.run_until(util::SimTime::nanoseconds(boundary_ns));
+}
+
+}  // namespace syndog::ingest

@@ -77,4 +77,10 @@ struct TcpPacketSpec {
 /// transport protocol parses with all transport optionals empty.
 [[nodiscard]] std::optional<Packet> decode_frame(ByteSpan frame);
 
+/// In-place variant of decode_frame: overwrites `out` (resetting its
+/// transport optionals) and returns true on success, so streaming
+/// consumers can decode directly into recycled packet slots without a
+/// temporary. On failure `out` is left in an unspecified state.
+[[nodiscard]] bool decode_frame_into(ByteSpan frame, Packet& out);
+
 }  // namespace syndog::net

@@ -155,25 +155,28 @@ ByteBuffer encode_frame(const Packet& packet) {
   return out;
 }
 
-std::optional<Packet> decode_frame(ByteSpan frame) {
+bool decode_frame_into(ByteSpan frame, Packet& out) {
   const auto eth = parse_ethernet(frame);
-  if (!eth) return std::nullopt;
+  if (!eth) return false;
   if (eth->ether_type != static_cast<std::uint16_t>(EtherType::kIpv4)) {
-    return std::nullopt;
+    return false;
   }
   const ByteSpan ip_bytes = frame.subspan(EthernetHeader::kSize);
   const auto ip = parse_ipv4(ip_bytes);
-  if (!ip) return std::nullopt;
-  if (ip->total_length > ip_bytes.size()) return std::nullopt;
+  if (!ip) return false;
+  if (ip->total_length > ip_bytes.size()) return false;
 
-  Packet pkt;
-  pkt.eth = *eth;
-  pkt.ip = *ip;
+  out.eth = *eth;
+  out.ip = *ip;
+  out.tcp.reset();
+  out.udp.reset();
+  out.icmp.reset();
+  out.payload_bytes = 0;
 
   // Only the first fragment carries the transport header.
   if (ip->fragment_offset() != 0) {
-    pkt.payload_bytes = ip->total_length - ip->header_bytes();
-    return pkt;
+    out.payload_bytes = ip->total_length - ip->header_bytes();
+    return true;
   }
 
   const ByteSpan transport =
@@ -182,29 +185,35 @@ std::optional<Packet> decode_frame(ByteSpan frame) {
   switch (ip->protocol) {
     case static_cast<std::uint8_t>(IpProtocol::kTcp): {
       const auto tcp = parse_tcp(transport);
-      if (!tcp) return std::nullopt;
-      pkt.tcp = tcp;
-      pkt.payload_bytes = transport.size() - tcp->header_bytes();
+      if (!tcp) return false;
+      out.tcp = tcp;
+      out.payload_bytes = transport.size() - tcp->header_bytes();
       break;
     }
     case static_cast<std::uint8_t>(IpProtocol::kUdp): {
       const auto udp = parse_udp(transport);
-      if (!udp) return std::nullopt;
-      pkt.udp = udp;
-      pkt.payload_bytes = transport.size() - UdpHeader::kSize;
+      if (!udp) return false;
+      out.udp = udp;
+      out.payload_bytes = transport.size() - UdpHeader::kSize;
       break;
     }
     case static_cast<std::uint8_t>(IpProtocol::kIcmp): {
       const auto icmp = parse_icmp(transport);
-      if (!icmp) return std::nullopt;
-      pkt.icmp = icmp;
-      pkt.payload_bytes = transport.size() - IcmpHeader::kSize;
+      if (!icmp) return false;
+      out.icmp = icmp;
+      out.payload_bytes = transport.size() - IcmpHeader::kSize;
       break;
     }
     default:
-      pkt.payload_bytes = transport.size();
+      out.payload_bytes = transport.size();
       break;
   }
+  return true;
+}
+
+std::optional<Packet> decode_frame(ByteSpan frame) {
+  Packet pkt;
+  if (!decode_frame_into(frame, pkt)) return std::nullopt;
   return pkt;
 }
 

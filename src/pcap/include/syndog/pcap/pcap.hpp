@@ -44,8 +44,22 @@ struct Record {
   net::ByteBuffer data;        ///< captured bytes (possibly snapped)
 };
 
+/// Why a reader stopped yielding records. `kTruncated` is a *distinct*
+/// terminal state: the stream ended (or turned to garbage) mid-record, so
+/// the capture is damaged and counts derived from it are a lower bound.
+/// Callers that previously treated "no more records" as clean EOF can now
+/// tell the two ends apart; the ingest pipeline surfaces kTruncated as an
+/// obs counter.
+enum class ReadEnd : std::uint8_t {
+  kStreaming = 0,  ///< not terminal: more records may follow
+  kEof = 1,        ///< clean end of stream after a whole record
+  kTruncated = 2,  ///< stream ended mid-record / corrupt record framing
+};
+
 /// Streams records into a pcap file. The stream must outlive the writer.
-/// Errors (I/O failure, oversized record) throw std::runtime_error.
+/// Every write checks the ostream state and throws std::runtime_error on
+/// failure (disk full, closed pipe) instead of silently producing a short
+/// file; call flush() before relying on the bytes being on disk.
 class Writer {
  public:
   /// Writes the file header immediately.
@@ -56,6 +70,10 @@ class Writer {
   /// the full size, like a real capture with -s).
   void write(util::SimTime timestamp, net::ByteSpan frame);
 
+  /// Flushes the underlying stream and throws if any buffered byte failed
+  /// to reach it (ofstream destructors swallow that error otherwise).
+  void flush();
+
   [[nodiscard]] std::uint64_t records_written() const { return records_; }
 
  private:
@@ -65,8 +83,10 @@ class Writer {
 };
 
 /// Reads records from a pcap file, tolerating either byte order and either
-/// timestamp resolution. A malformed header throws std::runtime_error;
-/// a truncated final record is reported via truncated().
+/// timestamp resolution. A malformed header throws std::runtime_error; a
+/// stream that ends mid-record terminates with end_state() == kTruncated
+/// (never silently mistaken for clean EOF, even when the cut lands inside
+/// the first header field).
 class Reader {
  public:
   explicit Reader(std::istream& in);
@@ -74,11 +94,20 @@ class Reader {
   [[nodiscard]] const FileHeader& header() const { return header_; }
   /// Next record, or nullopt at end of file.
   [[nodiscard]] std::optional<Record> next();
+  /// Incremental form: overwrites `out`, reusing its buffer capacity so
+  /// steady-state streaming performs no allocation. Returns false at end
+  /// of stream (consult end_state() for why).
+  [[nodiscard]] bool next_into(Record& out);
   /// Remaining records in one vector.
   [[nodiscard]] std::vector<Record> read_all();
   [[nodiscard]] std::uint64_t records_read() const { return records_; }
+  /// kStreaming until next()/next_into() returns empty, then kEof or
+  /// kTruncated.
+  [[nodiscard]] ReadEnd end_state() const { return end_; }
   /// True if the file ended mid-record (damaged capture).
-  [[nodiscard]] bool truncated() const { return truncated_; }
+  [[nodiscard]] bool truncated() const {
+    return end_ == ReadEnd::kTruncated;
+  }
 
  private:
   [[nodiscard]] std::uint32_t fix32(std::uint32_t v) const;
@@ -87,7 +116,7 @@ class Reader {
   std::istream& in_;
   FileHeader header_;
   std::uint64_t records_ = 0;
-  bool truncated_ = false;
+  ReadEnd end_ = ReadEnd::kStreaming;
 };
 
 /// Convenience wrappers over file paths.

@@ -70,6 +70,9 @@ void Writer::write(util::SimTime timestamp, net::ByteSpan frame) {
   if (timestamp < util::SimTime::zero()) {
     throw std::runtime_error("pcap::Writer: negative timestamp");
   }
+  if (!out_) {
+    throw std::runtime_error("pcap::Writer: stream already in error state");
+  }
   const std::int64_t ns = timestamp.ns();
   const auto sec = static_cast<std::uint32_t>(ns / 1'000'000'000);
   const std::int64_t frac_ns = ns % 1'000'000'000;
@@ -86,6 +89,11 @@ void Writer::write(util::SimTime timestamp, net::ByteSpan frame) {
   out_.write(reinterpret_cast<const char*>(frame.data()), incl);
   if (!out_) throw std::runtime_error("pcap::Writer: record write failed");
   ++records_;
+}
+
+void Writer::flush() {
+  out_.flush();
+  if (!out_) throw std::runtime_error("pcap::Writer: flush failed");
 }
 
 Reader::Reader(std::istream& in) : in_(in) {
@@ -140,39 +148,50 @@ std::uint16_t Reader::fix16(std::uint16_t v) const {
   return header_.swapped ? byteswap16(v) : v;
 }
 
-std::optional<Record> Reader::next() {
-  std::uint32_t sec = 0;
-  if (!get_le32(in_, sec)) return std::nullopt;  // clean EOF
-  std::uint32_t frac = 0;
-  std::uint32_t incl = 0;
-  std::uint32_t orig = 0;
-  if (!get_le32(in_, frac) || !get_le32(in_, incl) || !get_le32(in_, orig)) {
-    truncated_ = true;
-    return std::nullopt;
+bool Reader::next_into(Record& out) {
+  if (end_ != ReadEnd::kStreaming) return false;
+  // Read the 16-byte record header as one block so a partial header —
+  // even a cut inside the first field, which the old field-by-field reads
+  // mistook for clean EOF — is reported as truncation.
+  std::uint8_t header[16];
+  in_.read(reinterpret_cast<char*>(header), sizeof header);
+  const auto got = static_cast<std::size_t>(in_.gcount());
+  if (got == 0) {
+    end_ = ReadEnd::kEof;
+    return false;
   }
-  sec = fix32(sec);
-  frac = fix32(frac);
-  incl = fix32(incl);
-  orig = fix32(orig);
+  if (got != sizeof header) {
+    end_ = ReadEnd::kTruncated;
+    return false;
+  }
+  const std::uint32_t sec = fix32(load_le32(header));
+  const std::uint32_t frac = fix32(load_le32(header + 4));
+  const std::uint32_t incl = fix32(load_le32(header + 8));
+  const std::uint32_t orig = fix32(load_le32(header + 12));
   if (incl > header_.snaplen + 65536) {
     // Sanity bound: a wildly large length means a corrupt record header.
-    truncated_ = true;
-    return std::nullopt;
+    end_ = ReadEnd::kTruncated;
+    return false;
   }
 
-  Record rec;
-  rec.orig_len = orig;
-  rec.data.resize(incl);
-  in_.read(reinterpret_cast<char*>(rec.data.data()), incl);
+  out.orig_len = orig;
+  out.data.resize(incl);  // reuses the buffer's capacity once warmed up
+  in_.read(reinterpret_cast<char*>(out.data.data()), incl);
   if (static_cast<std::uint32_t>(in_.gcount()) != incl) {
-    truncated_ = true;
-    return std::nullopt;
+    end_ = ReadEnd::kTruncated;
+    return false;
   }
   const std::int64_t frac_ns =
       header_.nanosecond ? frac : std::int64_t{frac} * 1'000;
-  rec.timestamp =
+  out.timestamp =
       util::SimTime::nanoseconds(std::int64_t{sec} * 1'000'000'000 + frac_ns);
   ++records_;
+  return true;
+}
+
+std::optional<Record> Reader::next() {
+  Record rec;
+  if (!next_into(rec)) return std::nullopt;
   return rec;
 }
 
@@ -192,6 +211,9 @@ void write_file(const std::string& path, const std::vector<Record>& records,
   for (const Record& rec : records) {
     writer.write(rec.timestamp, rec.data);
   }
+  // The ofstream destructor swallows flush errors; surface them here so a
+  // full disk cannot silently leave a short capture behind.
+  writer.flush();
 }
 
 std::vector<Record> read_file(const std::string& path) {

@@ -100,6 +100,11 @@ void PcapngWriter::write(util::SimTime timestamp, net::ByteSpan frame) {
   ++records_;
 }
 
+void PcapngWriter::flush() {
+  out_.flush();
+  if (!out_) throw std::runtime_error("pcapng: flush failed");
+}
+
 PcapngReader::PcapngReader(std::istream& in) : in_(in) {}
 
 std::uint32_t PcapngReader::fix32(std::uint32_t v) const {
@@ -145,38 +150,40 @@ void PcapngReader::parse_interface_block(
   interfaces_.push_back(iface);
 }
 
-std::optional<Record> PcapngReader::parse_packet_block(
-    const std::vector<std::uint8_t>& body) const {
-  if (body.size() < 20) return std::nullopt;
+bool PcapngReader::parse_packet_block(const std::vector<std::uint8_t>& body,
+                                      Record& out) const {
+  if (body.size() < 20) return false;
   const std::uint32_t iface_id = fix32(read_u32_at(body, 0));
   const std::uint64_t ticks =
       (std::uint64_t{fix32(read_u32_at(body, 4))} << 32) |
       fix32(read_u32_at(body, 8));
   const std::uint32_t incl = fix32(read_u32_at(body, 12));
   const std::uint32_t orig = fix32(read_u32_at(body, 16));
-  if (body.size() < 20 + incl) return std::nullopt;
-  if (iface_id >= interfaces_.size()) return std::nullopt;
+  if (body.size() < 20 + incl) return false;
+  if (iface_id >= interfaces_.size()) return false;
 
   const Interface& iface = interfaces_[iface_id];
-  Record rec;
-  rec.orig_len = orig;
-  rec.data.assign(body.begin() + 20, body.begin() + 20 + incl);
+  out.orig_len = orig;
+  out.data.assign(body.begin() + 20, body.begin() + 20 + incl);
   // Convert interface ticks to nanoseconds.
   const std::uint64_t tps = iface.ticks_per_second;
   const std::uint64_t seconds = ticks / tps;
   const std::uint64_t frac = ticks % tps;
-  rec.timestamp = util::SimTime::nanoseconds(
+  out.timestamp = util::SimTime::nanoseconds(
       static_cast<std::int64_t>(seconds * 1'000'000'000ULL +
                                 frac * 1'000'000'000ULL / tps));
-  return rec;
+  return true;
 }
 
-bool PcapngReader::read_block(std::optional<Record>& out) {
+bool PcapngReader::read_block(Record& out, bool& have_record) {
   std::uint8_t header[8];
   in_.read(reinterpret_cast<char*>(header), 8);
-  if (in_.gcount() == 0) return false;  // clean EOF
+  if (in_.gcount() == 0) {
+    end_ = ReadEnd::kEof;
+    return false;
+  }
   if (in_.gcount() != 8) {
-    truncated_ = true;
+    end_ = ReadEnd::kTruncated;
     return false;
   }
   std::vector<std::uint8_t> raw(header, header + 8);
@@ -189,11 +196,10 @@ bool PcapngReader::read_block(std::optional<Record>& out) {
     std::uint8_t magic_bytes[4];
     in_.read(reinterpret_cast<char*>(magic_bytes), 4);
     if (in_.gcount() != 4) {
-      truncated_ = true;
+      end_ = ReadEnd::kTruncated;
       return false;
     }
-    std::vector<std::uint8_t> m(magic_bytes, magic_bytes + 4);
-    const std::uint32_t magic = read_u32_at(m, 0);
+    const std::uint32_t magic = net::load_le32(magic_bytes);
     if (magic == kByteOrderMagic) {
       swapped_ = false;
     } else if (magic == kByteOrderMagicSwapped) {
@@ -207,22 +213,22 @@ bool PcapngReader::read_block(std::optional<Record>& out) {
     if (total < 28 || total % 4 != 0 || total > (1u << 26)) {
       throw std::runtime_error("pcapng: bad SHB length");
     }
-    std::vector<std::uint8_t> body(total - 12);
-    std::memcpy(body.data(), magic_bytes, 4);
-    in_.read(reinterpret_cast<char*>(body.data() + 4),
-             static_cast<std::streamsize>(body.size() - 4));
-    if (static_cast<std::size_t>(in_.gcount()) != body.size() - 4) {
-      truncated_ = true;
+    block_scratch_.resize(total - 12);
+    std::memcpy(block_scratch_.data(), magic_bytes, 4);
+    in_.read(reinterpret_cast<char*>(block_scratch_.data() + 4),
+             static_cast<std::streamsize>(block_scratch_.size() - 4));
+    if (static_cast<std::size_t>(in_.gcount()) != block_scratch_.size() - 4) {
+      end_ = ReadEnd::kTruncated;
       return false;
     }
     // Trailing length (ignored beyond consumption).
     char trailer[4];
     in_.read(trailer, 4);
     if (in_.gcount() != 4) {
-      truncated_ = true;
+      end_ = ReadEnd::kTruncated;
       return false;
     }
-    parse_section_header(body);
+    parse_section_header(block_scratch_);
     return true;
   }
 
@@ -234,33 +240,32 @@ bool PcapngReader::read_block(std::optional<Record>& out) {
   type = fix32(type);
   total = fix32(total);
   if (total < 12 || total % 4 != 0 || total > (1u << 26)) {
-    truncated_ = true;
+    end_ = ReadEnd::kTruncated;
     return false;
   }
-  std::vector<std::uint8_t> body(total - 12);
-  in_.read(reinterpret_cast<char*>(body.data()),
-           static_cast<std::streamsize>(body.size()));
-  if (static_cast<std::size_t>(in_.gcount()) != body.size()) {
-    truncated_ = true;
+  block_scratch_.resize(total - 12);
+  in_.read(reinterpret_cast<char*>(block_scratch_.data()),
+           static_cast<std::streamsize>(block_scratch_.size()));
+  if (static_cast<std::size_t>(in_.gcount()) != block_scratch_.size()) {
+    end_ = ReadEnd::kTruncated;
     return false;
   }
   char trailer[4];
   in_.read(trailer, 4);
   if (in_.gcount() != 4) {
-    truncated_ = true;
+    end_ = ReadEnd::kTruncated;
     return false;
   }
 
   switch (type) {
     case kInterfaceBlock:
-      parse_interface_block(body);
+      parse_interface_block(block_scratch_);
       break;
     case kEnhancedPacketBlock: {
-      auto rec = parse_packet_block(body);
-      if (rec) {
-        const std::uint32_t iface_id = fix32(read_u32_at(body, 0));
+      if (parse_packet_block(block_scratch_, out)) {
+        const std::uint32_t iface_id = fix32(read_u32_at(block_scratch_, 0));
         last_link_ = interfaces_[iface_id].link_type;
-        out = std::move(rec);
+        have_record = true;
       }
       break;
     }
@@ -271,13 +276,20 @@ bool PcapngReader::read_block(std::optional<Record>& out) {
   return true;
 }
 
-std::optional<Record> PcapngReader::next() {
-  std::optional<Record> out;
-  while (!out) {
-    if (!read_block(out)) return std::nullopt;
+bool PcapngReader::next_into(Record& out) {
+  if (end_ != ReadEnd::kStreaming) return false;
+  bool have_record = false;
+  while (!have_record) {
+    if (!read_block(out, have_record)) return false;
   }
   ++records_;
-  return out;
+  return true;
+}
+
+std::optional<Record> PcapngReader::next() {
+  Record rec;
+  if (!next_into(rec)) return std::nullopt;
+  return rec;
 }
 
 std::vector<Record> PcapngReader::read_all() {

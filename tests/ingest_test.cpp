@@ -1,0 +1,534 @@
+// Streaming capture-ingest pipeline tests: ring wraparound, backpressure
+// accounting, damaged-capture handling, replay/manual-loop equivalence,
+// and single-thread vs two-thread agreement (the threaded suite also runs
+// under tsan in CI).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <sstream>
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include "syndog/core/sniffer.hpp"
+#include "syndog/core/syndog.hpp"
+#include "syndog/ingest/agent_demux.hpp"
+#include "syndog/ingest/capture_source.hpp"
+#include "syndog/ingest/frame_ring.hpp"
+#include "syndog/ingest/pipeline.hpp"
+#include "syndog/ingest/replay.hpp"
+#include "syndog/net/packet.hpp"
+#include "syndog/obs/metrics.hpp"
+#include "syndog/pcap/pcap.hpp"
+#include "syndog/pcap/pcapng.hpp"
+#include "syndog/util/rng.hpp"
+
+namespace syndog::ingest {
+namespace {
+
+using util::SimTime;
+
+net::Packet sample_packet(std::uint32_t host, bool syn_ack) {
+  net::TcpPacketSpec spec;
+  spec.src_mac = net::MacAddress::for_host(host);
+  spec.dst_mac = net::MacAddress::for_host(0);
+  if (syn_ack) {
+    spec.src_ip = net::Ipv4Address(192, 0, 2, 1);
+    spec.dst_ip = net::Ipv4Address(10, 1, 0, static_cast<std::uint8_t>(host));
+    spec.src_port = 80;
+    spec.dst_port = static_cast<std::uint16_t>(30000 + host);
+    return net::make_syn_ack(spec);
+  }
+  spec.src_ip = net::Ipv4Address(10, 1, 0, static_cast<std::uint8_t>(host));
+  spec.dst_ip = net::Ipv4Address(192, 0, 2, 1);
+  spec.src_port = static_cast<std::uint16_t>(30000 + host);
+  spec.dst_port = 80;
+  return net::make_syn(spec);
+}
+
+/// A wire-realistic capture: outbound SYNs and inbound SYN/ACKs with
+/// increasing timestamps, `frames` records over `span`.
+std::string make_capture(std::size_t frames, SimTime span,
+                         std::uint64_t seed) {
+  util::Rng rng(seed);
+  std::ostringstream out(std::ios::binary);
+  pcap::Writer writer(out);
+  for (std::size_t i = 0; i < frames; ++i) {
+    const auto at = SimTime::nanoseconds(
+        static_cast<std::int64_t>(i) * span.ns() /
+        static_cast<std::int64_t>(frames));
+    const bool syn_ack = rng.uniform() < 0.5;
+    const auto host = static_cast<std::uint32_t>(rng.uniform_int(1, 40));
+    writer.write(at, net::encode_frame(sample_packet(host, syn_ack)));
+  }
+  writer.flush();
+  return std::move(out).str();
+}
+
+// ---------------------------------------------------------------------
+// FrameRing
+
+TEST(FrameRingTest, CapacityRoundsUpToPowerOfTwo) {
+  EXPECT_EQ(FrameRing(1).capacity(), 2u);
+  EXPECT_EQ(FrameRing(5).capacity(), 8u);
+  EXPECT_EQ(FrameRing(64).capacity(), 64u);
+  EXPECT_THROW(FrameRing(0), std::invalid_argument);
+}
+
+TEST(FrameRingTest, WraparoundPreservesOrderAndContent) {
+  FrameRing ring(4);
+  std::uint32_t produced = 0;
+  std::uint32_t consumed = 0;
+  util::Rng rng(11);
+  // Push/pop in randomized bursts so head/tail lap the array many times.
+  while (consumed < 1000) {
+    const auto burst = static_cast<std::uint32_t>(rng.uniform_int(1, 6));
+    for (std::uint32_t i = 0; i < burst; ++i) {
+      Frame* slot = ring.try_claim();
+      if (slot == nullptr) break;
+      slot->wire_bytes = produced;
+      slot->at = SimTime::nanoseconds(produced);
+      ++produced;
+      ring.publish();
+    }
+    const auto drain = static_cast<std::uint32_t>(rng.uniform_int(1, 6));
+    for (std::uint32_t i = 0; i < drain && !ring.empty(); ++i) {
+      const std::span<const Frame> run = ring.readable();
+      ASSERT_FALSE(run.empty());
+      ASSERT_EQ(run.front().wire_bytes, consumed);
+      ++consumed;
+      ring.release(1);
+    }
+  }
+  EXPECT_LE(ring.size(), ring.capacity());
+}
+
+TEST(FrameRingTest, FullRingRefusesClaim) {
+  FrameRing ring(2);
+  ASSERT_NE(ring.try_claim(), nullptr);
+  ring.publish();
+  ASSERT_NE(ring.try_claim(), nullptr);
+  ring.publish();
+  EXPECT_EQ(ring.try_claim(), nullptr);
+  ring.release(1);
+  EXPECT_NE(ring.try_claim(), nullptr);
+}
+
+TEST(FrameRingTest, OverReleaseThrows) {
+  FrameRing ring(4);
+  EXPECT_THROW(ring.release(1), std::logic_error);
+}
+
+// ---------------------------------------------------------------------
+// CaptureSource
+
+TEST(CaptureSourceTest, SniffsClassicPcap) {
+  const std::string capture = make_capture(3, SimTime::seconds(1), 1);
+  std::istringstream in(capture, std::ios::binary);
+  CaptureSource source(in);
+  EXPECT_EQ(source.format(), CaptureFormat::kPcap);
+  pcap::Record rec;
+  std::size_t n = 0;
+  while (source.next(rec)) ++n;
+  EXPECT_EQ(n, 3u);
+  EXPECT_EQ(source.end_state(), pcap::ReadEnd::kEof);
+}
+
+TEST(CaptureSourceTest, SniffsPcapng) {
+  std::stringstream buf;
+  pcap::PcapngWriter writer(buf);
+  writer.write(SimTime::seconds(1),
+               net::encode_frame(sample_packet(1, false)));
+  CaptureSource source(buf);
+  EXPECT_EQ(source.format(), CaptureFormat::kPcapng);
+  pcap::Record rec;
+  EXPECT_TRUE(source.next(rec));
+  EXPECT_FALSE(source.next(rec));
+  EXPECT_EQ(source.end_state(), pcap::ReadEnd::kEof);
+}
+
+TEST(CaptureSourceTest, RejectsGarbage) {
+  std::istringstream in("not a capture at all", std::ios::binary);
+  EXPECT_THROW(CaptureSource source(in), std::runtime_error);
+}
+
+// ---------------------------------------------------------------------
+// CapturePipeline
+
+/// Counts frames; accepts at most `accept_limit` per offer.
+class CountingSink final : public FrameSink {
+ public:
+  explicit CountingSink(std::size_t accept_limit = SIZE_MAX)
+      : accept_limit_(accept_limit) {}
+  std::size_t on_batch(std::span<const Frame> batch) override {
+    const std::size_t take = std::min(batch.size(), accept_limit_);
+    for (const Frame& f : batch.first(take)) {
+      total_ += 1;
+      bytes_ += f.captured_bytes;
+      last_at_ = f.at;
+    }
+    ++offers_;
+    max_batch_ = std::max(max_batch_, batch.size());
+    return take;
+  }
+  std::uint64_t total_ = 0;
+  std::uint64_t bytes_ = 0;
+  std::uint64_t offers_ = 0;
+  std::size_t max_batch_ = 0;
+  SimTime last_at_;
+
+ private:
+  std::size_t accept_limit_;
+};
+
+TEST(PipelineTest, DeliversEveryFrameInOrder) {
+  const std::string capture = make_capture(500, SimTime::seconds(10), 2);
+  std::istringstream in(capture, std::ios::binary);
+  PipelineConfig cfg;
+  cfg.ring_capacity = 16;  // force many fill/drain cycles and wraps
+  cfg.batch_size = 5;
+  CapturePipeline pipeline(in, cfg);
+  CountingSink sink;
+  pipeline.add_sink("count", sink);
+  pipeline.run();
+  EXPECT_EQ(sink.total_, 500u);
+  EXPECT_EQ(pipeline.stats().frames, 500u);
+  EXPECT_EQ(pipeline.stats().records, 500u);
+  EXPECT_EQ(pipeline.stats().bytes, sink.bytes_);
+  EXPECT_LE(sink.max_batch_, 5u);
+  EXPECT_EQ(pipeline.delivered(0), 500u);
+  EXPECT_EQ(pipeline.dropped(0), 0u);
+  EXPECT_FALSE(pipeline.stats().truncated);
+}
+
+TEST(PipelineTest, BackpressureAccountingIsExact) {
+  // Property: for randomized ring/batch/acceptance shapes, every frame is
+  // either delivered or dropped — never both, never lost.
+  util::Rng rng(33);
+  for (int trial = 0; trial < 20; ++trial) {
+    const auto frames =
+        static_cast<std::size_t>(rng.uniform_int(50, 400));
+    const std::string capture =
+        make_capture(frames, SimTime::seconds(5),
+                     static_cast<std::uint64_t>(trial) + 100);
+    std::istringstream in(capture, std::ios::binary);
+    PipelineConfig cfg;
+    cfg.ring_capacity = static_cast<std::size_t>(rng.uniform_int(2, 64));
+    cfg.batch_size = static_cast<std::size_t>(rng.uniform_int(1, 17));
+    CapturePipeline pipeline(in, cfg);
+
+    CountingSink blocking(
+        static_cast<std::size_t>(rng.uniform_int(1, 8)));
+    CountingSink lossy(static_cast<std::size_t>(rng.uniform_int(1, 4)));
+    pipeline.add_sink("blocking", blocking, BackpressurePolicy::kBlock);
+    pipeline.add_sink("lossy", lossy, BackpressurePolicy::kDropNewest);
+    pipeline.run();
+
+    // kBlock: everything arrives, re-offered as often as needed.
+    EXPECT_EQ(blocking.total_, frames) << "trial " << trial;
+    EXPECT_EQ(pipeline.delivered(0), frames);
+    EXPECT_EQ(pipeline.dropped(0), 0u);
+    // kDropNewest: exact conservation of delivered + dropped.
+    EXPECT_EQ(lossy.total_, pipeline.delivered(1)) << "trial " << trial;
+    EXPECT_EQ(pipeline.delivered(1) + pipeline.dropped(1), frames)
+        << "trial " << trial;
+  }
+}
+
+TEST(PipelineTest, StalledBlockingSinkThrows) {
+  const std::string capture = make_capture(10, SimTime::seconds(1), 3);
+  std::istringstream in(capture, std::ios::binary);
+  CapturePipeline pipeline(in, {});
+  CountingSink stalled(0);  // never accepts anything
+  pipeline.add_sink("stalled", stalled, BackpressurePolicy::kBlock);
+  EXPECT_THROW(pipeline.run(), std::runtime_error);
+}
+
+TEST(PipelineTest, TruncatedCaptureIsCountedNotSilent) {
+  std::string capture = make_capture(20, SimTime::seconds(2), 4);
+  capture.resize(capture.size() - 7);  // tear the last record
+  std::istringstream in(capture, std::ios::binary);
+  CapturePipeline pipeline(in, {});
+  CountingSink sink;
+  pipeline.add_sink("count", sink);
+  obs::Registry registry;
+  pipeline.attach_observer(registry);
+  pipeline.run();
+  EXPECT_EQ(sink.total_, 19u);
+  EXPECT_TRUE(pipeline.stats().truncated);
+  EXPECT_EQ(pipeline.end_state(), pcap::ReadEnd::kTruncated);
+  EXPECT_EQ(registry.counter("ingest.truncated_captures").value(), 1u);
+  EXPECT_EQ(registry.counter("ingest.frames").value(), 19u);
+  EXPECT_EQ(registry.counter("ingest.sink.count.delivered").value(), 19u);
+}
+
+TEST(PipelineTest, GarbageTailStopsWithTruncation) {
+  // A valid capture followed by non-pcap bytes: the tail must terminate
+  // the stream as damage, not crash or spin.
+  std::string capture = make_capture(5, SimTime::seconds(1), 5);
+  capture += "GARBAGE GARBAGE";  // 15 bytes: a torn record header
+  std::istringstream in(capture, std::ios::binary);
+  CapturePipeline pipeline(in, {});
+  CountingSink sink;
+  pipeline.add_sink("count", sink);
+  pipeline.run();
+  EXPECT_EQ(sink.total_, 5u);
+  EXPECT_TRUE(pipeline.stats().truncated);
+}
+
+TEST(PipelineTest, SkipsUndecodableRecords) {
+  std::ostringstream out(std::ios::binary);
+  pcap::Writer writer(out);
+  writer.write(SimTime::seconds(1),
+               net::encode_frame(sample_packet(1, false)));
+  const net::ByteBuffer junk(30, 0xEE);  // not an Ethernet/IPv4 frame
+  writer.write(SimTime::seconds(2), junk);
+  writer.write(SimTime::seconds(3),
+               net::encode_frame(sample_packet(2, true)));
+  const std::string capture = std::move(out).str();
+
+  std::istringstream in(capture, std::ios::binary);
+  CapturePipeline pipeline(in, {});
+  CountingSink sink;
+  pipeline.add_sink("count", sink);
+  pipeline.run();
+  EXPECT_EQ(pipeline.stats().records, 3u);
+  EXPECT_EQ(pipeline.stats().frames, 2u);
+  EXPECT_EQ(pipeline.stats().decode_failures, 1u);
+  EXPECT_EQ(sink.total_, 2u);
+}
+
+// ---------------------------------------------------------------------
+// ReplayEngine + AgentDemux vs the manual whole-file loop
+
+struct ManualResult {
+  std::vector<std::int64_t> syns;
+  std::vector<std::int64_t> syn_acks;
+  std::vector<bool> alarms;
+};
+
+/// The examples/pcap_sniffer accounting, verbatim: whole file in memory,
+/// periods closed by timestamp comparison.
+ManualResult manual_loop(const std::string& capture,
+                         const core::SynDogParams& params) {
+  ManualResult result;
+  std::istringstream in(capture, std::ios::binary);
+  pcap::Reader reader(in);
+  const net::Ipv4Prefix stub = *net::Ipv4Prefix::parse("10.1.0.0/16");
+  core::Sniffer outbound(core::SnifferRole::kOutbound);
+  core::Sniffer inbound(core::SnifferRole::kInbound);
+  core::SynDog dog(params);
+  const SimTime t0 = params.observation_period;
+  SimTime period_end = t0;
+  const auto close_period = [&] {
+    const core::PeriodReport r = dog.observe_period(
+        static_cast<std::int64_t>(outbound.harvest()),
+        static_cast<std::int64_t>(inbound.harvest()));
+    result.syns.push_back(r.syn_count);
+    result.syn_acks.push_back(r.syn_ack_count);
+    result.alarms.push_back(r.alarm);
+  };
+  while (const auto rec = reader.next()) {
+    while (rec->timestamp >= period_end) {
+      close_period();
+      period_end += t0;
+    }
+    const auto pkt = net::decode_frame(rec->data);
+    if (!pkt) continue;
+    const bool outbound_dir =
+        stub.contains(pkt->ip.src) || !stub.contains(pkt->ip.dst);
+    if (outbound_dir) {
+      outbound.on_frame(rec->data);
+    } else {
+      inbound.on_frame(rec->data);
+    }
+  }
+  close_period();
+  return result;
+}
+
+TEST(ReplayEquivalenceTest, DemuxMatchesManualLoopPerPeriod) {
+  // 2000 frames over 130 s -> 6 full periods plus a partial seventh.
+  const std::string capture =
+      make_capture(2000, SimTime::seconds(130), 77);
+  const core::SynDogParams params = core::SynDogParams::paper_defaults();
+  const ManualResult manual = manual_loop(capture, params);
+
+  std::istringstream in(capture, std::ios::binary);
+  ReplayEngine engine(in, {});
+  AgentDemux demux(engine.scheduler(),
+                   {{*net::Ipv4Prefix::parse("10.1.0.0/16"), "stub"}},
+                   params);
+  engine.add_sink(demux);
+  engine.run();
+  demux.close_final_period();
+
+  const auto& history = demux.agent(0).history();
+  ASSERT_EQ(history.size(), manual.syns.size());
+  ASSERT_EQ(history.size(), 7u);
+  for (std::size_t i = 0; i < history.size(); ++i) {
+    EXPECT_EQ(history[i].syn_count, manual.syns[i]) << "period " << i;
+    EXPECT_EQ(history[i].syn_ack_count, manual.syn_acks[i])
+        << "period " << i;
+    EXPECT_EQ(history[i].alarm, manual.alarms[i]) << "period " << i;
+  }
+}
+
+TEST(ReplayEngineTest, AutoOriginRebasesAbsoluteTimestamps) {
+  // Same frames, stamped as if captured in 2024: the engine must rebase
+  // to the first frame instead of spinning years of period timers.
+  const std::int64_t epoch_ns = 1'700'000'000LL * 1'000'000'000LL;
+  std::ostringstream out(std::ios::binary);
+  pcap::Writer writer(out);
+  for (int i = 0; i < 10; ++i) {
+    writer.write(SimTime::nanoseconds(epoch_ns + i * 1'000'000'000LL),
+                 net::encode_frame(sample_packet(
+                     static_cast<std::uint32_t>(i + 1), false)));
+  }
+  const std::string capture = std::move(out).str();
+  std::istringstream in(capture, std::ios::binary);
+  ReplayEngine engine(in, {});
+  engine.run();
+  EXPECT_EQ(engine.epoch().ns(), epoch_ns);
+  EXPECT_EQ(engine.last_frame_at().ns(), 9'000'000'000LL);
+  EXPECT_EQ(engine.frames_replayed(), 10u);
+}
+
+TEST(ReplayEngineTest, MultiStubDemuxRoutesBothDirections) {
+  // Stub A floods an external victim; stub B only answers handshakes.
+  std::ostringstream out(std::ios::binary);
+  pcap::Writer writer(out);
+  std::int64_t ns = 0;
+  for (int i = 0; i < 400; ++i) {
+    net::TcpPacketSpec spec;
+    spec.src_mac = net::MacAddress::for_host(1);
+    spec.dst_mac = net::MacAddress::for_host(0);
+    spec.src_ip = net::Ipv4Address(10, 1, 0, 5);   // stub A
+    spec.dst_ip = net::Ipv4Address(192, 0, 2, 9);  // external
+    spec.src_port = 1234;
+    spec.dst_port = 80;
+    writer.write(SimTime::nanoseconds(ns += 100'000'000),
+                 net::encode_frame(net::make_syn(spec)));
+    if (i % 4 == 0) {
+      net::TcpPacketSpec reply;
+      reply.src_mac = net::MacAddress::for_host(0);
+      reply.dst_mac = net::MacAddress::for_host(2);
+      reply.src_ip = net::Ipv4Address(192, 0, 2, 9);
+      reply.dst_ip = net::Ipv4Address(10, 2, 0, 7);  // stub B
+      reply.src_port = 80;
+      reply.dst_port = 999;
+      writer.write(SimTime::nanoseconds(ns),
+                   net::encode_frame(net::make_syn_ack(reply)));
+    }
+  }
+  const std::string capture = std::move(out).str();
+
+  std::istringstream in(capture, std::ios::binary);
+  ReplayEngine engine(in, {});
+  AgentDemux demux(engine.scheduler(),
+                   {{*net::Ipv4Prefix::parse("10.1.0.0/16"), "a"},
+                    {*net::Ipv4Prefix::parse("10.2.0.0/16"), "b"}},
+                   core::SynDogParams::paper_defaults());
+  engine.add_sink(demux);
+  engine.run();
+  demux.close_final_period();
+
+  // Stub A saw a one-sided SYN flood: its CUSUM must alarm. Stub B saw
+  // only inbound SYN/ACKs: quiet.
+  EXPECT_FALSE(demux.alarms(0).empty());
+  EXPECT_TRUE(demux.alarms(1).empty());
+  std::int64_t a_syns = 0;
+  for (const auto& r : demux.agent(0).history()) a_syns += r.syn_count;
+  EXPECT_EQ(a_syns, 400);
+}
+
+TEST(ReplayEngineTest, PacedReplayMatchesUnpacedResults) {
+  const std::string capture = make_capture(300, SimTime::seconds(45), 9);
+  const auto run_with = [&](ReplayClock clock) {
+    std::istringstream in(capture, std::ios::binary);
+    ReplayConfig cfg;
+    cfg.clock = clock;
+    cfg.speed = 1e9;  // paced, but effectively instant for the test
+    ReplayEngine engine(in, cfg);
+    AgentDemux demux(engine.scheduler(),
+                     {{*net::Ipv4Prefix::parse("10.1.0.0/16"), "stub"}},
+                     core::SynDogParams::paper_defaults());
+    engine.add_sink(demux);
+    engine.run();
+    demux.close_final_period();
+    std::vector<std::int64_t> counts;
+    for (const auto& r : demux.agent(0).history()) {
+      counts.push_back(r.syn_count);
+      counts.push_back(r.syn_ack_count);
+    }
+    return counts;
+  };
+  EXPECT_EQ(run_with(ReplayClock::kAsFastAsPossible),
+            run_with(ReplayClock::kPaced));
+}
+
+// ---------------------------------------------------------------------
+// Two-thread mode (suite name is matched by the CI tsan job)
+
+TEST(IngestThreadedTest, ThreadedCountsMatchSingleThreaded) {
+  const std::string capture =
+      make_capture(3000, SimTime::seconds(60), 21);
+  const auto run_with = [&](bool threaded) {
+    std::istringstream in(capture, std::ios::binary);
+    PipelineConfig cfg;
+    cfg.ring_capacity = 8;  // small ring: force producer/consumer contention
+    cfg.batch_size = 3;
+    cfg.threaded = threaded;
+    CapturePipeline pipeline(in, cfg);
+    CountingSink sink;
+    pipeline.add_sink("count", sink);
+    pipeline.run();
+    EXPECT_EQ(pipeline.delivered(0), sink.total_);
+    return std::tuple{sink.total_, sink.bytes_, sink.last_at_,
+                      pipeline.stats().records};
+  };
+  EXPECT_EQ(run_with(false), run_with(true));
+}
+
+TEST(IngestThreadedTest, ThreadedReplayEquivalence) {
+  const std::string capture =
+      make_capture(1500, SimTime::seconds(90), 22);
+  const auto run_with = [&](bool threaded) {
+    std::istringstream in(capture, std::ios::binary);
+    ReplayConfig cfg;
+    cfg.pipeline.threaded = threaded;
+    cfg.pipeline.ring_capacity = 8;
+    ReplayEngine engine(in, cfg);
+    AgentDemux demux(engine.scheduler(),
+                     {{*net::Ipv4Prefix::parse("10.1.0.0/16"), "stub"}},
+                     core::SynDogParams::paper_defaults());
+    engine.add_sink(demux);
+    engine.run();
+    demux.close_final_period();
+    std::vector<std::int64_t> counts;
+    for (const auto& r : demux.agent(0).history()) {
+      counts.push_back(r.syn_count);
+      counts.push_back(r.syn_ack_count);
+    }
+    return counts;
+  };
+  const auto single = run_with(false);
+  EXPECT_FALSE(single.empty());
+  EXPECT_EQ(single, run_with(true));
+}
+
+TEST(IngestThreadedTest, ThreadedStalledSinkStillThrows) {
+  const std::string capture = make_capture(50, SimTime::seconds(2), 23);
+  std::istringstream in(capture, std::ios::binary);
+  PipelineConfig cfg;
+  cfg.threaded = true;
+  cfg.ring_capacity = 4;
+  CapturePipeline pipeline(in, cfg);
+  CountingSink stalled(0);
+  pipeline.add_sink("stalled", stalled, BackpressurePolicy::kBlock);
+  EXPECT_THROW(pipeline.run(), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace syndog::ingest

@@ -171,5 +171,96 @@ TEST(PcapTest, ReadAllDrainsEverything) {
   EXPECT_EQ(reader.records_read(), 10u);
 }
 
+TEST(PcapTest, EndStateDistinguishesEofFromTruncation) {
+  std::stringstream buf;
+  Writer writer(buf);
+  writer.write(util::SimTime::seconds(1), sample_frame(1));
+  Reader reader(buf);
+  EXPECT_EQ(reader.end_state(), ReadEnd::kStreaming);
+  EXPECT_TRUE(reader.next().has_value());
+  EXPECT_EQ(reader.end_state(), ReadEnd::kStreaming);
+  EXPECT_FALSE(reader.next().has_value());
+  EXPECT_EQ(reader.end_state(), ReadEnd::kEof);
+  EXPECT_FALSE(reader.truncated());
+  // Terminal: further calls stay at EOF without touching the stream.
+  EXPECT_FALSE(reader.next().has_value());
+  EXPECT_EQ(reader.end_state(), ReadEnd::kEof);
+}
+
+TEST(PcapTest, PartialRecordHeaderIsTruncationNotEof) {
+  // Cut *inside* the 16-byte record header — including inside its first
+  // field, which a field-by-field reader cannot tell from clean EOF.
+  std::stringstream buf;
+  Writer writer(buf);
+  writer.write(util::SimTime::seconds(1), sample_frame(1));
+  writer.write(util::SimTime::seconds(2), sample_frame(2));
+  const std::string full = buf.str();
+  const std::size_t second_record = full.size() - (16 + sample_frame(2).size());
+  for (const std::size_t partial : {1u, 3u, 8u, 15u}) {
+    std::stringstream damaged(full.substr(0, second_record + partial));
+    Reader reader(damaged);
+    EXPECT_TRUE(reader.next().has_value());
+    EXPECT_FALSE(reader.next().has_value());
+    EXPECT_EQ(reader.end_state(), ReadEnd::kTruncated)
+        << "partial header of " << partial << " bytes";
+  }
+}
+
+TEST(PcapTest, NextIntoReusesCallerBuffer) {
+  std::stringstream buf;
+  Writer writer(buf);
+  writer.write(util::SimTime::seconds(1), sample_frame(1));
+  writer.write(util::SimTime::seconds(2), sample_frame(2));
+  Reader reader(buf);
+  Record rec;
+  ASSERT_TRUE(reader.next_into(rec));
+  EXPECT_EQ(rec.data, sample_frame(1));
+  const auto* before = rec.data.data();
+  ASSERT_TRUE(reader.next_into(rec));
+  EXPECT_EQ(rec.data, sample_frame(2));
+  EXPECT_EQ(rec.data.data(), before);  // same-size record: no reallocation
+  EXPECT_FALSE(reader.next_into(rec));
+}
+
+/// Accepts nothing: every write fails immediately (disk-full stand-in).
+class RefusingBuf final : public std::streambuf {
+ protected:
+  int_type overflow(int_type) override { return traits_type::eof(); }
+  std::streamsize xsputn(const char*, std::streamsize) override { return 0; }
+};
+
+/// Swallows writes but fails on sync (buffered disk-full stand-in).
+class UnsyncableBuf final : public std::streambuf {
+ protected:
+  int_type overflow(int_type ch) override { return ch; }
+  std::streamsize xsputn(const char*, std::streamsize n) override {
+    return n;
+  }
+  int sync() override { return -1; }
+};
+
+TEST(PcapTest, WriterFailsLoudlyWhenStreamRefusesBytes) {
+  RefusingBuf refusing;
+  std::ostream out(&refusing);
+  EXPECT_THROW(Writer writer(out), std::runtime_error);
+}
+
+TEST(PcapTest, WriteAfterStreamErrorThrowsInsteadOfSilentLoss) {
+  std::stringstream buf;
+  Writer writer(buf);
+  writer.write(util::SimTime::seconds(1), sample_frame(1));
+  buf.setstate(std::ios::badbit);
+  EXPECT_THROW(writer.write(util::SimTime::seconds(2), sample_frame(2)),
+               std::runtime_error);
+}
+
+TEST(PcapTest, FlushSurfacesSyncFailure) {
+  UnsyncableBuf unsyncable;
+  std::ostream out(&unsyncable);
+  Writer writer(out);
+  writer.write(util::SimTime::seconds(1), sample_frame(1));
+  EXPECT_THROW(writer.flush(), std::runtime_error);
+}
+
 }  // namespace
 }  // namespace syndog::pcap

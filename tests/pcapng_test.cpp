@@ -150,6 +150,72 @@ TEST(PcapngTest, RejectsGarbageMagic) {
   EXPECT_THROW((void)reader.next(), std::runtime_error);
 }
 
+TEST(PcapngTest, EndStateDistinguishesEofFromTruncation) {
+  std::stringstream buf;
+  PcapngWriter writer(buf);
+  writer.write(util::SimTime::seconds(1), sample_frame(1));
+  const std::string full = buf.str();
+  {
+    std::stringstream clean(full);
+    PcapngReader reader(clean);
+    EXPECT_EQ(reader.end_state(), ReadEnd::kStreaming);
+    EXPECT_TRUE(reader.next().has_value());
+    EXPECT_FALSE(reader.next().has_value());
+    EXPECT_EQ(reader.end_state(), ReadEnd::kEof);
+    // Terminal: repeated calls do not flip the state.
+    EXPECT_FALSE(reader.next().has_value());
+    EXPECT_EQ(reader.end_state(), ReadEnd::kEof);
+  }
+  {
+    // Cut inside the 8-byte block header of the EPB.
+    std::stringstream damaged(full.substr(0, full.size() -
+                                                 sample_frame(1).size() -
+                                                 20 - 12 + 5));
+    PcapngReader reader(damaged);
+    EXPECT_FALSE(reader.next().has_value());
+    EXPECT_EQ(reader.end_state(), ReadEnd::kTruncated);
+  }
+}
+
+TEST(PcapngTest, NextIntoStreamsWithoutReallocation) {
+  std::stringstream buf;
+  PcapngWriter writer(buf);
+  for (int i = 1; i <= 4; ++i) {
+    writer.write(util::SimTime::seconds(i),
+                 sample_frame(static_cast<std::uint32_t>(i)));
+  }
+  PcapngReader reader(buf);
+  Record rec;
+  ASSERT_TRUE(reader.next_into(rec));
+  EXPECT_EQ(rec.data, sample_frame(1));
+  const auto* before = rec.data.data();
+  for (std::uint32_t i = 2; i <= 4; ++i) {
+    ASSERT_TRUE(reader.next_into(rec));
+    EXPECT_EQ(rec.data, sample_frame(i));
+    EXPECT_EQ(rec.data.data(), before);  // equal-size records: no realloc
+  }
+  EXPECT_FALSE(reader.next_into(rec));
+  EXPECT_EQ(reader.records_read(), 4u);
+}
+
+/// Swallows writes but fails on sync (buffered disk-full stand-in).
+class UnsyncableBuf final : public std::streambuf {
+ protected:
+  int_type overflow(int_type ch) override { return ch; }
+  std::streamsize xsputn(const char*, std::streamsize n) override {
+    return n;
+  }
+  int sync() override { return -1; }
+};
+
+TEST(PcapngTest, FlushSurfacesSyncFailure) {
+  UnsyncableBuf unsyncable;
+  std::ostream out(&unsyncable);
+  PcapngWriter writer(out);
+  writer.write(util::SimTime::seconds(1), sample_frame(1));
+  EXPECT_THROW(writer.flush(), std::runtime_error);
+}
+
 TEST(ReadAnyCaptureTest, DispatchesOnMagic) {
   const net::ByteBuffer frame = sample_frame(3);
   {

@@ -1,0 +1,37 @@
+# Runs bench_replay_throughput --deterministic twice into separate sidecar
+# directories and requires the BENCH_replay_throughput.json exports to be
+# byte-identical.  Guards the ingest pipeline's determinism contract: with
+# wall-derived scalars suppressed, a replay is a pure function of the
+# capture bytes and the pipeline configuration.
+#
+# Usage: cmake -DBENCH=<path-to-bench_replay_throughput> -DWORK=<dir>
+#              -P replay_determinism.cmake
+if(NOT BENCH OR NOT WORK)
+  message(FATAL_ERROR "replay_determinism.cmake needs -DBENCH= and -DWORK=")
+endif()
+
+foreach(run a b)
+  file(REMOVE_RECURSE "${WORK}/${run}")
+  file(MAKE_DIRECTORY "${WORK}/${run}")
+  execute_process(
+    COMMAND ${CMAKE_COMMAND} -E env SYNDOG_BENCH_DIR=${WORK}/${run}
+            ${BENCH} --deterministic
+    RESULT_VARIABLE status
+    OUTPUT_VARIABLE out
+    ERROR_VARIABLE out)
+  if(NOT status EQUAL 0)
+    message(FATAL_ERROR "run ${run} failed (${status}):\n${out}")
+  endif()
+endforeach()
+
+execute_process(
+  COMMAND ${CMAKE_COMMAND} -E compare_files
+          "${WORK}/a/BENCH_replay_throughput.json"
+          "${WORK}/b/BENCH_replay_throughput.json"
+  RESULT_VARIABLE same)
+if(NOT same EQUAL 0)
+  file(READ "${WORK}/a/BENCH_replay_throughput.json" a_json)
+  file(READ "${WORK}/b/BENCH_replay_throughput.json" b_json)
+  message(FATAL_ERROR "deterministic replay sidecars differ:\n"
+                      "--- run a ---\n${a_json}\n--- run b ---\n${b_json}")
+endif()

@@ -67,6 +67,7 @@ LAYER_DEPS: Dict[str, Set[str]] = {
     "attack": {"util"},
     "traceback": {"util"},
     "core": {"classify", "detect", "net", "obs", "sim", "stats", "util"},
+    "ingest": {"core", "net", "obs", "pcap", "sim", "util"},
 }
 
 # Determinism rules: (rule id, compiled regex, message). Applied to
@@ -119,8 +120,17 @@ _WALL_CLOCK_OWNER_DIRS = (
     Path("src/obs"),
 )
 
-# The one sim header that may define std::function seam types: bound once
-# at topology wiring time, never constructed per event (see its prologue).
+# Public-header trees where per-event work must stay allocation-free:
+# the DES hot path and the capture-ingest hot path.
+_HOTPATH_INCLUDE_ROOTS = (
+    Path("src/sim/include"),
+    Path("src/ingest/include"),
+)
+
+# The one hot-path header that may define std::function seam types: bound
+# once at topology wiring time, never constructed per event (see its
+# prologue). Ingest headers have no such carve-out: their seams are
+# virtual interfaces (FrameSink / ReplaySink).
 _STD_FUNCTION_OWNERS = (
     Path("src/sim/include/syndog/sim/callbacks.hpp"),
 )
@@ -241,34 +251,38 @@ def check_determinism(root: Path) -> List[Finding]:
 
 
 def check_hotpath(root: Path) -> List[Finding]:
-    """std::function stays out of sim public headers (DES hot path)."""
+    """std::function stays out of hot-path public headers (sim, ingest)."""
     findings: List[Finding] = []
     owners = {(root / p).resolve() for p in _STD_FUNCTION_OWNERS}
-    include_root = root / "src" / "sim" / "include"
-    if not include_root.is_dir():
-        return findings
-    for path in sorted(include_root.rglob("*.hpp")):
-        if path.resolve() in owners:
+    for rel in _HOTPATH_INCLUDE_ROOTS:
+        include_root = root / rel
+        if not include_root.is_dir():
             continue
-        raw = path.read_text(encoding="utf-8", errors="replace")
-        stripped = _strip_comments(raw)
-        raw_lines = raw.splitlines()
-        for lineno, line in enumerate(stripped.splitlines(), start=1):
-            if not _STD_FUNCTION_RE.search(line):
+        for path in sorted(include_root.rglob("*.hpp")):
+            if path.resolve() in owners:
                 continue
-            raw_line = raw_lines[lineno - 1] if lineno <= len(raw_lines) else ""
-            if _waived(raw_line, "hotpath.std_function"):
-                continue
-            findings.append(
-                Finding(
-                    path,
-                    lineno,
-                    "hotpath.std_function",
-                    "std::function allocates per construction; per-event "
-                    "callbacks use Scheduler::Callback (util::InlineCallback) "
-                    "and config-time seams live in syndog/sim/callbacks.hpp",
+            raw = path.read_text(encoding="utf-8", errors="replace")
+            stripped = _strip_comments(raw)
+            raw_lines = raw.splitlines()
+            for lineno, line in enumerate(stripped.splitlines(), start=1):
+                if not _STD_FUNCTION_RE.search(line):
+                    continue
+                raw_line = (
+                    raw_lines[lineno - 1] if lineno <= len(raw_lines) else ""
                 )
-            )
+                if _waived(raw_line, "hotpath.std_function"):
+                    continue
+                findings.append(
+                    Finding(
+                        path,
+                        lineno,
+                        "hotpath.std_function",
+                        "std::function allocates per construction; per-event "
+                        "callbacks use Scheduler::Callback "
+                        "(util::InlineCallback) or a virtual sink interface; "
+                        "config-time seams live in syndog/sim/callbacks.hpp",
+                    )
+                )
     return findings
 
 
