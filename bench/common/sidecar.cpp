@@ -19,6 +19,9 @@ namespace {
 // a rollover + a CUSUM update, so 64k events hold several trials.
 constexpr std::size_t kTracerCapacity = 1 << 16;
 
+// Bench harness singleton: bench binaries are single-threaded and the
+// pointer is written once at startup, read once by the atexit hook.
+// syndog-lint: allow-next-line(concurrency.shared_mutable_static) -- single-threaded bench singleton
 std::unique_ptr<Sidecar> g_sidecar;
 
 void write_sidecar_at_exit() {

@@ -188,6 +188,7 @@ int main(int argc, char** argv) {
     const std::string arg = argv[i];
     const auto value = [&]() -> const char* {
       if (i + 1 >= argc) {
+        // NOLINTNEXTLINE(concurrency-mt-unsafe) -- CLI arg parsing, pre-threads
         std::exit(usage(argv[0]));
       }
       return argv[++i];

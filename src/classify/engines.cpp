@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "syndog/util/sorted.hpp"
+
 namespace syndog::classify {
 
 namespace {
@@ -170,8 +172,8 @@ void TupleSpaceClassifier::build() {
         .push_back(i);
   }
   for (Tuple& tuple : tuples_) {
-    for (auto& [key, indices] : tuple.buckets) {
-      std::sort(indices.begin(), indices.end());
+    for (auto* entry : util::sorted_items(tuple.buckets)) {
+      std::sort(entry->second.begin(), entry->second.end());
     }
   }
   built_ = true;

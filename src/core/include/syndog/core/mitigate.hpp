@@ -65,7 +65,11 @@ class SynCache {
  public:
   explicit SynCache(std::size_t capacity);
 
-  enum class AdmitResult { kAdmitted, kDuplicate, kAdmittedWithEviction };
+  enum class AdmitResult : std::uint8_t {
+    kAdmitted,
+    kDuplicate,
+    kAdmittedWithEviction
+  };
 
   AdmitResult admit(const ConnKey& key, util::SimTime now);
   /// Final ACK arrived: true if the entry was present (handshake

@@ -19,6 +19,8 @@
 // With a single stub and default_stub = 0 this reproduces the direction
 // heuristic of examples/pcap_sniffer: outbound iff contains(src) or not
 // contains(dst).
+// syndog-lint: hotpath-file -- steady state must not allocate; see
+// `syndog_lint --explain hotpath.allocation`.
 #pragma once
 
 #include <cstdint>

@@ -13,6 +13,8 @@
 // In the pipeline's default single-threaded mode both roles run on the
 // same thread and the atomics collapse to plain loads/stores. Capacity is
 // rounded up to a power of two so index masking replaces modulo.
+// syndog-lint: hotpath-file -- steady state must not allocate; see
+// `syndog_lint --explain hotpath.allocation`.
 #pragma once
 
 #include <algorithm>
@@ -46,7 +48,7 @@ class FrameRing {
     }
     std::size_t pow2 = 2;
     while (pow2 < capacity) pow2 <<= 1;
-    slots_.resize(pow2);
+    slots_.resize(pow2);  // syndog-lint: allow(hotpath.allocation) -- construction-time sizing, never grows again
     mask_ = pow2 - 1;
   }
 

@@ -9,14 +9,12 @@
 // hotpath.std_function lint rule enforces the split.
 #pragma once
 
-#include <functional>  // syndog-lint: allow(hotpath.std_function)
+#include <functional>
 
 #include "syndog/net/packet.hpp"
 #include "syndog/util/time.hpp"
 
 namespace syndog::sim {
-
-// syndog-lint: allow(hotpath.std_function) — config-time seams, bound once.
 
 /// Consumes a packet (link delivery target, cloud downlink, host egress).
 using PacketSink = std::function<void(const net::Packet&)>;

@@ -10,6 +10,8 @@
 // bounded delay jitter/reordering. The perturber owns its own Rng, so the
 // link's base loss stream — and therefore every unfaulted run — is
 // byte-identical whether or not the fault layer is linked in.
+// syndog-lint: hotpath-file -- steady state must not allocate; see
+// `syndog_lint --explain hotpath.allocation`.
 #pragma once
 
 #include <cstdint>

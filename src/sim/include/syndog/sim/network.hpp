@@ -106,7 +106,7 @@ class StubNetworkSim {
   std::unique_ptr<Link> uplink_;
   std::unique_ptr<Link> downlink_;
   std::unique_ptr<InternetCloud> cloud_;
-  std::vector<std::unique_ptr<TcpHost>> hosts_;
+  std::vector<std::unique_ptr<TcpHost>> stub_hosts_;
   std::vector<std::unique_ptr<TcpHost>> internet_hosts_;
   util::Rng workload_rng_;
   util::Rng flood_rng_;

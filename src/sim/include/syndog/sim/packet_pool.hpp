@@ -11,6 +11,8 @@
 // Slots live in a std::deque so acquired packets have stable addresses
 // (the deque never relocates elements on growth); the freelist is a LIFO
 // so recently-used slots — still warm in cache — are reused first.
+// syndog-lint: hotpath-file -- steady state must not allocate; see
+// `syndog_lint --explain hotpath.allocation`.
 #pragma once
 
 #include <cstdint>
@@ -59,6 +61,7 @@ class PacketPool {
         : pool_(pool), index_(index) {}
     void release() noexcept {
       if (pool_ != nullptr) {
+        // syndog-lint: allow-next-line(hotpath.allocation) -- freelist never outgrows slots_; capacity is reached during warmup, after which push_back never reallocates
         pool_->free_.push_back(index_);
         --pool_->in_use_;
         pool_ = nullptr;
@@ -97,7 +100,7 @@ class PacketPool {
       slots_[index] = std::forward<P>(packet);
     } else {
       index = static_cast<std::uint32_t>(slots_.size());
-      slots_.push_back(std::forward<P>(packet));
+      slots_.push_back(std::forward<P>(packet));  // syndog-lint: allow(hotpath.allocation) -- pool-growth path, hit only until the high-water mark; steady state takes the freelist branch
     }
     ++in_use_;
     return Handle(this, index);

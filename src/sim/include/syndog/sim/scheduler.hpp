@@ -18,6 +18,8 @@
 // cap) and slots/heap entries are recycled. In-flight packets ride in
 // the scheduler-owned PacketPool — callbacks capture a pool Handle, not
 // a net::Packet.
+// syndog-lint: hotpath-file -- steady state must not allocate; see
+// `syndog_lint --explain hotpath.allocation`.
 #pragma once
 
 #include <cstdint>

@@ -34,7 +34,7 @@ StubNetworkSim::StubNetworkSim(StubNetworkParams params)
 
   // Intranet hosts. Host index i gets IP stub_prefix.host(i) and a frame
   // path host -> (LAN delay) -> router; router -> (LAN delay) -> host.
-  hosts_.reserve(params_.num_hosts);
+  stub_hosts_.reserve(params_.num_hosts);
   for (std::uint32_t i = 1; i <= params_.num_hosts; ++i) {
     const net::Ipv4Address ip = params_.stub_prefix.host(i);
     auto host = std::make_unique<TcpHost>(
@@ -53,7 +53,7 @@ StubNetworkSim::StubNetworkSim(StubNetworkParams params)
           params_.lan_delay,
           [raw, h = scheduler_.packets().acquire(pkt)] { raw->receive(*h); });
     });
-    hosts_.push_back(std::move(host));
+    stub_hosts_.push_back(std::move(host));
   }
 }
 
@@ -64,10 +64,10 @@ void StubNetworkSim::attach_observer(obs::Registry& registry) {
 }
 
 TcpHost& StubNetworkSim::host(std::uint32_t index) {
-  if (index == 0 || index > hosts_.size()) {
+  if (index == 0 || index > stub_hosts_.size()) {
     throw std::out_of_range("StubNetworkSim: host index out of range");
   }
-  return *hosts_[index - 1];
+  return *stub_hosts_[index - 1];
 }
 
 TcpHost& StubNetworkSim::add_internet_host(std::string name,
@@ -93,7 +93,7 @@ TcpHost& StubNetworkSim::add_internet_host(std::string name,
 }
 
 void StubNetworkSim::make_servers(std::uint16_t port) {
-  for (const auto& host : hosts_) host->listen(port);
+  for (const auto& host : stub_hosts_) host->listen(port);
 }
 
 void StubNetworkSim::schedule_outbound_background(
@@ -142,7 +142,7 @@ void StubNetworkSim::launch_flood(std::uint32_t host_index,
                                   net::Ipv4Address victim,
                                   std::uint16_t victim_port,
                                   net::Ipv4Prefix spoof_pool) {
-  if (host_index == 0 || host_index > hosts_.size()) {
+  if (host_index == 0 || host_index > stub_hosts_.size()) {
     throw std::out_of_range("launch_flood: host index out of range");
   }
   const net::MacAddress attacker_mac = net::MacAddress::for_host(host_index);

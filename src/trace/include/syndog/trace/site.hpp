@@ -9,6 +9,7 @@
 // reproduces the detector-relevant behaviour of the originals.
 #pragma once
 
+#include <cstdint>
 #include <memory>
 #include <string>
 
@@ -18,11 +19,11 @@
 
 namespace syndog::trace {
 
-enum class SiteId { kLbl, kHarvard, kUnc, kAuckland };
+enum class SiteId : std::uint8_t { kLbl, kHarvard, kUnc, kAuckland };
 
 /// Which arrival process generates connection starts; the ablation bench
 /// sweeps this to demonstrate model-insensitivity (paper §3.2).
-enum class ArrivalKind { kPoisson, kMmpp, kParetoOnOff, kWeibull };
+enum class ArrivalKind : std::uint8_t { kPoisson, kMmpp, kParetoOnOff, kWeibull };
 
 [[nodiscard]] std::string_view to_string(SiteId site);
 [[nodiscard]] std::string_view to_string(ArrivalKind kind);

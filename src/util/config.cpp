@@ -9,6 +9,7 @@
 namespace syndog::util {
 
 std::optional<std::string> env_var(std::string_view name) {
+  // NOLINTNEXTLINE(concurrency-mt-unsafe) -- read before any thread starts
   const char* value = std::getenv(std::string(name).c_str());
   if (value == nullptr) return std::nullopt;
   return std::string(value);

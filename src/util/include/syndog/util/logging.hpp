@@ -5,6 +5,7 @@
 // output on stdout stays machine-parsable.
 #pragma once
 
+#include <cstdint>
 #include <optional>
 #include <sstream>
 #include <string>
@@ -12,7 +13,13 @@
 
 namespace syndog::util {
 
-enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+enum class LogLevel : std::uint8_t {
+  kDebug = 0,
+  kInfo = 1,
+  kWarn = 2,
+  kError = 3,
+  kOff = 4
+};
 
 /// Parses a level name ("off", "error", "warn"/"warning", "info",
 /// "debug"), case-insensitively; nullopt when unrecognized.

@@ -4,6 +4,8 @@
 // under tsan in CI).
 #include <gtest/gtest.h>
 
+#include "support/alloc_guard.hpp"
+
 #include <algorithm>
 #include <cstdint>
 #include <sstream>
@@ -102,6 +104,41 @@ TEST(FrameRingTest, WraparoundPreservesOrderAndContent) {
     }
   }
   EXPECT_LE(ring.size(), ring.capacity());
+}
+
+TEST(FrameRingTest, SteadyStateProduceConsumeDoesNotAllocate) {
+  // The ring's slot arena is sized once at construction; claiming,
+  // publishing, reading, and releasing frames afterwards must never
+  // touch the heap (the runtime twin of the hotpath.allocation lint
+  // rule on frame_ring.hpp).
+  FrameRing ring(64);
+  std::uint32_t produced = 0;
+  util::Rng rng(23);
+
+  auto churn = [&](std::uint32_t rounds) {
+    for (std::uint32_t r = 0; r < rounds; ++r) {
+      const auto burst = static_cast<std::uint32_t>(rng.uniform_int(1, 48));
+      for (std::uint32_t i = 0; i < burst; ++i) {
+        Frame* slot = ring.try_claim();
+        if (slot == nullptr) break;
+        slot->wire_bytes = produced;
+        slot->at = SimTime::nanoseconds(produced);
+        ++produced;
+        ring.publish();
+      }
+      while (!ring.empty()) {
+        const std::span<const Frame> run = ring.readable();
+        ring.release(run.size());
+      }
+    }
+  };
+
+  churn(16);  // warm-up: every slot written at least once
+  testsupport::AllocGuard guard;
+  churn(512);
+  EXPECT_EQ(guard.stop(), 0u)
+      << "steady-state ring traffic must not touch the heap";
+  EXPECT_GT(produced, 1000u);
 }
 
 TEST(FrameRingTest, FullRingRefusesClaim) {

@@ -7,17 +7,16 @@
 //     order) tie-break the deterministic sidecars depend on.
 //  2. Structural soundness of the slot arena: generation-tagged ids make
 //     cancels of executed/stale ids no-ops, slots recycle safely.
-//  3. Zero heap allocations per event in steady state, proven with a
-//     counting replacement of global operator new.
+//  3. Zero heap allocations per event in steady state, proven with
+//     testsupport::AllocGuard (tests/support/alloc_guard.hpp).
 #include <gtest/gtest.h>
 
 #include <algorithm>
-#include <atomic>
-#include <cstdlib>
-#include <new>
+#include <memory>
 #include <utility>
 #include <vector>
 
+#include "support/alloc_guard.hpp"
 #include "syndog/net/packet.hpp"
 #include "syndog/sim/link.hpp"
 #include "syndog/sim/packet_pool.hpp"
@@ -25,42 +24,6 @@
 #include "syndog/util/inline_callback.hpp"
 #include "syndog/util/rng.hpp"
 #include "syndog/util/time.hpp"
-
-namespace {
-std::atomic<bool> g_count_allocs{false};
-std::atomic<std::size_t> g_alloc_count{0};
-}  // namespace
-
-// Counting replacement of the global allocator. The default operator
-// new[]/delete[] forward here, so this covers every heap allocation made
-// by the test binary while g_count_allocs is set. noinline keeps the
-// malloc/free calls opaque at call sites, where GCC would otherwise
-// misreport them as mismatched new/free pairs.
-[[gnu::noinline]] void* operator new(std::size_t size) {
-  if (g_count_allocs.load(std::memory_order_relaxed)) {
-    g_alloc_count.fetch_add(1, std::memory_order_relaxed);
-  }
-  if (size == 0) size = 1;
-  if (void* p = std::malloc(size)) return p;
-  throw std::bad_alloc();
-}
-
-[[gnu::noinline]] void* operator new(std::size_t size,
-                                     const std::nothrow_t&) noexcept {
-  if (g_count_allocs.load(std::memory_order_relaxed)) {
-    g_alloc_count.fetch_add(1, std::memory_order_relaxed);
-  }
-  if (size == 0) size = 1;
-  return std::malloc(size);
-}
-
-[[gnu::noinline]] void operator delete(void* p) noexcept { std::free(p); }
-[[gnu::noinline]] void operator delete(void* p, std::size_t) noexcept {
-  std::free(p);
-}
-[[gnu::noinline]] void operator delete(void* p, const std::nothrow_t&) noexcept {
-  std::free(p);
-}
 
 namespace syndog::sim {
 namespace {
@@ -290,12 +253,10 @@ TEST(SchedulerStressTest, SteadyStateEventLoopDoesNotAllocate) {
   // their steady-state footprint.
   sched.run_all(200000);
 
-  g_alloc_count.store(0);
-  g_count_allocs.store(true);
+  testsupport::AllocGuard guard;
   sched.run_all(500000);
-  g_count_allocs.store(false);
 
-  EXPECT_EQ(g_alloc_count.load(), 0u)
+  EXPECT_EQ(guard.stop(), 0u)
       << "steady-state event loop must not touch the heap";
   EXPECT_GT(link.delivered(), 2000u);  // the ping ran through both phases
 }

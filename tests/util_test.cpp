@@ -3,10 +3,14 @@
 #include <cmath>
 #include <cstdlib>
 #include <set>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
 
 #include "syndog/util/config.hpp"
 #include "syndog/util/logging.hpp"
 #include "syndog/util/rng.hpp"
+#include "syndog/util/sorted.hpp"
 #include "syndog/util/strings.hpp"
 #include "syndog/util/table.hpp"
 #include "syndog/util/time.hpp"
@@ -236,6 +240,46 @@ TEST(TableTest, RendersAlignedTable) {
   const std::string out = t.to_string();
   EXPECT_NE(out.find("| col    | value |"), std::string::npos);
   EXPECT_NE(out.find("| longer | 22    |"), std::string::npos);
+}
+
+TEST(SortedTest, ItemsAreKeyOrdered) {
+  std::unordered_map<int, std::string> umap{{3, "c"}, {1, "a"}, {2, "b"}};
+  const auto view = sorted_items(umap);
+  ASSERT_EQ(view.size(), 3u);
+  EXPECT_EQ(view[0]->first, 1);
+  EXPECT_EQ(view[1]->first, 2);
+  EXPECT_EQ(view[2]->first, 3);
+  EXPECT_EQ(view[0]->second, "a");
+}
+
+TEST(SortedTest, MutableItemsWriteThrough) {
+  std::unordered_map<int, int> umap{{2, 0}, {1, 0}};
+  for (auto* entry : sorted_items(umap)) entry->second = entry->first * 10;
+  EXPECT_EQ(umap[1], 10);
+  EXPECT_EQ(umap[2], 20);
+}
+
+TEST(SortedTest, CustomComparatorReverses) {
+  std::unordered_map<int, int> umap{{1, 0}, {3, 0}, {2, 0}};
+  const auto view = sorted_items(umap, std::greater<int>{});
+  ASSERT_EQ(view.size(), 3u);
+  EXPECT_EQ(view[0]->first, 3);
+  EXPECT_EQ(view[2]->first, 1);
+}
+
+TEST(SortedTest, KeysFromSetAreSorted) {
+  std::unordered_set<std::string> uset{"delta", "alpha", "charlie"};
+  const auto keys = sorted_keys(uset);
+  ASSERT_EQ(keys.size(), 3u);
+  EXPECT_EQ(keys.front(), "alpha");
+  EXPECT_EQ(keys.back(), "delta");
+}
+
+TEST(SortedTest, EmptyContainersGiveEmptyViews) {
+  std::unordered_map<int, int> umap;
+  std::unordered_set<int> uset;
+  EXPECT_TRUE(sorted_items(umap).empty());
+  EXPECT_TRUE(sorted_keys(uset).empty());
 }
 
 TEST(TableTest, RejectsWrongArity) {

@@ -7,6 +7,9 @@ any check fires. When clang-tidy is not installed the driver prints a notice
 and exits 0, so `lint-tidy` stays usable on machines without LLVM; CI runs a
 clang image where the tool is guaranteed present.
 
+Pass --require (CI does) to turn the missing-clang-tidy skip into a hard
+failure, so the lint job can never silently pass without running the tool.
+
 Stdlib-only by design.
 """
 
@@ -38,10 +41,17 @@ def main(argv) -> int:
     parser.add_argument("--source-dir", type=Path, required=True)
     parser.add_argument("--clang-tidy", default=os.environ.get("CLANG_TIDY", "clang-tidy"))
     parser.add_argument("--jobs", type=int, default=os.cpu_count() or 4)
+    parser.add_argument("--require", action="store_true",
+                        help="fail (exit 2) instead of skipping when "
+                             "clang-tidy is not installed")
     args = parser.parse_args(argv)
 
     tidy = shutil.which(args.clang_tidy)
     if tidy is None:
+        if args.require:
+            print("run_tidy: clang-tidy not found on PATH and --require "
+                  "set; install LLVM or drop --require", file=sys.stderr)
+            return 2
         print("run_tidy: clang-tidy not found on PATH; skipping (install LLVM "
               "or run the CI lint job)")
         return 0

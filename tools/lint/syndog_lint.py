@@ -1,532 +1,24 @@
 #!/usr/bin/env python3
-"""syndog_lint: repo-invariant linter for the SYN-dog tree.
+"""syndog_lint: repo-invariant static analysis for the SYN-dog tree.
 
-Enforces three invariants that generic tools (compiler warnings, clang-tidy)
-cannot express; each rule's rationale is documented in docs/STATIC_ANALYSIS.md:
+Thin executable shim over the `syndoglint` package in this directory; the
+engine, rule families, output formats, and cache live there. See
+docs/STATIC_ANALYSIS.md for the rule catalog, or:
 
-  determinism   No ambient entropy or wall-clock seeding anywhere in the
-                tree. Every stochastic component must draw from an explicit
-                `util::Rng&`; raw engines live only in src/util's rng files.
-                Experiments must be bit-reproducible from seeds.
-
-  layering      #include <syndog/...> edges between src/ modules must follow
-                the dependency DAG declared in LAYER_DEPS (mirrored from
-                DESIGN.md §3 and each module's CMakeLists DEPS). The DAG
-                itself is checked for cycles.
-
-  headers       Every public header under src/*/include/syndog/ must be
-                self-contained: a generated translation unit containing only
-                that #include must compile (-fsyntax-only).
-
-  hotpath       std::function is banned in src/sim public headers: per-event
-                callbacks must be Scheduler::Callback (util::InlineCallback,
-                allocation-free). The one sanctioned home for config-time
-                std::function seams is syndog/sim/callbacks.hpp.
+    syndog_lint.py --list-rules
+    syndog_lint.py --explain <rule.id>
 
 Stdlib-only by design — runs anywhere a Python 3.8+ interpreter exists.
-Exit status: 0 when clean, 1 when any finding is reported, 2 on usage error.
-
-A finding on a specific line can be waived with a trailing comment:
-    // syndog-lint: allow(<rule>)
-where <rule> is the rule id printed with the finding (e.g. determinism.rand).
-Waivers are for false positives only; document the why next to the waiver.
+Exit status: 0 when clean, 1 when any finding is reported, 2 on usage or
+configuration error.
 """
 
-from __future__ import annotations
-
-import argparse
-import concurrent.futures
-import os
-import re
-import shutil
-import subprocess
 import sys
-import tempfile
 from pathlib import Path
-from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
 
-# --------------------------------------------------------------------------
-# Module layering DAG: module -> direct dependencies.
-#
-# Keep in sync with DESIGN.md §3 and the DEPS lists in src/*/CMakeLists.txt:
-#   util -> obs/stats/net -> pcap/classify -> detect/trace -> sim/attack
-#        -> fault -> core/traceback
-# obs is the telemetry layer: it may depend only on util (it must stay
-# embeddable under every other module), while any module may depend on it.
-LAYER_DEPS: Dict[str, Set[str]] = {
-    "util": set(),
-    "obs": {"util"},
-    "stats": {"util"},
-    "net": {"util"},
-    "pcap": {"net", "util"},
-    "classify": {"net", "obs", "util"},
-    "detect": {"obs", "stats", "util"},
-    "trace": {"net", "stats", "util"},
-    "sim": {"net", "obs", "util"},
-    "fault": {"net", "obs", "sim", "util"},
-    "attack": {"util"},
-    "traceback": {"util"},
-    "core": {"classify", "detect", "net", "obs", "sim", "stats", "util"},
-    "ingest": {"core", "net", "obs", "pcap", "sim", "util"},
-}
+sys.path.insert(0, str(Path(__file__).resolve().parent))
 
-# Determinism rules: (rule id, compiled regex, message). Applied to
-# comment-stripped source; `mt19937` is additionally allowed inside the two
-# rng implementation files.
-_DETERMINISM_RULES: Sequence[Tuple[str, "re.Pattern[str]", str]] = (
-    (
-        "determinism.random_device",
-        re.compile(r"\brandom_device\b"),
-        "std::random_device reads ambient entropy; take a seeded util::Rng& instead",
-    ),
-    (
-        "determinism.rand",
-        re.compile(r"(?<![\w:.])rand\s*\("),
-        "rand() is a hidden global generator; take a seeded util::Rng& instead",
-    ),
-    (
-        "determinism.srand",
-        re.compile(r"(?<![\w:.])srand\s*\("),
-        "srand() mutates hidden global state; seed an explicit util::Rng instead",
-    ),
-    (
-        "determinism.time_seed",
-        re.compile(r"(?<![\w:.])time\s*\(\s*(?:nullptr|NULL|0)\s*\)"),
-        "wall-clock seeding breaks reproducibility; derive seeds via util::Rng::child",
-    ),
-    (
-        "determinism.raw_engine",
-        re.compile(r"\bmt19937(?:_64)?\b"),
-        "raw mersenne-twister engines live only in syndog/util/rng; use util::Rng&",
-    ),
-    (
-        "determinism.wall_clock",
-        re.compile(r"\b(?:system_clock|steady_clock|high_resolution_clock)\b"),
-        "wall-clock reads live behind obs::WallClock (src/obs); sim code uses "
-        "util::SimTime so replays stay byte-identical",
-    ),
-)
-
-# Files that legitimately own the raw engine.
-_RNG_OWNERS = (
-    Path("src/util/rng.cpp"),
-    Path("src/util/include/syndog/util/rng.hpp"),
-)
-
-# Directories whose files may read std::chrono clocks directly: the time
-# utilities and the telemetry layer's WallClock seam.
-_WALL_CLOCK_OWNER_DIRS = (
-    Path("src/util"),
-    Path("src/obs"),
-)
-
-# Public-header trees where per-event work must stay allocation-free:
-# the DES hot path and the capture-ingest hot path.
-_HOTPATH_INCLUDE_ROOTS = (
-    Path("src/sim/include"),
-    Path("src/ingest/include"),
-)
-
-# The one hot-path header that may define std::function seam types: bound
-# once at topology wiring time, never constructed per event (see its
-# prologue). Ingest headers have no such carve-out: their seams are
-# virtual interfaces (FrameSink / ReplaySink).
-_STD_FUNCTION_OWNERS = (
-    Path("src/sim/include/syndog/sim/callbacks.hpp"),
-)
-
-_STD_FUNCTION_RE = re.compile(
-    r"\bstd\s*::\s*function\b|#\s*include\s*<functional>"
-)
-
-_WAIVER_RE = re.compile(r"syndog-lint:\s*allow\(([\w.,\s-]+)\)")
-
-_INCLUDE_RE = re.compile(r'^\s*#\s*include\s+["<]syndog/([A-Za-z0-9_]+)/')
-
-_SOURCE_SUFFIXES = {".cpp", ".hpp", ".h", ".cc", ".cxx"}
-
-
-class Finding:
-    def __init__(self, path: Path, line: int, rule: str, message: str):
-        self.path = path
-        self.line = line
-        self.rule = rule
-        self.message = message
-
-    def render(self, root: Path) -> str:
-        try:
-            rel = self.path.resolve().relative_to(root.resolve())
-        except ValueError:
-            rel = self.path
-        return f"{rel}:{self.line}: [{self.rule}] {self.message}"
-
-
-def _strip_comments(text: str) -> str:
-    """Blanks out // and /* */ comments, preserving line structure."""
-    out: List[str] = []
-    i, n = 0, len(text)
-    while i < n:
-        ch = text[i]
-        nxt = text[i + 1] if i + 1 < n else ""
-        if ch == "/" and nxt == "/":
-            j = text.find("\n", i)
-            i = n if j == -1 else j
-        elif ch == "/" and nxt == "*":
-            j = text.find("*/", i + 2)
-            end = n if j == -1 else j + 2
-            out.append("\n" * text.count("\n", i, end))
-            i = end
-        elif ch in "\"'":
-            # Skip string/char literal (handles escapes; good enough for C++).
-            quote = ch
-            j = i + 1
-            while j < n:
-                if text[j] == "\\":
-                    j += 2
-                    continue
-                if text[j] == quote or text[j] == "\n":
-                    break
-                j += 1
-            out.append(text[i : j + 1])
-            i = j + 1
-        else:
-            out.append(ch)
-            i += 1
-    return "".join(out)
-
-
-def _iter_source_files(root: Path, subdirs: Iterable[str]) -> Iterable[Path]:
-    for sub in subdirs:
-        base = root / sub
-        if not base.is_dir():
-            continue
-        for path in sorted(base.rglob("*")):
-            if path.suffix in _SOURCE_SUFFIXES and path.is_file():
-                yield path
-
-
-def _waived(raw_line: str, rule: str) -> bool:
-    m = _WAIVER_RE.search(raw_line)
-    if not m:
-        return False
-    allowed = {item.strip() for item in m.group(1).split(",")}
-    return rule in allowed or "all" in allowed
-
-
-# --------------------------------------------------------------------------
-# determinism
-
-
-def check_determinism(root: Path) -> List[Finding]:
-    findings: List[Finding] = []
-    rng_owners = {(root / p).resolve() for p in _RNG_OWNERS}
-    clock_owner_dirs = [(root / d).resolve() for d in _WALL_CLOCK_OWNER_DIRS]
-    for path in _iter_source_files(root, ("src", "tests", "bench", "examples")):
-        raw = path.read_text(encoding="utf-8", errors="replace")
-        stripped = _strip_comments(raw)
-        raw_lines = raw.splitlines()
-        resolved = path.resolve()
-        is_rng_owner = resolved in rng_owners
-        is_clock_owner = any(
-            base == resolved or base in resolved.parents
-            for base in clock_owner_dirs
-        )
-        for lineno, line in enumerate(stripped.splitlines(), start=1):
-            for rule, pattern, message in _DETERMINISM_RULES:
-                if rule == "determinism.raw_engine" and is_rng_owner:
-                    continue
-                if rule == "determinism.wall_clock" and is_clock_owner:
-                    continue
-                if not pattern.search(line):
-                    continue
-                raw_line = raw_lines[lineno - 1] if lineno <= len(raw_lines) else ""
-                if _waived(raw_line, rule):
-                    continue
-                findings.append(Finding(path, lineno, rule, message))
-    return findings
-
-
-# --------------------------------------------------------------------------
-# hotpath
-
-
-def check_hotpath(root: Path) -> List[Finding]:
-    """std::function stays out of hot-path public headers (sim, ingest)."""
-    findings: List[Finding] = []
-    owners = {(root / p).resolve() for p in _STD_FUNCTION_OWNERS}
-    for rel in _HOTPATH_INCLUDE_ROOTS:
-        include_root = root / rel
-        if not include_root.is_dir():
-            continue
-        for path in sorted(include_root.rglob("*.hpp")):
-            if path.resolve() in owners:
-                continue
-            raw = path.read_text(encoding="utf-8", errors="replace")
-            stripped = _strip_comments(raw)
-            raw_lines = raw.splitlines()
-            for lineno, line in enumerate(stripped.splitlines(), start=1):
-                if not _STD_FUNCTION_RE.search(line):
-                    continue
-                raw_line = (
-                    raw_lines[lineno - 1] if lineno <= len(raw_lines) else ""
-                )
-                if _waived(raw_line, "hotpath.std_function"):
-                    continue
-                findings.append(
-                    Finding(
-                        path,
-                        lineno,
-                        "hotpath.std_function",
-                        "std::function allocates per construction; per-event "
-                        "callbacks use Scheduler::Callback "
-                        "(util::InlineCallback) or a virtual sink interface; "
-                        "config-time seams live in syndog/sim/callbacks.hpp",
-                    )
-                )
-    return findings
-
-
-# --------------------------------------------------------------------------
-# layering
-
-
-def _transitive_deps(module: str) -> Set[str]:
-    seen: Set[str] = set()
-    stack = list(LAYER_DEPS.get(module, ()))
-    while stack:
-        dep = stack.pop()
-        if dep in seen:
-            continue
-        seen.add(dep)
-        stack.extend(LAYER_DEPS.get(dep, ()))
-    return seen
-
-
-def _dag_cycle() -> Optional[List[str]]:
-    """Returns a cycle as a module list if LAYER_DEPS has one, else None."""
-    WHITE, GREY, BLACK = 0, 1, 2
-    color = {m: WHITE for m in LAYER_DEPS}
-    trail: List[str] = []
-
-    def visit(m: str) -> Optional[List[str]]:
-        color[m] = GREY
-        trail.append(m)
-        for dep in sorted(LAYER_DEPS.get(m, ())):
-            if color.get(dep, WHITE) == GREY:
-                return trail[trail.index(dep) :] + [dep]
-            if color.get(dep, WHITE) == WHITE:
-                cycle = visit(dep)
-                if cycle:
-                    return cycle
-        trail.pop()
-        color[m] = BLACK
-        return None
-
-    for m in sorted(LAYER_DEPS):
-        if color[m] == WHITE:
-            cycle = visit(m)
-            if cycle:
-                return cycle
-    return None
-
-
-def check_layering(root: Path) -> List[Finding]:
-    findings: List[Finding] = []
-
-    cycle = _dag_cycle()
-    if cycle:
-        findings.append(
-            Finding(
-                root / "tools/lint/syndog_lint.py",
-                1,
-                "layering.cycle",
-                "LAYER_DEPS declares a dependency cycle: " + " -> ".join(cycle),
-            )
-        )
-
-    src = root / "src"
-    modules_on_disk = {
-        p.name for p in src.iterdir() if p.is_dir() and (p / "CMakeLists.txt").exists()
-    }
-    for module in sorted(modules_on_disk - set(LAYER_DEPS)):
-        findings.append(
-            Finding(
-                src / module / "CMakeLists.txt",
-                1,
-                "layering.unregistered",
-                f"module '{module}' is not declared in LAYER_DEPS "
-                "(tools/lint/syndog_lint.py); add it with its dependencies",
-            )
-        )
-
-    for module in sorted(modules_on_disk & set(LAYER_DEPS)):
-        allowed = _transitive_deps(module) | {module}
-        for path in _iter_source_files(root, (f"src/{module}",)):
-            raw = path.read_text(encoding="utf-8", errors="replace")
-            for lineno, line in enumerate(raw.splitlines(), start=1):
-                m = _INCLUDE_RE.match(line)
-                if not m:
-                    continue
-                target = m.group(1)
-                if target in allowed:
-                    continue
-                if _waived(line, "layering.violation"):
-                    continue
-                findings.append(
-                    Finding(
-                        path,
-                        lineno,
-                        "layering.violation",
-                        f"module '{module}' may not include syndog/{target}/ "
-                        f"(allowed: {', '.join(sorted(allowed - {module})) or 'none'})",
-                    )
-                )
-    return findings
-
-
-# --------------------------------------------------------------------------
-# header self-containment
-
-
-def _public_headers(root: Path) -> List[Path]:
-    headers: List[Path] = []
-    for module_dir in sorted((root / "src").iterdir()):
-        include = module_dir / "include" / "syndog"
-        if include.is_dir():
-            headers.extend(sorted(include.rglob("*.hpp")))
-    return headers
-
-
-def _include_flags(root: Path) -> List[str]:
-    flags: List[str] = []
-    for module_dir in sorted((root / "src").iterdir()):
-        include = module_dir / "include"
-        if include.is_dir():
-            flags.append(f"-I{include}")
-    return flags
-
-
-def check_headers(root: Path, cxx: str, jobs: int) -> List[Finding]:
-    if shutil.which(cxx) is None:
-        return [
-            Finding(
-                root / "tools/lint/syndog_lint.py",
-                1,
-                "headers.no_compiler",
-                f"compiler '{cxx}' not found; pass --cxx or set $CXX",
-            )
-        ]
-
-    headers = _public_headers(root)
-    include_flags = _include_flags(root)
-    findings: List[Finding] = []
-
-    def compile_one(header: Path) -> Optional[Finding]:
-        rel = header.as_posix().split("/include/", 1)[1]  # -> syndog/<mod>/x.hpp
-        tu = f'#include "{rel}"\n'
-        with tempfile.NamedTemporaryFile(
-            "w", suffix=".cpp", prefix="syndog_hdr_", delete=False
-        ) as tmp:
-            tmp.write(tu)
-            tmp_path = tmp.name
-        try:
-            proc = subprocess.run(
-                [
-                    cxx,
-                    "-std=c++20",
-                    "-fsyntax-only",
-                    "-Wall",
-                    "-Wextra",
-                    "-Wpedantic",
-                    *include_flags,
-                    "-x",
-                    "c++",
-                    tmp_path,
-                ],
-                capture_output=True,
-                text=True,
-            )
-        finally:
-            os.unlink(tmp_path)
-        if proc.returncode != 0:
-            first_error = next(
-                (ln for ln in proc.stderr.splitlines() if "error" in ln),
-                proc.stderr.strip().splitlines()[0] if proc.stderr.strip() else "compile failed",
-            )
-            return Finding(
-                header,
-                1,
-                "headers.not_self_contained",
-                f"one-include TU fails to compile: {first_error.strip()}",
-            )
-        return None
-
-    with concurrent.futures.ThreadPoolExecutor(max_workers=jobs) as pool:
-        for result in pool.map(compile_one, headers):
-            if result is not None:
-                findings.append(result)
-    return findings
-
-
-# --------------------------------------------------------------------------
-
-
-def main(argv: Sequence[str]) -> int:
-    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
-    parser.add_argument(
-        "--root",
-        type=Path,
-        default=Path(__file__).resolve().parents[2],
-        help="repository root (default: inferred from this script's location)",
-    )
-    parser.add_argument(
-        "--checks",
-        default="determinism,hotpath,layering,headers",
-        help="comma list from {determinism, hotpath, layering, headers}",
-    )
-    parser.add_argument(
-        "--cxx",
-        default=os.environ.get("CXX", "c++"),
-        help="C++ compiler for the header self-containment check",
-    )
-    parser.add_argument(
-        "--jobs",
-        type=int,
-        default=os.cpu_count() or 4,
-        help="parallelism for header compiles",
-    )
-    args = parser.parse_args(argv)
-
-    root = args.root.resolve()
-    if not (root / "src").is_dir():
-        print(f"syndog_lint: no src/ under {root}", file=sys.stderr)
-        return 2
-
-    requested = [c.strip() for c in args.checks.split(",") if c.strip()]
-    known = {"determinism", "hotpath", "layering", "headers"}
-    unknown = set(requested) - known
-    if unknown:
-        print(f"syndog_lint: unknown checks: {', '.join(sorted(unknown))}", file=sys.stderr)
-        return 2
-
-    findings: List[Finding] = []
-    if "determinism" in requested:
-        findings.extend(check_determinism(root))
-    if "hotpath" in requested:
-        findings.extend(check_hotpath(root))
-    if "layering" in requested:
-        findings.extend(check_layering(root))
-    if "headers" in requested:
-        findings.extend(check_headers(root, args.cxx, args.jobs))
-
-    for finding in findings:
-        print(finding.render(root))
-    if findings:
-        print(f"syndog_lint: {len(findings)} finding(s)", file=sys.stderr)
-        return 1
-    print(f"syndog_lint: clean ({', '.join(requested)})")
-    return 0
-
+from syndoglint.cli import main  # noqa: E402
 
 if __name__ == "__main__":
     sys.exit(main(sys.argv[1:]))

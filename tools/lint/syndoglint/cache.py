@@ -1,0 +1,141 @@
+"""Incremental cache keyed on file content hashes.
+
+Two stores, one JSON file:
+
+  * file pass — raw findings (pre-waiver) per file, keyed on the file's
+    content hash plus a run fingerprint covering the engine version and
+    the cross-file unordered-name pool (a name declared in one file can
+    produce findings in another);
+  * header compiles — the self-containment verdict per public header,
+    keyed on the hash of the header's transitive in-repo include closure
+    plus the compiler. This is the expensive store: a warm run skips the
+    compiler entirely.
+
+The cache is advisory: corrupt or version-skewed files are discarded
+wholesale. Hit/miss counts feed `--cache-stats` and the CI assertion that
+warm runs never regress to cold full recompiles.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional
+
+from . import __version__
+
+_FORMAT = 3
+
+
+def sha256_text(text: str) -> str:
+    return hashlib.sha256(text.encode("utf-8", errors="replace")).hexdigest()
+
+
+def sha256_file(path: Path) -> str:
+    try:
+        return hashlib.sha256(path.read_bytes()).hexdigest()
+    except OSError:
+        return "unreadable"
+
+
+class Cache:
+    def __init__(self, path: Optional[Path]):
+        self.path = path
+        self.file_hits = 0
+        self.file_misses = 0
+        self.header_hits = 0
+        self.header_misses = 0
+        self._files: Dict[str, Dict[str, object]] = {}
+        self._headers: Dict[str, Dict[str, str]] = {}
+        self._file_hashes: Dict[str, str] = {}
+        if path is not None and path.is_file():
+            try:
+                data = json.loads(path.read_text(encoding="utf-8"))
+                if (
+                    data.get("format") == _FORMAT
+                    and data.get("version") == __version__
+                ):
+                    self._files = data.get("files", {})
+                    self._headers = data.get("headers", {})
+            except (OSError, ValueError):
+                pass
+
+    # -- file pass ----------------------------------------------------------
+
+    def file_key(self, raw: str, run_fingerprint: str) -> str:
+        return sha256_text(raw + "\x00" + run_fingerprint)
+
+    def file_findings(
+        self, rel: str, key: str
+    ) -> Optional[List[List[object]]]:
+        entry = self._files.get(rel)
+        if entry is not None and entry.get("key") == key:
+            self.file_hits += 1
+            return entry.get("findings", [])  # type: ignore[return-value]
+        self.file_misses += 1
+        return None
+
+    def store_file_findings(
+        self, rel: str, key: str, findings: List[List[object]]
+    ) -> None:
+        self._files[rel] = {"key": key, "findings": findings}
+
+    # -- header compiles ----------------------------------------------------
+
+    def hash_of(self, path: Path) -> str:
+        rel = str(path)
+        h = self._file_hashes.get(rel)
+        if h is None:
+            h = sha256_file(path)
+            self._file_hashes[rel] = h
+        return h
+
+    def header_key(self, closure: Iterable[Path], cxx: str) -> str:
+        parts = sorted(self.hash_of(p) for p in closure)
+        return sha256_text(cxx + "\x00" + "\x00".join(parts))
+
+    def header_result(self, rel: str, key: Optional[str]) -> Optional[str]:
+        """None on miss; otherwise the cached error message ('' = clean)."""
+        entry = self._headers.get(rel)
+        if key is not None and entry is not None and entry.get("key") == key:
+            self.header_hits += 1
+            return entry.get("error", "")
+        self.header_misses += 1
+        return None
+
+    def store_header_result(self, rel: str, key: str, error: str) -> None:
+        self._headers[rel] = {"key": key, "error": error}
+
+    # -- persistence / stats ------------------------------------------------
+
+    def save(self) -> None:
+        if self.path is None:
+            return
+        payload = {
+            "format": _FORMAT,
+            "version": __version__,
+            "files": self._files,
+            "headers": self._headers,
+        }
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        tmp = self.path.with_suffix(self.path.suffix + ".tmp")
+        tmp.write_text(
+            json.dumps(payload, sort_keys=True, indent=0), encoding="utf-8"
+        )
+        tmp.replace(self.path)
+
+    def header_hit_rate(self) -> Optional[float]:
+        total = self.header_hits + self.header_misses
+        if total == 0:
+            return None
+        return self.header_hits / total
+
+    def stats(self) -> Dict[str, object]:
+        return {
+            "file_pass": {"hits": self.file_hits, "misses": self.file_misses},
+            "header_compiles": {
+                "hits": self.header_hits,
+                "misses": self.header_misses,
+            },
+        }

@@ -1,0 +1,85 @@
+"""Findings, rules, and the rule registry."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterable, List, Optional, TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .engine import TreeContext
+    from .lexer import SourceFile
+
+ERROR = "error"
+WARNING = "warning"
+
+
+@dataclass
+class Finding:
+    rel: str  # scan-root-relative posix path
+    line: int
+    rule: str
+    message: str
+
+    def render(self) -> str:
+        return f"{self.rel}:{self.line}: [{self.rule}] {self.message}"
+
+    def to_json(self) -> Dict[str, object]:
+        return {
+            "file": self.rel,
+            "line": self.line,
+            "rule": self.rule,
+            "message": self.message,
+        }
+
+
+@dataclass
+class Rule:
+    """One invariant. `check` runs over a lexed file; `targets` gates which
+    files it sees. Tree-scoped rules (layering DAG shape, header compiles)
+    instead implement `tree_check` and receive the whole context."""
+
+    id: str
+    family: str  # check-group name used by --checks
+    severity: str
+    summary: str  # one line, shown by --list-rules and SARIF
+    rationale: str  # paragraph for --explain
+    fix_hint: str
+    targets: Optional[Callable[[str], bool]] = None  # rel path predicate
+    check: Optional[
+        Callable[["SourceFile", "TreeContext"], Iterable[Finding]]
+    ] = None
+    tree_check: Optional[Callable[["TreeContext"], Iterable[Finding]]] = None
+    waivable: bool = True
+
+
+_REGISTRY: Dict[str, Rule] = {}
+
+
+def register(rule: Rule) -> Rule:
+    if rule.id in _REGISTRY:
+        raise ValueError(f"duplicate rule id {rule.id}")
+    _REGISTRY[rule.id] = rule
+    return rule
+
+
+def all_rules() -> List[Rule]:
+    return [_REGISTRY[rid] for rid in sorted(_REGISTRY)]
+
+
+def get_rule(rule_id: str) -> Optional[Rule]:
+    return _REGISTRY.get(rule_id)
+
+
+def families() -> List[str]:
+    return sorted({r.family for r in _REGISTRY.values()})
+
+
+@dataclass
+class WaiverRecord:
+    """Per-rule waiver accounting entry for reports and selftests."""
+
+    rel: str
+    line: int
+    rules: List[str]
+    justified: bool
+    used: List[str] = field(default_factory=list)

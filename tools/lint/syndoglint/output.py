@@ -1,0 +1,142 @@
+"""Renderers: text, JSON, SARIF 2.1.0, and the --explain catalog."""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, List, Optional
+
+from . import TOOL_NAME, TOOL_URI, __version__
+from .engine import RunResult
+from .model import Rule, all_rules, get_rule
+
+SARIF_SCHEMA = (
+    "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/"
+    "Schemata/sarif-schema-2.1.0.json"
+)
+SARIF_VERSION = "2.1.0"
+
+
+def render_text(result: RunResult) -> str:
+    lines = [f.render() for f in result.findings]
+    return "\n".join(lines)
+
+
+def render_json(result: RunResult) -> str:
+    payload = {
+        "tool": {"name": TOOL_NAME, "version": __version__},
+        "checks": result.checked_families,
+        "findings": [f.to_json() for f in result.findings],
+        "waivers": [
+            {
+                "file": w.rel,
+                "line": w.line,
+                "rules": w.rules,
+                "justified": w.justified,
+                "used": w.used,
+            }
+            for w in result.waivers
+        ],
+        "summary": {
+            "findings": len(result.findings),
+            "waivers": len(result.waivers),
+        },
+    }
+    return json.dumps(payload, indent=2, sort_keys=True)
+
+
+def _sarif_level(severity: str) -> str:
+    return {"error": "error", "warning": "warning"}.get(severity, "warning")
+
+
+def render_sarif(result: RunResult) -> str:
+    fired = {f.rule for f in result.findings}
+    rules: List[Rule] = [
+        r for r in all_rules() if r.family in result.checked_families
+        or r.family == "waivers"
+        or r.id in fired
+    ]
+    rule_index: Dict[str, int] = {r.id: i for i, r in enumerate(rules)}
+    driver_rules = [
+        {
+            "id": r.id,
+            "name": r.id.replace(".", "-"),
+            "shortDescription": {"text": r.summary},
+            "fullDescription": {"text": r.rationale},
+            "help": {"text": r.fix_hint},
+            "defaultConfiguration": {"level": _sarif_level(r.severity)},
+        }
+        for r in rules
+    ]
+    results = []
+    for f in result.findings:
+        rule = get_rule(f.rule)
+        entry = {
+            "ruleId": f.rule,
+            "level": _sarif_level(rule.severity if rule else "error"),
+            "message": {"text": f.message},
+            "locations": [
+                {
+                    "physicalLocation": {
+                        "artifactLocation": {
+                            "uri": f.rel,
+                            "uriBaseId": "SRCROOT",
+                        },
+                        "region": {"startLine": max(1, f.line)},
+                    }
+                }
+            ],
+        }
+        if f.rule in rule_index:
+            entry["ruleIndex"] = rule_index[f.rule]
+        results.append(entry)
+    payload = {
+        "$schema": SARIF_SCHEMA,
+        "version": SARIF_VERSION,
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": TOOL_NAME,
+                        "version": __version__,
+                        "informationUri": TOOL_URI,
+                        "rules": driver_rules,
+                    }
+                },
+                "columnKind": "utf16CodeUnits",
+                "originalUriBaseIds": {
+                    "SRCROOT": {"description": {"text": "repository root"}}
+                },
+                "results": results,
+            }
+        ],
+    }
+    return json.dumps(payload, indent=2, sort_keys=True)
+
+
+def explain(rule_id: str) -> Optional[str]:
+    if rule_id == "all":
+        return "\n\n".join(
+            explain(r.id) or "" for r in all_rules()
+        )
+    rule = get_rule(rule_id)
+    if rule is None:
+        return None
+    waiver = (
+        f"  waiver:    // syndog-lint: allow({rule.id}) -- <why>\n"
+        if rule.waivable
+        else "  waiver:    not waivable\n"
+    )
+    return (
+        f"{rule.id}  [{rule.family}/{rule.severity}]\n"
+        f"  {rule.summary}\n\n"
+        f"  rationale: {rule.rationale}\n"
+        f"  fix:       {rule.fix_hint}\n" + waiver
+    )
+
+
+def list_rules() -> str:
+    lines = []
+    for r in all_rules():
+        waivable = "waivable" if r.waivable else "strict"
+        lines.append(f"{r.id:40s} {r.family:12s} {waivable:9s} {r.summary}")
+    return "\n".join(lines)

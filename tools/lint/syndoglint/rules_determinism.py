@@ -1,0 +1,257 @@
+"""determinism.* — bit-reproducibility from seeds.
+
+The repo's core contract: every experiment replays bit-identically from a
+master seed and every deterministic `BENCH_*.json` sidecar is byte-identical
+across runs (CLAUDE.md, docs/STATIC_ANALYSIS.md). These rules ban the three
+ways that contract silently dies: ambient entropy, wall-clock reads, and —
+new with the threaded roadmap work — nondeterministic iteration order
+leaking into ordered output.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Iterable, List, Set
+
+from .lexer import IDENT, SourceFile
+from .model import ERROR, Finding, Rule, register
+
+_CXX_DIRS = ("src/", "tests/", "bench/", "examples/")
+
+
+def _in_cxx_tree(rel: str) -> bool:
+    return rel.startswith(_CXX_DIRS)
+
+
+# Files that legitimately own the raw mersenne-twister engine.
+_RNG_OWNERS = frozenset(
+    {"src/util/rng.cpp", "src/util/include/syndog/util/rng.hpp"}
+)
+
+# Directories whose files may read std::chrono clocks directly: the time
+# utilities and the telemetry layer's WallClock seam.
+_WALL_CLOCK_OWNER_DIRS = ("src/util/", "src/obs/")
+
+_PATTERN_RULES = (
+    (
+        "determinism.random_device",
+        re.compile(r"\brandom_device\b"),
+        "std::random_device reads ambient entropy; take a seeded util::Rng& instead",
+        None,
+    ),
+    (
+        "determinism.rand",
+        re.compile(r"(?<![\w:.])rand\s*\("),
+        "rand() is a hidden global generator; take a seeded util::Rng& instead",
+        None,
+    ),
+    (
+        "determinism.srand",
+        re.compile(r"(?<![\w:.])srand\s*\("),
+        "srand() mutates hidden global state; seed an explicit util::Rng instead",
+        None,
+    ),
+    (
+        "determinism.time_seed",
+        re.compile(r"(?<![\w:.])time\s*\(\s*(?:nullptr|NULL|0)\s*\)"),
+        "wall-clock seeding breaks reproducibility; derive seeds via util::Rng::child",
+        None,
+    ),
+    (
+        "determinism.raw_engine",
+        re.compile(r"\bmt19937(?:_64)?\b"),
+        "raw mersenne-twister engines live only in syndog/util/rng; use util::Rng&",
+        lambda rel: rel in _RNG_OWNERS,
+    ),
+    (
+        "determinism.wall_clock",
+        re.compile(r"\b(?:system_clock|steady_clock|high_resolution_clock)\b"),
+        "wall-clock reads live behind obs::WallClock (src/obs); sim code uses "
+        "util::SimTime so replays stay byte-identical",
+        lambda rel: rel.startswith(_WALL_CLOCK_OWNER_DIRS),
+    ),
+)
+
+
+def _make_pattern_check(pattern, message, exempt):
+    def check(sf: SourceFile, ctx) -> Iterable[Finding]:
+        if exempt is not None and exempt(sf.rel):
+            return
+        for lineno, line in enumerate(sf.stripped_lines, start=1):
+            if pattern.search(line):
+                yield Finding(sf.rel, lineno, "", message)
+
+    return check
+
+
+for _rid, _pattern, _message, _exempt in _PATTERN_RULES:
+    register(
+        Rule(
+            id=_rid,
+            family="determinism",
+            severity=ERROR,
+            summary=_message,
+            rationale=(
+                "Experiments must be bit-reproducible from seeds; any read of "
+                "ambient entropy or the wall clock makes a run unrepeatable "
+                "and silently invalidates every BENCH_*.json comparison. "
+                "Stochastic components take an explicit util::Rng&, child "
+                "streams come from util::Rng::child, and wall time is read "
+                "only through the obs::WallClock seam."
+            ),
+            fix_hint=(
+                "Thread a util::Rng& parameter (or obs::WallClock for wall "
+                "time) to the call site; never reach for global entropy."
+            ),
+            targets=_in_cxx_tree,
+            check=_make_pattern_check(_pattern, _message, _exempt),
+        )
+    )
+
+
+# --------------------------------------------------------------------------
+# determinism.unordered_iteration
+#
+# Iterating a std::unordered_{map,set} visits elements in hash-table order —
+# a function of libstdc++ version, insertion history, and pointer values.
+# Any such loop that feeds ordered output (obs exporters, bench sidecars,
+# trace/CSV writers, test expectations) breaks byte-identical sidecars the
+# day the container reseeds. The engine collects every identifier declared
+# with an unordered type anywhere in the tree (pass 1), then flags range-for
+# loops and .begin()/.cbegin() calls over those names (pass 2). Loops whose
+# output is provably order-independent carry a justified waiver; everything
+# else goes through util::sorted_items()/sorted_keys() (syndog/util/sorted.hpp).
+
+_UNORDERED_DECL_RE = re.compile(r"\bunordered_(?:multi)?(?:map|set)\s*<")
+
+# for ( <decl> : <expr> )  — capture the last identifier of <expr>.
+_RANGE_FOR_RE = re.compile(
+    r"\bfor\s*\([^;()]*:\s*(?:[\w:]+\s*\.\s*|\bthis\s*->\s*|[\w:]+\s*->\s*)*"
+    r"([A-Za-z_][A-Za-z0-9_]*)\s*\)"
+)
+
+_BEGIN_RE = re.compile(r"\b([A-Za-z_][A-Za-z0-9_]*)\s*\.\s*c?begin\s*\(")
+
+
+def collect_unordered_names(sf: SourceFile) -> Set[str]:
+    """Names declared with an unordered container type in this file.
+
+    Token scan: at each `unordered_map`/`unordered_set` token, skip the
+    template argument list by angle-bracket matching, then take the next
+    identifier as the declared name. Also follows one level of
+    `using Alias = std::unordered_map<...>` so members declared via a local
+    alias are still caught.
+    """
+    names: Set[str] = set()
+    aliases: Set[str] = set()
+    tokens = sf.tokens
+    i = 0
+    while i < len(tokens):
+        tok = tokens[i]
+        if tok.kind == IDENT and tok.text in (
+            "unordered_map",
+            "unordered_set",
+            "unordered_multimap",
+            "unordered_multiset",
+        ):
+            # alias form: using X = std::unordered_map<...>;
+            j = i - 1
+            while j >= 0 and tokens[j].text in ("std", "::"):
+                j -= 1
+            alias_name = None
+            if j >= 1 and tokens[j].text == "=" and tokens[j - 1].kind == IDENT:
+                alias_name = tokens[j - 1].text
+            # Skip template args by <> matching.
+            k = i + 1
+            if k < len(tokens) and tokens[k].text == "<":
+                depth = 0
+                while k < len(tokens):
+                    t = tokens[k].text
+                    if t == "<":
+                        depth += 1
+                    elif t == ">":
+                        depth -= 1
+                        if depth == 0:
+                            k += 1
+                            break
+                    elif t == ">>":
+                        depth -= 2
+                        if depth <= 0:
+                            k += 1
+                            break
+                    elif t in (";", "{"):
+                        break
+                    k += 1
+            if alias_name is not None:
+                aliases.add(alias_name)
+            elif k < len(tokens) and tokens[k].kind == IDENT:
+                names.add(tokens[k].text)
+            i = k
+            continue
+        i += 1
+    # One level of alias resolution: `Alias name;` declarations.
+    if aliases:
+        for idx in range(len(tokens) - 1):
+            if (
+                tokens[idx].kind == IDENT
+                and tokens[idx].text in aliases
+                and tokens[idx + 1].kind == IDENT
+            ):
+                names.add(tokens[idx + 1].text)
+    return names
+
+
+def _check_unordered_iteration(sf: SourceFile, ctx) -> Iterable[Finding]:
+    pool = ctx.unordered_names
+    if not pool:
+        return
+    for lineno, line in enumerate(sf.stripped_lines, start=1):
+        hits: List[str] = []
+        m = _RANGE_FOR_RE.search(line)
+        if m and m.group(1) in pool:
+            hits.append(m.group(1))
+        for bm in _BEGIN_RE.finditer(line):
+            if bm.group(1) in pool and bm.group(1) not in hits:
+                hits.append(bm.group(1))
+        for name in hits:
+            yield Finding(
+                sf.rel,
+                lineno,
+                "",
+                f"iteration over unordered container '{name}' visits elements "
+                "in hash-table order; route ordered output through "
+                "util::sorted_items()/sorted_keys() (syndog/util/sorted.hpp) "
+                "or waive with a justification that order cannot escape",
+            )
+
+
+register(
+    Rule(
+        id="determinism.unordered_iteration",
+        family="determinism",
+        severity=ERROR,
+        summary=(
+            "loops over std::unordered_{map,set} leak hash-table order into "
+            "output"
+        ),
+        rationale=(
+            "std::unordered_* iteration order depends on the standard "
+            "library, the insertion history, and (for pointer keys) ASLR. "
+            "A range-for over one that feeds an exporter, sidecar, CSV "
+            "writer, or test expectation produces output that changes "
+            "between toolchains and — once the sharded DES and multi-ring "
+            "ingest land — between worker counts. The fix is a sorted "
+            "adapter at the boundary: util::sorted_items(map) / "
+            "util::sorted_keys(set) give a deterministic key-ordered view "
+            "at snapshot cost only where snapshots are taken."
+        ),
+        fix_hint=(
+            "Iterate util::sorted_items(m)/util::sorted_keys(s) from "
+            "syndog/util/sorted.hpp, switch the member to std::map if it is "
+            "iterated on every export, or waive with a justification "
+            "proving iteration order cannot reach any output."
+        ),
+        targets=_in_cxx_tree,
+        check=_check_unordered_iteration,
+    )
+)

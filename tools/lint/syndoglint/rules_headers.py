@@ -1,0 +1,205 @@
+"""headers.* — every public header compiles on its own.
+
+A header that leans on its includer's includes breaks every future
+refactor that reorders includes. The check generates a one-#include TU per
+public header and compiles it with -fsyntax-only; results are cached per
+header keyed on the content hash of the header *and* every in-repo header
+it transitively includes, so warm runs skip the compiler entirely.
+"""
+
+from __future__ import annotations
+
+import os
+import re
+import subprocess
+import tempfile
+from concurrent import futures
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Set
+
+from .model import ERROR, Finding, Rule, register
+
+_QUOTED_OR_SYSTEM_SYNDOG = re.compile(
+    r'^\s*#\s*include\s+["<](syndog/[^">]+)[">]'
+)
+
+
+def public_headers(root: Path) -> List[Path]:
+    headers: List[Path] = []
+    src = root / "src"
+    if not src.is_dir():
+        return headers
+    for module_dir in sorted(src.iterdir()):
+        include = module_dir / "include" / "syndog"
+        if include.is_dir():
+            headers.extend(sorted(include.rglob("*.hpp")))
+    return headers
+
+
+def include_flags(root: Path) -> List[str]:
+    flags: List[str] = []
+    src = root / "src"
+    if not src.is_dir():
+        return flags
+    for module_dir in sorted(src.iterdir()):
+        include = module_dir / "include"
+        if include.is_dir():
+            flags.append(f"-I{include}")
+    return flags
+
+
+def _repo_include_map(root: Path) -> Dict[str, Path]:
+    """Maps `syndog/<mod>/x.hpp` include spellings to files on disk."""
+    mapping: Dict[str, Path] = {}
+    for header in public_headers(root):
+        rel = header.as_posix().split("/include/", 1)[1]
+        mapping[rel] = header
+    return mapping
+
+
+def transitive_include_closure(
+    header: Path, include_map: Dict[str, Path]
+) -> Set[Path]:
+    """The header plus every in-repo header reachable from it. Used as the
+    cache key domain: a header's self-containment verdict can only change
+    when one of these files changes (or the compiler does)."""
+    closure: Set[Path] = set()
+    stack = [header]
+    while stack:
+        current = stack.pop()
+        if current in closure:
+            continue
+        closure.add(current)
+        try:
+            text = current.read_text(encoding="utf-8", errors="replace")
+        except OSError:
+            continue
+        for line in text.splitlines():
+            m = _QUOTED_OR_SYSTEM_SYNDOG.match(line)
+            if m and m.group(1) in include_map:
+                stack.append(include_map[m.group(1)])
+    return closure
+
+
+def compile_header(header: Path, cxx: str, flags: List[str]) -> Optional[str]:
+    """Returns the first error line when the one-include TU fails, else None."""
+    rel = header.as_posix().split("/include/", 1)[1]
+    tu = f'#include "{rel}"\n'
+    with tempfile.NamedTemporaryFile(
+        "w", suffix=".cpp", prefix="syndog_hdr_", delete=False
+    ) as tmp:
+        tmp.write(tu)
+        tmp_path = tmp.name
+    try:
+        proc = subprocess.run(
+            [
+                cxx,
+                "-std=c++20",
+                "-fsyntax-only",
+                "-Wall",
+                "-Wextra",
+                "-Wpedantic",
+                *flags,
+                "-x",
+                "c++",
+                tmp_path,
+            ],
+            capture_output=True,
+            text=True,
+        )
+    finally:
+        os.unlink(tmp_path)
+    if proc.returncode == 0:
+        return None
+    stderr = proc.stderr.strip()
+    return next(
+        (ln for ln in stderr.splitlines() if "error" in ln),
+        stderr.splitlines()[0] if stderr else "compile failed",
+    ).strip()
+
+
+def _check_headers(ctx) -> Iterable[Finding]:
+    import shutil
+
+    if shutil.which(ctx.cxx) is None:
+        yield Finding(
+            "tools/lint/syndog_lint.py",
+            1,
+            "headers.no_compiler",
+            f"compiler '{ctx.cxx}' not found; pass --cxx or set $CXX",
+        )
+        return
+
+    headers = public_headers(ctx.root)
+    flags = include_flags(ctx.root)
+    include_map = _repo_include_map(ctx.root)
+
+    to_compile: List[Path] = []
+    for header in headers:
+        rel = header.relative_to(ctx.root).as_posix()
+        closure = transitive_include_closure(header, include_map)
+        key = ctx.cache.header_key(closure, ctx.cxx) if ctx.cache else None
+        cached = ctx.cache.header_result(rel, key) if ctx.cache else None
+        if cached is not None:
+            error = cached
+            if error:
+                yield Finding(rel, 1, "headers.not_self_contained", error)
+            continue
+        to_compile.append(header)
+
+    if not to_compile:
+        return
+    with futures.ThreadPoolExecutor(max_workers=ctx.jobs) as pool:
+        results = list(
+            pool.map(lambda h: compile_header(h, ctx.cxx, flags), to_compile)
+        )
+    for header, error in zip(to_compile, results):
+        rel = header.relative_to(ctx.root).as_posix()
+        message = (
+            f"one-include TU fails to compile: {error}" if error else ""
+        )
+        if ctx.cache:
+            closure = transitive_include_closure(header, include_map)
+            ctx.cache.store_header_result(
+                rel, ctx.cache.header_key(closure, ctx.cxx), message
+            )
+        if message:
+            yield Finding(rel, 1, "headers.not_self_contained", message)
+
+
+_HEADERS_RATIONALE = (
+    "Every public header under src/*/include/syndog/ must compile as the "
+    "only include of a translation unit (-fsyntax-only -Wall -Wextra "
+    "-Wpedantic). A header that silently depends on what its includers "
+    "happened to include breaks the next include-order refactor. Verdicts "
+    "are cached on the content hash of the header plus its transitive "
+    "in-repo includes, so only headers whose closure changed recompile."
+)
+
+register(
+    Rule(
+        id="headers.not_self_contained",
+        family="headers",
+        severity=ERROR,
+        summary="public header fails to compile as a standalone TU",
+        rationale=_HEADERS_RATIONALE,
+        fix_hint=(
+            "Add the missing #include (or forward declaration) to the "
+            "header itself; re-run `syndog_lint --checks headers`."
+        ),
+        tree_check=_check_headers,
+        waivable=False,
+    )
+)
+
+register(
+    Rule(
+        id="headers.no_compiler",
+        family="headers",
+        severity=ERROR,
+        summary="no C++ compiler available for the self-containment check",
+        rationale=_HEADERS_RATIONALE,
+        fix_hint="Pass --cxx or export CXX; CI always provides one.",
+        waivable=False,
+    )
+)

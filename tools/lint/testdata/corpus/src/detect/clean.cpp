@@ -1,0 +1,51 @@
+// Negative fixtures: near-misses that must produce zero findings.
+#include <map>
+#include <thread>
+
+namespace syndog::detect {
+
+// const/constexpr namespace-scope objects are not shared *mutable* state.
+constexpr int kCorpusConst = 42;
+const char* const kCorpusName = "corpus";
+
+struct CorpusParams {
+  int x;
+  int y;
+};
+
+class CorpusCtor {
+ public:
+  CorpusCtor();
+
+  int a_;
+  int b_;
+};
+
+// Regression fixture: a brace initializer inside a constructor member-init
+// list (`CorpusParams{1, 0}`) is not the function body; the scope walk
+// must not mistake `b_` for a namespace-scope object declaration.
+CorpusCtor::CorpusCtor() : a_(CorpusParams{1, 0}.x), b_(0) {}
+
+// ALL_CAPS namespace-scope macro invocations are registrations, not
+// object declarations.
+#define CORPUS_REGISTER(fn) static_assert(sizeof(&(fn)) > 0, #fn)
+
+void corpus_clean(int operand) {
+  // Mutable locals are fine; so is std::this_thread (no spawn).
+  int local = operand + kCorpusConst;
+  std::this_thread::yield();
+  (void)local;
+  (void)kCorpusName;
+  // Ordered containers iterate deterministically — never flagged, even
+  // with a name ending like the unordered members in the pool.
+  std::map<int, int> ordered{{1, 2}};
+  for (const auto& item : ordered) {
+    (void)item;
+  }
+  auto it = ordered.begin();
+  (void)it;
+}
+
+CORPUS_REGISTER(corpus_clean);
+
+}  // namespace syndog::detect

@@ -1,0 +1,17 @@
+// Positive fixtures for concurrency.* outside the sanctioned seams.
+#include <thread>
+
+namespace syndog::detect {
+
+int corpus_shared_counter = 0;  // EXPECT(concurrency.shared_mutable_static)
+
+void corpus_spawn() {
+  std::thread worker([] {});  // EXPECT(concurrency.raw_thread)
+  worker.join();
+  auto fut = std::async([] { return 1; });  // EXPECT(concurrency.raw_thread)
+  (void)fut;
+  static int corpus_calls = 0;  // EXPECT(concurrency.shared_mutable_static)
+  ++corpus_calls;
+}
+
+}  // namespace syndog::detect

@@ -1,0 +1,18 @@
+// Positive fixtures for the determinism.* pattern rules.
+namespace syndog::detect {
+
+void corpus_entropy() {
+  std::random_device rd;                       // EXPECT(determinism.random_device)
+  int roll = rand();                           // EXPECT(determinism.rand)
+  srand(42);                                   // EXPECT(determinism.srand)
+  long stamp = time(nullptr);                  // EXPECT(determinism.time_seed)
+  std::mt19937 engine(7);                      // EXPECT(determinism.raw_engine)
+  auto t0 = std::chrono::steady_clock::now();  // EXPECT(determinism.wall_clock)
+  (void)rd;
+  (void)roll;
+  (void)stamp;
+  (void)engine;
+  (void)t0;
+}
+
+}  // namespace syndog::detect

@@ -1,0 +1,8 @@
+// EXPECT(headers.not_self_contained) -- std::size_t needs <cstddef>.
+#pragma once
+
+namespace syndog::detect {
+
+inline std::size_t corpus_size() { return 0; }
+
+}  // namespace syndog::detect

@@ -1,0 +1,24 @@
+// Declares unordered members; the iteration findings are in
+// unordered_bad.cpp — the cross-file name-pool path under test.
+#pragma once
+
+#include <cstddef>
+#include <unordered_map>
+#include <unordered_set>
+
+namespace syndog::detect {
+
+using CorpusIndex = std::unordered_map<int, int>;
+
+class CorpusCounts {
+ public:
+  void dump() const;
+  std::size_t total() const;
+
+ private:
+  std::unordered_map<int, int> corpus_counts_;
+  std::unordered_set<int> corpus_seen_;
+  CorpusIndex corpus_index_;
+};
+
+}  // namespace syndog::detect

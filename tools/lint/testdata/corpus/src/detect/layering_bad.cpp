@@ -1,0 +1,11 @@
+#include "syndog/sim/scheduler.hpp"  // EXPECT(layering.violation)
+#include "syndog/util/time.hpp"
+
+// detect may reach obs/stats/util (see LAYER_DEPS); sim is a higher
+// layer, so the first include above is a DAG violation. The util include
+// is a negative: transitive deps are always allowed.
+namespace syndog::detect {
+
+void corpus_layering() {}
+
+}  // namespace syndog::detect

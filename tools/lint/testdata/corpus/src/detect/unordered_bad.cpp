@@ -1,0 +1,24 @@
+// Positive fixtures for determinism.unordered_iteration: the members are
+// declared (as unordered types) in the header, iterated here — the
+// cross-file pool is what makes these reachable.
+#include "syndog/detect/unordered_bad.hpp"
+
+namespace syndog::detect {
+
+void CorpusCounts::dump() const {
+  for (const auto& item : corpus_counts_) {  // EXPECT(determinism.unordered_iteration)
+    (void)item;
+  }
+  auto it = corpus_seen_.begin();  // EXPECT(determinism.unordered_iteration)
+  (void)it;
+  for (const auto& entry : corpus_index_) {  // EXPECT(determinism.unordered_iteration)
+    (void)entry;
+  }
+}
+
+std::size_t CorpusCounts::total() const {
+  // Negative: size/count/find never observe iteration order.
+  return corpus_counts_.size() + corpus_seen_.count(0);
+}
+
+}  // namespace syndog::detect

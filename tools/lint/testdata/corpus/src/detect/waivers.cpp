@@ -1,0 +1,25 @@
+// Waiver-accounting fixtures. EXPECT-NL markers sit on the line above
+// their target because the target line already carries the waiver comment
+// under test (anything after the rule list would parse as justification).
+namespace syndog::detect {
+
+// Negative: a justified waiver suppresses the finding and itself stays
+// silent — both same-line and next-line forms.
+int corpus_waived_same = 0;  // syndog-lint: allow(concurrency.shared_mutable_static) -- corpus: justified same-line waiver must suppress
+// syndog-lint: allow-next-line(concurrency.shared_mutable_static) -- corpus: justified next-line waiver must suppress
+int corpus_waived_next = 0;
+
+// A waiver with no `-- <why>` still suppresses, but is itself a finding.
+// EXPECT-NL(waiver.missing_justification)
+int corpus_unjustified = 0;  // syndog-lint: allow(concurrency.shared_mutable_static)
+
+// A waiver naming a nonexistent rule id (alongside a real one, so the
+// waiver is used and only the unknown id is reported).
+// EXPECT-NL(waiver.unknown_rule)
+int corpus_unknown = 0;  // syndog-lint: allow(concurrency.shared_mutable_static, corpus.bogus) -- corpus: one real id, one bogus id
+
+// A waiver whose target line produces nothing: stale, must be flagged.
+// EXPECT-NL(waiver.unused)
+constexpr int kCorpusFine = 1;  // syndog-lint: allow(determinism.rand) -- corpus: stale waiver left to prove unused detection
+
+}  // namespace syndog::detect

@@ -1,0 +1,14 @@
+// Negative fixture: a hotpath-file whose only "new" is placement new —
+// construction into a pre-sized slot allocates nothing and is allowed.
+// syndog-lint: hotpath-file
+#pragma once
+
+#include <new>
+
+namespace syndog::ingest {
+
+inline int* corpus_construct(void* slot) {
+  return new (slot) int(0);
+}
+
+}  // namespace syndog::ingest

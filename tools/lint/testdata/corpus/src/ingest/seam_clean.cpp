@@ -1,0 +1,15 @@
+// Negative fixture: src/ingest is a sanctioned seam — threads and mutable
+// module state are allowed here (the real pipeline's two-thread pump).
+#include <atomic>
+#include <thread>
+
+namespace syndog::ingest {
+
+std::atomic<int> corpus_pump_state{0};
+
+void corpus_pump() {
+  std::thread pump([] { corpus_pump_state.store(1); });
+  pump.join();
+}
+
+}  // namespace syndog::ingest

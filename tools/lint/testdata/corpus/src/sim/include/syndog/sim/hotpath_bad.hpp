@@ -1,0 +1,22 @@
+// Positive fixtures for hotpath.allocation: the file opts in below.
+// syndog-lint: hotpath-file
+#pragma once
+
+#include <vector>
+
+namespace syndog::sim {
+
+class CorpusPool {
+ public:
+  void grow(int value) {
+    buf_.push_back(value);   // EXPECT(hotpath.allocation)
+    buf_.reserve(64);        // EXPECT(hotpath.allocation)
+    int* raw = new int(3);   // EXPECT(hotpath.allocation)
+    delete raw;
+  }
+
+ private:
+  std::vector<int> buf_;
+};
+
+}  // namespace syndog::sim

@@ -1,0 +1,11 @@
+// Positive fixture for hotpath.std_function: a sim public header other
+// than syndog/sim/callbacks.hpp (the one sanctioned owner).
+#pragma once
+
+#include <functional>  // EXPECT(hotpath.std_function)
+
+namespace syndog::sim {
+
+using CorpusHook = std::function<void()>;  // EXPECT(hotpath.std_function)
+
+}  // namespace syndog::sim

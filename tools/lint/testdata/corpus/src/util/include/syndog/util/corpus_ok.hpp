@@ -1,0 +1,10 @@
+// Negative fixture: a self-contained header compiles clean standalone.
+#pragma once
+
+#include <cstdint>
+
+namespace syndog::util {
+
+inline std::uint32_t corpus_mix(std::uint32_t x) { return x * 2654435761u; }
+
+}  // namespace syndog::util
