@@ -6,18 +6,44 @@
 // lines, alarm banners with MAC evidence, and the aggregated campaign
 // estimate (sum of per-stub flood shares).
 //
+// Every agent also streams into a telemetry::TelemetrySink via
+// core::FleetRecorder::attach, and the final assessment is sourced from
+// the recorded syndog-tsf/1 stream's alarm-timeline rollup — the same
+// query path syndog_fleetctl uses — so the dashboard doubles as an
+// end-to-end check that the live view and the telemetry view agree
+// (rates and MAC suspects stay with the in-run aggregator: they carry
+// evidence the fleet schema deliberately does not ship).
+//
 //   $ operator_dashboard [stubs=3] [rate_per_stub=50] [minutes=8]
 #include <cstdio>
+#include <optional>
+#include <sstream>
 
 #include "syndog/attack/campaign.hpp"
 #include "syndog/core/agent.hpp"
 #include "syndog/core/aggregator.hpp"
+#include "syndog/core/fleet.hpp"
 #include "syndog/sim/multistub.hpp"
+#include "syndog/telemetry/rollup.hpp"
+#include "syndog/telemetry/sink.hpp"
+#include "syndog/telemetry/tsf.hpp"
 #include "syndog/util/config.hpp"
 #include "syndog/util/strings.hpp"
 
 using namespace syndog;
 using util::SimTime;
+
+namespace {
+
+/// Agent id of `name` in the recorded dictionary, or -1.
+int agent_index(const telemetry::TsfReader& reader, const std::string& name) {
+  for (std::size_t i = 0; i < reader.agents().size(); ++i) {
+    if (reader.agents()[i].name == name) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+}  // namespace
 
 int main(int argc, char** argv) {
   const util::Config cfg = util::Config::from_args(argc - 1, argv + 1);
@@ -38,6 +64,9 @@ int main(int argc, char** argv) {
 
   core::AlarmAggregator aggregator(
       core::SynDogParams{}.observation_period);
+  std::ostringstream telemetry_bytes;
+  telemetry::TelemetrySink sink(telemetry_bytes);
+  core::FleetRecorder fleet(sink);
   std::vector<std::unique_ptr<core::SynDogAgent>> agents;
   for (int s = 0; s < stubs; ++s) {
     const std::string name = "stub-" + std::to_string(s);
@@ -64,6 +93,8 @@ int main(int argc, char** argv) {
           }
           (void)net;
         }));
+    fleet.attach(*agents.back(), name,
+                 static_cast<std::uint32_t>(64496 + s));
   }
 
   // Background web traffic per stub, plus the campaign from minute 2.
@@ -97,13 +128,33 @@ int main(int argc, char** argv) {
               stubs, campaign.aggregate_rate, rate_per_stub);
   net.run_until(sim_end);
 
+  // The final assessment reads back the recorded telemetry: alarm counts
+  // and "since" times come from the file's rollup, not from the live
+  // aggregator (which must agree with it, or the run fails).
+  sink.finish();
+  std::istringstream telemetry_in(telemetry_bytes.str());
+  const telemetry::TsfReader reader(telemetry_in);
+  const telemetry::AlarmTimeline timeline =
+      telemetry::alarm_timeline(reader, core::kFleetMetricAlarm);
+
   std::printf("\n=== final assessment ===\n");
   std::printf("%zu/%d stubs alarming; estimated aggregate %.0f SYN/s "
               "(true %.0f)\n",
-              aggregator.alarming_stubs(), stubs,
+              static_cast<std::size_t>(timeline.agents_alarmed), stubs,
               aggregator.estimated_aggregate_rate(),
               campaign.aggregate_rate);
+  bool views_agree =
+      timeline.agents_alarmed == aggregator.alarming_stubs();
   for (const auto& alarm : aggregator.snapshot()) {
+    // The aggregator's `at` is the *latest* alarm report; the recorded
+    // timeline carries the edges, so the cross-check is that the episode
+    // started (first rising edge) no later than the live view's stamp.
+    const int agent = agent_index(reader, alarm.stub_name);
+    const std::optional<SimTime> onset =
+        agent < 0 ? std::nullopt
+                  : telemetry::first_alarm(timeline,
+                                           static_cast<std::uint32_t>(agent));
+    if (!onset || *onset > alarm.at) views_agree = false;
     std::printf("  %-8s ~%5.0f SYN/s  since %s  suspects:",
                 alarm.stub_name.c_str(), alarm.estimated_rate,
                 alarm.at.to_string().c_str());
@@ -116,6 +167,11 @@ int main(int argc, char** argv) {
               util::format_count(static_cast<std::int64_t>(
                   victim.stats().backlog_drops)).c_str(),
               victim.half_open_count(), victim_params.backlog);
+  if (!views_agree) {
+    std::fprintf(stderr, "telemetry rollup disagrees with the live "
+                         "aggregator view\n");
+    return 1;
+  }
   return aggregator.alarming_stubs() == static_cast<std::size_t>(stubs)
              ? 0
              : 1;

@@ -91,6 +91,10 @@ void SynDogAgent::attach_observer(obs::EventTracer* tracer,
   inbound_metrics_.emplace(registry, "sniffer.in", tracer);
 }
 
+void SynDogAgent::set_period_callback(PeriodCallback cb) {
+  on_period_ = std::move(cb);
+}
+
 void SynDogAgent::set_health_policy(AgentHealthPolicy policy) {
   policy.validate();
   policy_ = policy;
@@ -263,6 +267,7 @@ void SynDogAgent::on_period_end() {
   }
 
   if (missed == 0 && consecutive_collapsed_ == 0) note_clean_period();
+  if (on_period_) on_period_(report, health_, now);
   schedule_next_period();
 }
 

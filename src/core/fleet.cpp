@@ -1,0 +1,99 @@
+#include "syndog/core/fleet.hpp"
+
+#include <stdexcept>
+#include <utility>
+
+namespace syndog::core {
+
+FleetRecorder::FleetRecorder(telemetry::TelemetrySink& sink)
+    : FleetRecorder(sink, Cadence{}) {}
+
+FleetRecorder::FleetRecorder(telemetry::TelemetrySink& sink, Cadence cadence)
+    : sink_(sink), cadence_(cadence) {
+  if (cadence_.heartbeat_periods <= 0) {
+    throw std::invalid_argument(
+        "FleetRecorder: heartbeat_periods must be positive");
+  }
+}
+
+std::size_t FleetRecorder::new_slot(std::string_view name,
+                                    std::uint32_t as_number,
+                                    std::unique_ptr<SynDog> dog) {
+  const std::uint32_t agent = sink_.register_agent(name, as_number);
+  Slot slot;
+  slot.dog = std::move(dog);
+  slot.s_syn = sink_.series_id(agent, sink_.metric_id(kFleetMetricSyn));
+  slot.s_syn_ack =
+      sink_.series_id(agent, sink_.metric_id(kFleetMetricSynAck));
+  slot.s_k = sink_.series_id(agent, sink_.metric_id(kFleetMetricK));
+  slot.s_y = sink_.series_id(agent, sink_.metric_id(kFleetMetricY));
+  slot.s_alarm = sink_.series_id(agent, sink_.metric_id(kFleetMetricAlarm));
+  slot.s_health = sink_.series_id(agent, sink_.metric_id(kFleetMetricHealth));
+  slots_.push_back(std::move(slot));
+  return slots_.size() - 1;
+}
+
+std::size_t FleetRecorder::add_agent(std::string_view name,
+                                     std::uint32_t as_number,
+                                     const SynDogParams& params) {
+  return new_slot(name, as_number, std::make_unique<SynDog>(params));
+}
+
+std::size_t FleetRecorder::attach(SynDogAgent& agent, std::string_view name,
+                                  std::uint32_t as_number) {
+  const std::size_t slot = new_slot(name, as_number, nullptr);
+  agent.set_period_callback(
+      [this, slot](const PeriodReport& report, AgentHealth health,
+                   util::SimTime at) {
+        record(slots_[slot], report, static_cast<double>(health), at);
+      });
+  return slot;
+}
+
+PeriodReport FleetRecorder::observe(std::size_t slot, std::int64_t syn,
+                                    std::int64_t syn_ack, util::SimTime at) {
+  Slot& s = slots_.at(slot);
+  if (s.dog == nullptr) {
+    throw std::logic_error("FleetRecorder: observe() on an attach() slot");
+  }
+  const PeriodReport report = s.dog->observe_period(syn, syn_ack);
+  record(s, report, 0.0, at);
+  return report;
+}
+
+const SynDog& FleetRecorder::detector(std::size_t slot) const {
+  const Slot& s = slots_.at(slot);
+  if (s.dog == nullptr) {
+    throw std::logic_error("FleetRecorder: attach() slots keep their "
+                           "detector inside the SynDogAgent");
+  }
+  return *s.dog;
+}
+
+void FleetRecorder::record(Slot& slot, const PeriodReport& report,
+                           double health, util::SimTime at) {
+  const bool heartbeat =
+      slot.fed_periods % cadence_.heartbeat_periods == 0;
+  ++slot.fed_periods;
+  const bool alarm_edge = report.alarm != slot.alarm_state;
+  const bool health_edge = health != slot.health_state;
+  // Edges force a full sample set so the surrounding context (counts, K,
+  // y) is always on file for the periods that matter.
+  if (heartbeat || alarm_edge || health_edge) {
+    sink_.push(slot.s_syn, at, static_cast<double>(report.syn_count));
+    sink_.push(slot.s_syn_ack, at,
+               static_cast<double>(report.syn_ack_count));
+    sink_.push(slot.s_k, at, report.k_estimate);
+    sink_.push(slot.s_y, at, report.y);
+  }
+  if (alarm_edge) {
+    slot.alarm_state = report.alarm;
+    sink_.push(slot.s_alarm, at, report.alarm ? 1.0 : 0.0);
+  }
+  if (health_edge) {
+    slot.health_state = health;
+    sink_.push(slot.s_health, at, health);
+  }
+}
+
+}  // namespace syndog::core

@@ -125,6 +125,16 @@ class SynDogAgent {
   /// start; does not retroactively reinterpret past periods.
   void set_health_policy(AgentHealthPolicy policy);
 
+  /// Invoked once per *fed* observation period, after the CUSUM update and
+  /// any alarm callback, with the period's report, the agent's health as
+  /// of the period end, and the scheduler clock. Discarded periods (blind
+  /// or collapse-absorbed rollovers) do not fire it — they produce no
+  /// report. This is the streaming seam the fleet telemetry wiring
+  /// (core::FleetRecorder) hooks; an empty callback detaches.
+  using PeriodCallback =
+      std::function<void(const PeriodReport&, AgentHealth, util::SimTime)>;
+  void set_period_callback(PeriodCallback cb);
+
   /// Tells the agent its sniffers are (not) seeing traffic — the DES
   /// analogue of a tap daemon heartbeat. While an outage is active every
   /// rollover is discarded as a gap (counters may hold partial garbage);
@@ -188,6 +198,7 @@ class SynDogAgent {
   Sniffer inbound_{SnifferRole::kInbound};
   SourceLocator locator_;
   AlarmCallback on_alarm_;
+  PeriodCallback on_period_;
   std::vector<PeriodReport> history_;
   bool ever_alarmed_ = false;
   std::int64_t first_alarm_period_ = -1;

@@ -7,46 +7,28 @@
 namespace syndog::detect {
 
 namespace {
+
 /// Standard normal CDF.
 double phi(double z) { return 0.5 * std::erfc(-z / std::sqrt(2.0)); }
-}  // namespace
 
-double cusum_average_run_length(const ArlSpec& spec) {
-  spec.validate();
-  const int m = spec.states;
-  const double width = spec.threshold / static_cast<double>(m);
-  // State i represents y in [i*w, (i+1)*w), approximated by its center;
-  // state 0's center is pinned to 0 because the reset-at-zero atom
-  // carries most of the stationary mass under normal operation.
+/// Band centers of the Brook & Evans discretization: state i represents
+/// y in [i*w, (i+1)*w), approximated by its center; state 0's center is
+/// pinned to 0 because the reset-at-zero atom carries most of the
+/// stationary mass under normal operation.
+std::vector<double> band_centers(int m, double width) {
   std::vector<double> centers(static_cast<std::size_t>(m));
   centers[0] = 0.0;
   for (int i = 1; i < m; ++i) {
     centers[static_cast<std::size_t>(i)] = (i + 0.5) * width;
   }
+  return centers;
+}
 
-  // Transition probabilities: y' = max(0, y + X - a) with X ~ N(mu, sigma).
-  // P(y' in state j) integrates the Gaussian over the band; the j = 0
-  // band additionally absorbs all mass that clips at zero.
-  const double shift = spec.mean - spec.offset;
-  std::vector<double> q(static_cast<std::size_t>(m) *
-                        static_cast<std::size_t>(m));
-  for (int i = 0; i < m; ++i) {
-    const double y = centers[static_cast<std::size_t>(i)];
-    for (int j = 0; j < m; ++j) {
-      const double lo = j == 0 ? -std::numeric_limits<double>::infinity()
-                               : j * width;
-      const double hi = (j + 1) * width;
-      const double z_lo =
-          std::isinf(lo) ? -std::numeric_limits<double>::infinity()
-                         : (lo - y - shift) / spec.stddev;
-      const double z_hi = (hi - y - shift) / spec.stddev;
-      const double p_lo = std::isinf(z_lo) ? 0.0 : phi(z_lo);
-      q[static_cast<std::size_t>(i) * m + static_cast<std::size_t>(j)] =
-          phi(z_hi) - p_lo;
-    }
-  }
-
-  // Solve (I - Q) t = 1 by Gaussian elimination with partial pivoting.
+/// Expected steps until absorption starting from state 0, given the
+/// within-band transition matrix Q (row-major m x m): solves
+/// (I - Q) t = 1 by Gaussian elimination with partial pivoting. Returns
+/// +inf if the system is (numerically) absorbing-free.
+double expected_hitting_time(const std::vector<double>& q, int m) {
   std::vector<double> a(static_cast<std::size_t>(m) *
                         static_cast<std::size_t>(m));
   std::vector<double> t(static_cast<std::size_t>(m), 1.0);
@@ -99,6 +81,78 @@ double cusum_average_run_length(const ArlSpec& spec) {
         acc / a[static_cast<std::size_t>(row) * m + row];
   }
   return t[0];  // expected run length starting from y = 0
+}
+
+}  // namespace
+
+double cusum_average_run_length(const ArlSpec& spec) {
+  spec.validate();
+  const int m = spec.states;
+  const double width = spec.threshold / static_cast<double>(m);
+  const std::vector<double> centers = band_centers(m, width);
+
+  // Transition probabilities: y' = max(0, y + X - a) with X ~ N(mu, sigma).
+  // P(y' in state j) integrates the Gaussian over the band; the j = 0
+  // band additionally absorbs all mass that clips at zero.
+  const double shift = spec.mean - spec.offset;
+  std::vector<double> q(static_cast<std::size_t>(m) *
+                        static_cast<std::size_t>(m));
+  for (int i = 0; i < m; ++i) {
+    const double y = centers[static_cast<std::size_t>(i)];
+    for (int j = 0; j < m; ++j) {
+      const double lo = j == 0 ? -std::numeric_limits<double>::infinity()
+                               : j * width;
+      const double hi = (j + 1) * width;
+      const double z_lo =
+          std::isinf(lo) ? -std::numeric_limits<double>::infinity()
+                         : (lo - y - shift) / spec.stddev;
+      const double z_hi = (hi - y - shift) / spec.stddev;
+      const double p_lo = std::isinf(z_lo) ? 0.0 : phi(z_lo);
+      q[static_cast<std::size_t>(i) * m + static_cast<std::size_t>(j)] =
+          phi(z_hi) - p_lo;
+    }
+  }
+  return expected_hitting_time(q, m);
+}
+
+double cusum_average_run_length(const PoissonArlSpec& spec) {
+  spec.validate();
+  const int m = spec.states;
+  const double width = spec.threshold / static_cast<double>(m);
+  const std::vector<double> centers = band_centers(m, width);
+
+  // The count support is effectively [0, rate + 12*sqrt(rate) + 24]:
+  // the pmf beyond that is below ~1e-12 even for small rates, and any
+  // truncated mass would only land in the absorbing tail anyway (large
+  // counts push y past N), so dropping it biases the ARL upward by a
+  // negligible amount.
+  const int k_max = static_cast<int>(
+      std::ceil(spec.rate + 12.0 * std::sqrt(spec.rate) + 24.0));
+  std::vector<double> pmf(static_cast<std::size_t>(k_max) + 1);
+  pmf[0] = std::exp(-spec.rate);
+  for (int k = 1; k <= k_max; ++k) {
+    pmf[static_cast<std::size_t>(k)] =
+        pmf[static_cast<std::size_t>(k) - 1] * spec.rate /
+        static_cast<double>(k);
+  }
+
+  // Transition probabilities: y' = max(0, y + k*scale - a), k ~ Poisson.
+  // Each atom lands in exactly one band (or is absorbed when y' > N).
+  std::vector<double> q(static_cast<std::size_t>(m) *
+                        static_cast<std::size_t>(m));
+  for (int i = 0; i < m; ++i) {
+    const double y = centers[static_cast<std::size_t>(i)];
+    for (int k = 0; k <= k_max; ++k) {
+      const double next = std::max(
+          0.0, y + static_cast<double>(k) * spec.scale - spec.offset);
+      if (next > spec.threshold) break;  // this and larger k: absorbed
+      const int j =
+          std::min(static_cast<int>(next / width), m - 1);
+      q[static_cast<std::size_t>(i) * m + static_cast<std::size_t>(j)] +=
+          pmf[static_cast<std::size_t>(k)];
+    }
+  }
+  return expected_hitting_time(q, m);
 }
 
 }  // namespace syndog::detect

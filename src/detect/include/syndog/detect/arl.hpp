@@ -43,4 +43,39 @@ struct ArlSpec {
 /// for stddev > 0 but guards degenerate inputs.
 [[nodiscard]] double cusum_average_run_length(const ArlSpec& spec);
 
+/// Same Markov-chain computation for the small-site regime, where the
+/// Gaussian kernel fails: at a stub leaf router the per-period
+/// unanswered-SYN count is a small Poisson, so Xn = count / K-bar is a
+/// *scaled Poisson* — discrete and strongly right-skewed. Its upper tail
+/// carries orders of magnitude more mass than a Gaussian with matched
+/// moments, and since the ARL is driven by tail excursions, the Gaussian
+/// Eq. (5) prediction can overestimate the time between false alarms by
+/// ~100x (see bench_fleet_telemetry and EXPERIMENTS.md).
+struct PoissonArlSpec {
+  double rate = 1.0;     ///< lambda of the per-period count (> 0)
+  double scale = 0.1;    ///< Xn = count * scale, i.e. 1 / K-bar (> 0)
+  double offset = 0.35;  ///< the CUSUM's drift offset a
+  double threshold = 1.05;  ///< alarm threshold N
+  int states = 200;      ///< discretization resolution (>= 8)
+
+  void validate() const {
+    if (!(rate > 0.0)) {
+      throw std::invalid_argument("PoissonArlSpec: rate must be > 0");
+    }
+    if (!(scale > 0.0)) {
+      throw std::invalid_argument("PoissonArlSpec: scale must be > 0");
+    }
+    if (!(threshold > 0.0)) {
+      throw std::invalid_argument("PoissonArlSpec: threshold must be > 0");
+    }
+    if (states < 8 || states > 2000) {
+      throw std::invalid_argument("PoissonArlSpec: states in [8, 2000]");
+    }
+  }
+};
+
+/// Expected observations until the CUSUM crosses the threshold, starting
+/// from y = 0, for i.i.d. scaled-Poisson observations.
+[[nodiscard]] double cusum_average_run_length(const PoissonArlSpec& spec);
+
 }  // namespace syndog::detect

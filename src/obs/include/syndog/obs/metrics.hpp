@@ -13,6 +13,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <string>
 #include <string_view>
@@ -97,6 +98,15 @@ struct MetricsSnapshot {
   std::vector<HistogramSample> histograms;
 
   [[nodiscard]] std::string to_json() const;
+
+  /// Flattens every instrument to (name, value) scalar pairs in the same
+  /// stable order the JSON export uses: counters as "counter.<name>",
+  /// gauges as "gauge.<name>", histograms as "histogram.<name>.count" /
+  /// ".sum". This is the serialization seam the fleet telemetry sink
+  /// (src/telemetry) ingests snapshots through — per-bucket counts are
+  /// deliberately not flattened (bucket layouts belong to the JSON side).
+  void for_each_scalar(
+      const std::function<void(std::string_view, double)>& fn) const;
 };
 
 /// Owns instruments by name. References returned by the getters are stable

@@ -1,0 +1,88 @@
+// Query/rollup layer over a decoded syndog-tsf/1 file.
+//
+// These are the operator-facing aggregations syndog_fleetctl exposes:
+// per-AS alarm timelines, K̄ drift (bucketed mean/min/max of a metric),
+// and fleet health summaries. All output orders are deterministic —
+// sorted by AS number, agent id, then sim time — and the CSV/JSON
+// renderers reuse the obs exporters' number formatting, so identical
+// files roll up to byte-identical text.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "syndog/telemetry/tsf.hpp"
+#include "syndog/util/time.hpp"
+
+namespace syndog::telemetry {
+
+/// One alarm transition (rising or falling edge of an "alarm" metric).
+struct AlarmEdge {
+  std::uint32_t as_number = 0;
+  std::uint32_t agent = 0;  ///< index into reader.agents()
+  util::SimTime at;
+  bool raised = false;  ///< true = 0→1 edge, false = 1→0 edge
+};
+
+/// Fleet-wide alarm history, ordered by (AS, agent, time).
+struct AlarmTimeline {
+  std::vector<AlarmEdge> edges;
+  std::uint64_t agents_alarmed = 0;  ///< agents with >= 1 rising edge
+  std::uint64_t rising_edges = 0;
+};
+
+/// Extracts the alarm timeline for `metric` (0/1-valued series; samples
+/// equal to the previous value are not edges). Agents start un-alarmed.
+[[nodiscard]] AlarmTimeline alarm_timeline(const TsfReader& reader,
+                                           std::string_view metric);
+
+/// First rising edge per agent, or empty when the agent never alarmed.
+[[nodiscard]] std::optional<util::SimTime> first_alarm(
+    const AlarmTimeline& timeline, std::uint32_t agent);
+
+/// One time bucket of a drift rollup.
+struct DriftPoint {
+  util::SimTime bucket_start;
+  double mean = 0.0;
+  double min = 0.0;
+  double max = 0.0;
+  std::uint64_t samples = 0;
+};
+
+/// Buckets every sample of `metric` (optionally restricted to one AS)
+/// into `bucket` intervals and reports mean/min/max per bucket. Empty
+/// buckets are omitted; points are ordered by bucket start.
+[[nodiscard]] std::vector<DriftPoint> metric_drift(
+    const TsfReader& reader, std::string_view metric, util::SimTime bucket,
+    std::optional<std::uint32_t> as_filter = std::nullopt);
+
+/// Per-AS health roll-up from a "health" metric whose samples are
+/// core::AgentHealth values (0 healthy, 1 degraded, 2 blind). An agent's
+/// state is its last sample; agents with no health samples count healthy.
+struct HealthSummary {
+  std::uint32_t as_number = 0;
+  std::uint64_t agents = 0;
+  std::uint64_t healthy = 0;
+  std::uint64_t degraded = 0;
+  std::uint64_t blind = 0;
+  std::uint64_t transitions = 0;  ///< health samples that changed state
+};
+
+[[nodiscard]] std::vector<HealthSummary> health_summary(
+    const TsfReader& reader, std::string_view metric);
+
+/// CSV renderers (header row + one line per record, '\n' line ends).
+[[nodiscard]] std::string alarm_timeline_csv(const TsfReader& reader,
+                                             const AlarmTimeline& timeline);
+[[nodiscard]] std::string drift_csv(const std::vector<DriftPoint>& points);
+[[nodiscard]] std::string health_csv(
+    const std::vector<HealthSummary>& summaries);
+
+/// Whole-file summary as a single deterministic JSON object (agent and
+/// sample counts, per-AS fleet size, metric directory, read verdict).
+[[nodiscard]] std::string fleet_summary_json(const TsfReader& reader);
+
+}  // namespace syndog::telemetry

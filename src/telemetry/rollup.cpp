@@ -1,0 +1,242 @@
+#include "syndog/telemetry/rollup.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <map>
+#include <tuple>
+
+#include "syndog/obs/json.hpp"
+
+namespace syndog::telemetry {
+namespace {
+
+/// AS number for an agent index; truncated files can carry samples for
+/// agents missing from the dictionary — those group under AS 0.
+std::uint32_t as_of(const TsfReader& reader, std::uint32_t agent) {
+  if (agent < reader.agents().size()) return reader.agents()[agent].as_number;
+  return 0;
+}
+
+}  // namespace
+
+AlarmTimeline alarm_timeline(const TsfReader& reader,
+                             std::string_view metric) {
+  AlarmTimeline out;
+  const std::int64_t metric_idx = reader.find_metric(metric);
+  if (metric_idx < 0) return out;
+  for (std::uint32_t sid = 0; sid < reader.series().size(); ++sid) {
+    const TsfSeries& s = reader.series()[sid];
+    if (s.metric != static_cast<std::uint32_t>(metric_idx)) continue;
+    bool state = false;
+    bool alarmed = false;
+    for (const TsfSample& sample : reader.samples(sid)) {
+      const bool raised = sample.value != 0.0;
+      if (raised == state) continue;
+      state = raised;
+      out.edges.push_back(
+          AlarmEdge{as_of(reader, s.agent), s.agent, sample.at, raised});
+      if (raised) {
+        ++out.rising_edges;
+        alarmed = true;
+      }
+    }
+    if (alarmed) ++out.agents_alarmed;
+  }
+  std::sort(out.edges.begin(), out.edges.end(),
+            [](const AlarmEdge& a, const AlarmEdge& b) {
+              return std::tuple(a.as_number, a.agent, a.at.ns(), a.raised) <
+                     std::tuple(b.as_number, b.agent, b.at.ns(), b.raised);
+            });
+  return out;
+}
+
+std::optional<util::SimTime> first_alarm(const AlarmTimeline& timeline,
+                                         std::uint32_t agent) {
+  std::optional<util::SimTime> best;
+  for (const AlarmEdge& e : timeline.edges) {
+    if (e.agent != agent || !e.raised) continue;
+    if (!best || e.at < *best) best = e.at;
+  }
+  return best;
+}
+
+std::vector<DriftPoint> metric_drift(const TsfReader& reader,
+                                     std::string_view metric,
+                                     util::SimTime bucket,
+                                     std::optional<std::uint32_t> as_filter) {
+  std::vector<DriftPoint> out;
+  const std::int64_t metric_idx = reader.find_metric(metric);
+  if (metric_idx < 0 || bucket.ns() <= 0) return out;
+  struct Acc {
+    double sum = 0.0;
+    double min = std::numeric_limits<double>::infinity();
+    double max = -std::numeric_limits<double>::infinity();
+    std::uint64_t n = 0;
+  };
+  std::map<std::int64_t, Acc> drift_buckets;
+  for (std::uint32_t sid = 0; sid < reader.series().size(); ++sid) {
+    const TsfSeries& s = reader.series()[sid];
+    if (s.metric != static_cast<std::uint32_t>(metric_idx)) continue;
+    if (as_filter && as_of(reader, s.agent) != *as_filter) continue;
+    for (const TsfSample& sample : reader.samples(sid)) {
+      Acc& acc = drift_buckets[sample.at.ns() / bucket.ns()];
+      acc.sum += sample.value;
+      acc.min = std::min(acc.min, sample.value);
+      acc.max = std::max(acc.max, sample.value);
+      ++acc.n;
+    }
+  }
+  out.reserve(drift_buckets.size());
+  for (const auto& [idx, acc] : drift_buckets) {
+    out.push_back(DriftPoint{bucket * idx, acc.sum / static_cast<double>(acc.n),
+                             acc.min, acc.max, acc.n});
+  }
+  return out;
+}
+
+std::vector<HealthSummary> health_summary(const TsfReader& reader,
+                                          std::string_view metric) {
+  std::map<std::uint32_t, HealthSummary> by_as;
+  for (std::uint32_t agent = 0; agent < reader.agents().size(); ++agent) {
+    HealthSummary& sum = by_as[reader.agents()[agent].as_number];
+    sum.as_number = reader.agents()[agent].as_number;
+    ++sum.agents;
+  }
+  const std::int64_t metric_idx = reader.find_metric(metric);
+  std::map<std::uint32_t, double> last_state;  // agent -> last health value
+  if (metric_idx >= 0) {
+    for (std::uint32_t sid = 0; sid < reader.series().size(); ++sid) {
+      const TsfSeries& s = reader.series()[sid];
+      if (s.metric != static_cast<std::uint32_t>(metric_idx)) continue;
+      double state = 0.0;
+      bool any = false;
+      std::uint64_t transitions = 0;
+      for (const TsfSample& sample : reader.samples(sid)) {
+        if (!any || sample.value != state) ++transitions;
+        state = sample.value;
+        any = true;
+      }
+      if (!any) continue;
+      last_state[s.agent] = state;
+      by_as[as_of(reader, s.agent)].transitions += transitions;
+    }
+  }
+  for (std::uint32_t agent = 0; agent < reader.agents().size(); ++agent) {
+    HealthSummary& sum = by_as[reader.agents()[agent].as_number];
+    const auto it = last_state.find(agent);
+    const double state = it == last_state.end() ? 0.0 : it->second;
+    if (state == 0.0) {
+      ++sum.healthy;
+    } else if (state == 1.0) {
+      ++sum.degraded;
+    } else {
+      ++sum.blind;
+    }
+  }
+  std::vector<HealthSummary> out;
+  out.reserve(by_as.size());
+  for (const auto& [as_number, sum] : by_as) out.push_back(sum);
+  return out;
+}
+
+std::string alarm_timeline_csv(const TsfReader& reader,
+                               const AlarmTimeline& timeline) {
+  std::string out = "as,agent,t_s,edge\n";
+  for (const AlarmEdge& e : timeline.edges) {
+    out += obs::json_number(std::uint64_t{e.as_number});
+    out.push_back(',');
+    if (e.agent < reader.agents().size()) {
+      out += reader.agents()[e.agent].name;
+    } else {
+      out += "agent#" + obs::json_number(std::uint64_t{e.agent});
+    }
+    out.push_back(',');
+    out += obs::json_number(e.at.to_seconds());
+    out.push_back(',');
+    out += e.raised ? "raise" : "clear";
+    out.push_back('\n');
+  }
+  return out;
+}
+
+std::string drift_csv(const std::vector<DriftPoint>& points) {
+  std::string out = "bucket_t_s,mean,min,max,samples\n";
+  for (const DriftPoint& p : points) {
+    out += obs::json_number(p.bucket_start.to_seconds());
+    out.push_back(',');
+    out += obs::json_number(p.mean);
+    out.push_back(',');
+    out += obs::json_number(p.min);
+    out.push_back(',');
+    out += obs::json_number(p.max);
+    out.push_back(',');
+    out += obs::json_number(p.samples);
+    out.push_back('\n');
+  }
+  return out;
+}
+
+std::string health_csv(const std::vector<HealthSummary>& summaries) {
+  std::string out = "as,agents,healthy,degraded,blind,transitions\n";
+  for (const HealthSummary& s : summaries) {
+    out += obs::json_number(std::uint64_t{s.as_number});
+    out.push_back(',');
+    out += obs::json_number(s.agents);
+    out.push_back(',');
+    out += obs::json_number(s.healthy);
+    out.push_back(',');
+    out += obs::json_number(s.degraded);
+    out.push_back(',');
+    out += obs::json_number(s.blind);
+    out.push_back(',');
+    out += obs::json_number(s.transitions);
+    out.push_back('\n');
+  }
+  return out;
+}
+
+std::string fleet_summary_json(const TsfReader& reader) {
+  util::SimTime begin = util::SimTime::max();
+  util::SimTime end = util::SimTime::zero();
+  std::uint64_t samples = 0;
+  for (std::uint32_t sid = 0; sid < reader.series().size(); ++sid) {
+    for (const TsfSample& s : reader.samples(sid)) {
+      begin = std::min(begin, s.at);
+      end = std::max(end, s.at);
+      ++samples;
+    }
+  }
+  std::map<std::uint32_t, std::uint64_t> fleet;  // AS -> agent count
+  for (const TsfAgent& a : reader.agents()) ++fleet[a.as_number];
+
+  std::string out = "{\"format\":\"syndog-tsf/1\",\"read_end\":";
+  out += obs::json_string(to_string(reader.end()));
+  out += ",\"dictionaries\":";
+  out += reader.has_dictionaries() ? "true" : "false";
+  out += ",\"agents\":" + obs::json_number(std::uint64_t{reader.agents().size()});
+  out += ",\"series\":" + obs::json_number(std::uint64_t{reader.series().size()});
+  out += ",\"samples\":" + obs::json_number(samples);
+  out += ",\"blocks\":" + obs::json_number(reader.blocks_read());
+  out += ",\"span_s\":{\"begin\":";
+  out += obs::json_number(samples == 0 ? 0.0 : begin.to_seconds());
+  out += ",\"end\":";
+  out += obs::json_number(samples == 0 ? 0.0 : end.to_seconds());
+  out += "},\"metrics\":[";
+  for (std::size_t i = 0; i < reader.metrics().size(); ++i) {
+    if (i != 0) out.push_back(',');
+    out += obs::json_string(reader.metrics()[i]);
+  }
+  out += "],\"fleet\":{";
+  bool first = true;
+  for (const auto& [as_number, count] : fleet) {
+    if (!first) out.push_back(',');
+    first = false;
+    out += obs::json_string(obs::json_number(std::uint64_t{as_number}));
+    out.push_back(':');
+    out += obs::json_number(count);
+  }
+  out += "}}";
+  return out;
+}
+
+}  // namespace syndog::telemetry

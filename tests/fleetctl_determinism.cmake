@@ -1,0 +1,63 @@
+# Runs `syndog_fleetctl gen` three times — twice inline, once with the
+# threaded drain — and requires all three syndog-tsf/1 files to be
+# byte-identical, then runs the summary and alarms rollups twice each and
+# requires byte-identical text. Guards the two determinism contracts of
+# the telemetry layer: a campaign is a pure function of its seed, and the
+# consumer-thread drain never reaches the bytes (docs/OBSERVABILITY.md).
+#
+# Usage: cmake -DFLEETCTL=<path-to-syndog_fleetctl> -DWORK=<dir>
+#              -P fleetctl_determinism.cmake
+if(NOT FLEETCTL OR NOT WORK)
+  message(FATAL_ERROR "fleetctl_determinism.cmake needs -DFLEETCTL= and -DWORK=")
+endif()
+
+file(REMOVE_RECURSE "${WORK}")
+file(MAKE_DIRECTORY "${WORK}")
+
+foreach(run a b c)
+  set(flag "")
+  if(run STREQUAL "c")
+    set(flag "--threaded")
+  endif()
+  execute_process(
+    COMMAND ${FLEETCTL} gen "${WORK}/${run}.tsf" ${flag}
+    RESULT_VARIABLE status
+    OUTPUT_VARIABLE out
+    ERROR_VARIABLE out)
+  if(NOT status EQUAL 0)
+    message(FATAL_ERROR "gen ${run} failed (${status}):\n${out}")
+  endif()
+endforeach()
+
+foreach(other b c)
+  execute_process(
+    COMMAND ${CMAKE_COMMAND} -E compare_files
+            "${WORK}/a.tsf" "${WORK}/${other}.tsf"
+    RESULT_VARIABLE same)
+  if(NOT same EQUAL 0)
+    message(FATAL_ERROR
+            "gen runs a and ${other} wrote different tsf bytes "
+            "(run c is the threaded drain; a/b are inline)")
+  endif()
+endforeach()
+
+foreach(cmd summary alarms)
+  set(texts "")
+  foreach(run 1 2)
+    execute_process(
+      COMMAND ${FLEETCTL} ${cmd} "${WORK}/a.tsf"
+      RESULT_VARIABLE status
+      OUTPUT_VARIABLE out
+      ERROR_VARIABLE err)
+    if(NOT status EQUAL 0)
+      message(FATAL_ERROR "${cmd} run ${run} failed (${status}):\n${err}")
+    endif()
+    list(APPEND texts "${out}")
+  endforeach()
+  list(GET texts 0 first)
+  list(GET texts 1 second)
+  if(NOT first STREQUAL second)
+    message(FATAL_ERROR "${cmd} output differs between identical runs:\n"
+                        "--- run 1 ---\n${first}\n--- run 2 ---\n${second}")
+  endif()
+endforeach()

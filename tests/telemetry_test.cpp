@@ -1,0 +1,568 @@
+// Fleet telemetry backend: syndog-tsf/1 round-trip and damage tolerance,
+// TelemetrySink drain modes (inline reference vs consumer thread), the
+// byte-identity contract between them, rollups, and the zero-allocation
+// guarantee on the producer path.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "syndog/core/fleet.hpp"
+#include "syndog/core/syndog.hpp"
+#include "syndog/telemetry/queue.hpp"
+#include "syndog/telemetry/rollup.hpp"
+#include "syndog/telemetry/sink.hpp"
+#include "syndog/telemetry/tsf.hpp"
+#include "syndog/util/rng.hpp"
+#include "syndog/util/time.hpp"
+
+#include "support/alloc_guard.hpp"
+
+namespace {
+
+using syndog::core::FleetRecorder;
+using syndog::core::SynDogParams;
+using syndog::telemetry::DrainMode;
+using syndog::telemetry::ReadEnd;
+using syndog::telemetry::SampleQueue;
+using syndog::telemetry::TelemetrySink;
+using syndog::telemetry::TelemetrySinkConfig;
+using syndog::telemetry::TsfReader;
+using syndog::telemetry::TsfSample;
+using syndog::telemetry::TsfWriter;
+using syndog::util::Rng;
+using syndog::util::SimTime;
+
+// ---------------------------------------------------------------- queue
+
+TEST(SampleQueueTest, FifoAndOverflow) {
+  SampleQueue<int> q(4);
+  EXPECT_EQ(q.capacity(), 4u);
+  for (int i = 0; i < 4; ++i) EXPECT_TRUE(q.try_push(i));
+  EXPECT_FALSE(q.try_push(99));  // full: refused, not blocked
+  int out = -1;
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_TRUE(q.try_pop(out));
+    EXPECT_EQ(out, i);
+  }
+  EXPECT_FALSE(q.try_pop(out));
+  // Slots recycle after wrap-around.
+  for (int round = 0; round < 3; ++round) {
+    EXPECT_TRUE(q.try_push(round));
+    EXPECT_TRUE(q.try_pop(out));
+    EXPECT_EQ(out, round);
+  }
+}
+
+TEST(SampleQueueTest, CapacityRoundsUpToPowerOfTwo) {
+  EXPECT_EQ(SampleQueue<int>(1).capacity(), 2u);
+  EXPECT_EQ(SampleQueue<int>(5).capacity(), 8u);
+  EXPECT_EQ(SampleQueue<int>(64).capacity(), 64u);
+  EXPECT_THROW(SampleQueue<int>(0), std::invalid_argument);
+}
+
+// ------------------------------------------------------------ tsf format
+
+/// Writes a small two-agent file and returns the bytes.
+std::string write_sample_file(std::size_t block_capacity = 4) {
+  std::ostringstream out;
+  TsfWriter writer(out, block_capacity);
+  const std::uint32_t stub_a = writer.add_agent("stub-a", 64512);
+  const std::uint32_t stub_b = writer.add_agent("stub-b", 64513);
+  const std::uint32_t m_k = writer.add_metric("k");
+  const std::uint32_t m_alarm = writer.add_metric("alarm");
+  const std::uint32_t s0 = writer.open_series(stub_a, m_k);
+  const std::uint32_t s1 = writer.open_series(stub_b, m_k);
+  const std::uint32_t s2 = writer.open_series(stub_a, m_alarm);
+  for (int i = 0; i < 10; ++i) {
+    writer.append(s0, SimTime::seconds(20 * (i + 1)), 100.0 + i);
+    writer.append(s1, SimTime::seconds(20 * (i + 1)), 50.0 - i);
+  }
+  writer.append(s2, SimTime::seconds(60), 1.0);
+  writer.append(s2, SimTime::seconds(120), 0.0);
+  writer.finish();
+  return out.str();
+}
+
+TEST(TsfFormatTest, RoundTripPreservesEverything) {
+  const std::string bytes = write_sample_file();
+  std::istringstream in(bytes);
+  TsfReader reader(in);
+  EXPECT_EQ(reader.end(), ReadEnd::kEof);
+  ASSERT_TRUE(reader.has_dictionaries());
+  ASSERT_EQ(reader.agents().size(), 2u);
+  EXPECT_EQ(reader.agents()[0].name, "stub-a");
+  EXPECT_EQ(reader.agents()[0].as_number, 64512u);
+  EXPECT_EQ(reader.agents()[1].name, "stub-b");
+  ASSERT_EQ(reader.metrics().size(), 2u);
+  EXPECT_EQ(reader.find_metric("k"), 0);
+  EXPECT_EQ(reader.find_metric("alarm"), 1);
+  EXPECT_EQ(reader.find_metric("nope"), -1);
+  ASSERT_EQ(reader.series().size(), 3u);
+  EXPECT_EQ(reader.total_samples(), 22u);
+  ASSERT_EQ(reader.samples(0).size(), 10u);
+  EXPECT_EQ(reader.samples(0)[3].at, SimTime::seconds(80));
+  EXPECT_DOUBLE_EQ(reader.samples(0)[3].value, 103.0);
+  EXPECT_DOUBLE_EQ(reader.samples(1)[9].value, 41.0);
+  ASSERT_EQ(reader.samples(2).size(), 2u);
+  EXPECT_DOUBLE_EQ(reader.samples(2)[0].value, 1.0);
+  EXPECT_TRUE(reader.samples(99).empty());  // unknown id, no throw
+}
+
+TEST(TsfFormatTest, RandomizedRoundTripProperty) {
+  Rng rng(20020820);
+  for (int trial = 0; trial < 20; ++trial) {
+    std::ostringstream out;
+    const std::size_t block_capacity =
+        static_cast<std::size_t>(rng.uniform_int(1, 32));
+    TsfWriter writer(out, block_capacity);
+    const int n_agents = static_cast<int>(rng.uniform_int(1, 5));
+    const int n_metrics = static_cast<int>(rng.uniform_int(1, 4));
+    for (int a = 0; a < n_agents; ++a) {
+      writer.add_agent("agent" + std::to_string(a),
+                       static_cast<std::uint32_t>(64512 + a % 3));
+    }
+    for (int m = 0; m < n_metrics; ++m) {
+      writer.add_metric("metric" + std::to_string(m));
+    }
+    std::vector<std::vector<TsfSample>> expected;
+    for (int a = 0; a < n_agents; ++a) {
+      for (int m = 0; m < n_metrics; ++m) {
+        writer.open_series(static_cast<std::uint32_t>(a),
+                           static_cast<std::uint32_t>(m));
+        expected.emplace_back();
+      }
+    }
+    const int n_samples = static_cast<int>(rng.uniform_int(0, 400));
+    std::int64_t t = 0;
+    for (int i = 0; i < n_samples; ++i) {
+      const auto sid = static_cast<std::uint32_t>(
+          rng.uniform_int(0, static_cast<std::int64_t>(expected.size()) - 1));
+      // Mostly forward steps, occasionally backwards (delta coding must
+      // handle negative deltas), occasionally huge jumps.
+      t += rng.uniform_int(-1'000'000, 50'000'000'000);
+      const double v = rng.normal(0.0, 1e6);
+      writer.append(sid, SimTime::nanoseconds(t), v);
+      expected[sid].push_back(TsfSample{SimTime::nanoseconds(t), v});
+    }
+    writer.finish();
+
+    std::istringstream in(out.str());
+    TsfReader reader(in);
+    ASSERT_EQ(reader.end(), ReadEnd::kEof) << "trial " << trial;
+    ASSERT_TRUE(reader.has_dictionaries());
+    ASSERT_EQ(reader.series().size(), expected.size());
+    for (std::size_t sid = 0; sid < expected.size(); ++sid) {
+      const auto& got = reader.samples(static_cast<std::uint32_t>(sid));
+      ASSERT_EQ(got.size(), expected[sid].size()) << "trial " << trial;
+      EXPECT_EQ(reader.series()[sid].samples, expected[sid].size());
+      for (std::size_t i = 0; i < got.size(); ++i) {
+        EXPECT_EQ(got[i].at, expected[sid][i].at);
+        EXPECT_DOUBLE_EQ(got[i].value, expected[sid][i].value);
+      }
+    }
+  }
+}
+
+TEST(TsfFormatTest, NotATsfStreamThrows) {
+  std::istringstream empty("");
+  EXPECT_THROW(TsfReader{empty}, std::runtime_error);
+  std::istringstream junk("this is not a telemetry file at all");
+  EXPECT_THROW(TsfReader{junk}, std::runtime_error);
+}
+
+TEST(TsfFormatTest, TruncationRecoversIntactPrefix) {
+  const std::string bytes = write_sample_file(/*block_capacity=*/4);
+  // Cut everywhere from just past the header to just before the end; the
+  // reader must never throw and never report a clean EOF.
+  for (std::size_t cut = 16; cut < bytes.size(); cut += 3) {
+    std::istringstream in(bytes.substr(0, cut));
+    TsfReader reader(in);
+    EXPECT_EQ(reader.end(), ReadEnd::kTruncated) << "cut at " << cut;
+    EXPECT_LE(reader.total_samples(), 22u);
+  }
+  // Cutting exactly nothing is the clean file.
+  std::istringstream whole(bytes);
+  EXPECT_EQ(TsfReader(whole).end(), ReadEnd::kEof);
+}
+
+TEST(TsfFormatTest, TruncationMidBlocksKeepsEarlierBlocks) {
+  const std::string bytes = write_sample_file(/*block_capacity=*/4);
+  // With block capacity 4 and 10 appends per k-series, two full blocks per
+  // k-series flush during the run (interleaved: s0,s1,s0,s1). Cut right
+  // after the second block and the first block's 4 samples must survive.
+  // Block size: 20-byte header + varint timestamps + 8 bytes per value.
+  std::size_t block_end = 16;
+  for (int skipped = 0; skipped < 2; ++skipped) {
+    const auto* base = reinterpret_cast<const unsigned char*>(bytes.data());
+    const std::size_t payload_len =
+        static_cast<std::size_t>(base[block_end + 12]) |
+        static_cast<std::size_t>(base[block_end + 13]) << 8 |
+        static_cast<std::size_t>(base[block_end + 14]) << 16 |
+        static_cast<std::size_t>(base[block_end + 15]) << 24;
+    block_end += 20 + payload_len;
+  }
+  std::istringstream in(bytes.substr(0, block_end + 5));
+  TsfReader reader(in);
+  EXPECT_EQ(reader.end(), ReadEnd::kTruncated);
+  EXPECT_EQ(reader.blocks_read(), 2u);
+  EXPECT_EQ(reader.samples(0).size(), 4u);
+  EXPECT_EQ(reader.samples(1).size(), 4u);
+  EXPECT_FALSE(reader.has_dictionaries());
+}
+
+TEST(TsfFormatTest, GarbageTailAfterTrailerIsTruncatedVerdict) {
+  std::string bytes = write_sample_file();
+  bytes += "garbage garbage garbage";
+  std::istringstream in(bytes);
+  TsfReader reader(in);
+  // The trailer is no longer at EOF, so dictionaries are unavailable, but
+  // every data block still decodes.
+  EXPECT_EQ(reader.end(), ReadEnd::kTruncated);
+  EXPECT_FALSE(reader.has_dictionaries());
+  EXPECT_EQ(reader.total_samples(), 22u);
+}
+
+TEST(TsfFormatTest, CorruptBlockPayloadDropsSuffix) {
+  std::string bytes = write_sample_file(/*block_capacity=*/4);
+  bytes[16 + 20 + 2] ^= 0x40;  // flip a bit inside the first block payload
+  std::istringstream in(bytes);
+  TsfReader reader(in);
+  EXPECT_EQ(reader.end(), ReadEnd::kTruncated);  // checksum catches it
+  EXPECT_EQ(reader.blocks_read(), 0u);
+  // The footer still names everything even though the data is gone.
+  EXPECT_TRUE(reader.has_dictionaries());
+  EXPECT_EQ(reader.agents().size(), 2u);
+}
+
+TEST(TsfFormatTest, CorruptFooterLosesDictionariesNotData) {
+  std::string bytes = write_sample_file();
+  // The footer payload sits between the last block and the 16-byte
+  // trailer; flip a byte 20 bytes before the trailer (inside the footer).
+  bytes[bytes.size() - 20] ^= 0x01;
+  std::istringstream in(bytes);
+  TsfReader reader(in);
+  EXPECT_EQ(reader.end(), ReadEnd::kTruncated);
+  EXPECT_FALSE(reader.has_dictionaries());
+  EXPECT_EQ(reader.total_samples(), 22u);  // blocks unaffected
+  EXPECT_TRUE(reader.agents().empty());
+  // Synthesized directory still addresses recovered series by id.
+  EXPECT_EQ(reader.series().size(), 3u);
+}
+
+TEST(TsfFormatTest, EmptyFileIsCleanEof) {
+  std::ostringstream out;
+  TsfWriter writer(out);
+  writer.finish();
+  std::istringstream in(out.str());
+  TsfReader reader(in);
+  EXPECT_EQ(reader.end(), ReadEnd::kEof);
+  EXPECT_TRUE(reader.has_dictionaries());
+  EXPECT_EQ(reader.total_samples(), 0u);
+}
+
+// ---------------------------------------------------------------- sink
+
+/// Drives the same deterministic mini-campaign through a sink and returns
+/// the file bytes plus final stats.
+std::string run_campaign(DrainMode mode, std::uint64_t seed,
+                         syndog::telemetry::SinkStats* stats_out = nullptr) {
+  std::ostringstream out;
+  TelemetrySinkConfig cfg;
+  cfg.mode = mode;
+  cfg.queue_capacity = 1 << 14;
+  cfg.block_capacity = 64;
+  TelemetrySink sink(out, cfg);
+  FleetRecorder fleet(sink);
+  Rng rng(seed);
+  for (int a = 0; a < 8; ++a) {
+    fleet.add_agent("stub" + std::to_string(a),
+                    static_cast<std::uint32_t>(64512 + a / 4),
+                    SynDogParams{});
+  }
+  for (int period = 0; period < 200; ++period) {
+    const SimTime at = SimTime::seconds(20 * (period + 1));
+    for (std::size_t a = 0; a < fleet.agent_count(); ++a) {
+      const std::int64_t syn_acks = rng.poisson(40.0);
+      // Agent 7 turns hostile for 30 periods mid-run.
+      const bool flooding = a == 7 && period >= 120 && period < 150;
+      const std::int64_t syns =
+          syn_acks + rng.poisson(2.0) + (flooding ? 60 : 0);
+      fleet.observe(a, syns, syn_acks, at);
+    }
+  }
+  sink.finish();
+  if (stats_out != nullptr) *stats_out = sink.stats();
+  return out.str();
+}
+
+TEST(TelemetrySinkTest, InlineCampaignRoundTrips) {
+  syndog::telemetry::SinkStats stats;
+  const std::string bytes = run_campaign(DrainMode::kInline, 7, &stats);
+  EXPECT_EQ(stats.dropped, 0u);
+  EXPECT_EQ(stats.pushed, stats.drained);
+  EXPECT_GT(stats.blocks, 0u);
+  std::istringstream in(bytes);
+  TsfReader reader(in);
+  EXPECT_EQ(reader.end(), ReadEnd::kEof);
+  EXPECT_EQ(reader.agents().size(), 8u);
+  EXPECT_EQ(reader.total_samples(), stats.drained);
+
+  const auto timeline = syndog::telemetry::alarm_timeline(reader, "alarm");
+  EXPECT_EQ(timeline.agents_alarmed, 1u);  // only the flooding stub
+  ASSERT_GE(timeline.rising_edges, 1u);
+  const auto first =
+      syndog::telemetry::first_alarm(timeline, /*agent=*/7);
+  ASSERT_TRUE(first.has_value());
+  // The flood starts at period 120 (t = 2420 s); CUSUM needs ~2 periods.
+  EXPECT_GT(*first, SimTime::seconds(2400));
+  EXPECT_LT(*first, SimTime::seconds(2700));
+}
+
+TEST(TelemetrySinkTest, SameSeedSameBytes) {
+  EXPECT_EQ(run_campaign(DrainMode::kInline, 41),
+            run_campaign(DrainMode::kInline, 41));
+  EXPECT_NE(run_campaign(DrainMode::kInline, 41),
+            run_campaign(DrainMode::kInline, 42));
+}
+
+TEST(TelemetrySinkTest, PushAfterFinishThrows) {
+  std::ostringstream out;
+  TelemetrySink sink(out);
+  const std::uint32_t agent = sink.register_agent("stub", 64512);
+  const std::uint32_t series = sink.series_id(agent, sink.metric_id("k"));
+  sink.push(series, SimTime::seconds(20), 1.0);
+  sink.finish();
+  sink.finish();  // idempotent
+  EXPECT_THROW(sink.push(series, SimTime::seconds(40), 2.0),
+               std::logic_error);
+}
+
+TEST(TelemetrySinkTest, SnapshotAndTraceAdapters) {
+  std::ostringstream out;
+  TelemetrySink sink(out);
+  const std::uint32_t agent = sink.register_agent("stub", 64512);
+
+  syndog::obs::Registry registry;
+  registry.counter("packets").add(42);
+  registry.gauge("depth").set(3.5);
+  sink.push_snapshot(agent, SimTime::seconds(20), registry.snapshot());
+
+  syndog::obs::EventTracer tracer(16);
+  tracer.record(SimTime::seconds(20),
+                syndog::obs::PeriodRollover{0, 100, 90});
+  tracer.record(SimTime::seconds(20),
+                syndog::obs::CusumUpdate{0, 10.0, 90.0, 0.11, 0.0});
+  tracer.record(SimTime::seconds(40),
+                syndog::obs::AlarmRaised{1, 1.2, 1.05});
+  tracer.record(SimTime::seconds(60), syndog::obs::AlarmCleared{2, 0.3});
+  sink.push_trace(agent, tracer);
+  sink.finish();
+
+  std::istringstream in(out.str());
+  TsfReader reader(in);
+  ASSERT_EQ(reader.end(), ReadEnd::kEof);
+  EXPECT_GE(reader.find_metric("counter.packets"), 0);
+  EXPECT_GE(reader.find_metric("gauge.depth"), 0);
+  EXPECT_GE(reader.find_metric("trace.syn"), 0);
+  const auto timeline =
+      syndog::telemetry::alarm_timeline(reader, "trace.alarm");
+  EXPECT_EQ(timeline.rising_edges, 1u);
+  ASSERT_EQ(timeline.edges.size(), 2u);
+  EXPECT_EQ(timeline.edges[0].at, SimTime::seconds(40));
+  EXPECT_FALSE(timeline.edges[1].raised);
+}
+
+// -------------------------------------------------- threaded drain (tsan)
+
+TEST(TelemetryThreadedTest, ByteIdenticalToInlineReference) {
+  syndog::telemetry::SinkStats inline_stats;
+  syndog::telemetry::SinkStats threaded_stats;
+  const std::string ref = run_campaign(DrainMode::kInline, 11, &inline_stats);
+  const std::string threaded =
+      run_campaign(DrainMode::kThreaded, 11, &threaded_stats);
+  ASSERT_EQ(threaded_stats.dropped, 0u);
+  EXPECT_EQ(threaded_stats.drained, inline_stats.drained);
+  EXPECT_EQ(threaded, ref);  // the contract: interleaving never reaches bytes
+}
+
+TEST(TelemetryThreadedTest, AccountingBalancesUnderPressure) {
+  // A deliberately tiny queue: drops are *allowed* here — the invariant
+  // under pressure is that nothing vanishes silently and the file holds
+  // exactly the drained samples.
+  std::ostringstream out;
+  TelemetrySinkConfig cfg;
+  cfg.mode = DrainMode::kThreaded;
+  cfg.queue_capacity = 8;
+  TelemetrySink sink(out, cfg);
+  const std::uint32_t agent = sink.register_agent("stub", 64512);
+  const std::uint32_t series = sink.series_id(agent, sink.metric_id("k"));
+  constexpr std::uint64_t kAttempts = 50'000;
+  for (std::uint64_t i = 0; i < kAttempts; ++i) {
+    sink.push(series, SimTime::nanoseconds(static_cast<std::int64_t>(i)),
+              static_cast<double>(i));
+  }
+  sink.finish();
+  const auto stats = sink.stats();
+  EXPECT_EQ(stats.pushed + stats.dropped, kAttempts);
+  EXPECT_EQ(stats.drained, stats.pushed);
+  std::istringstream in(out.str());
+  TsfReader reader(in);
+  EXPECT_EQ(reader.end(), ReadEnd::kEof);
+  EXPECT_EQ(reader.total_samples(), stats.drained);
+}
+
+TEST(TelemetryThreadedTest, FinishDrainsEverythingPushedBeforeIt) {
+  std::ostringstream out;
+  TelemetrySinkConfig cfg;
+  cfg.mode = DrainMode::kThreaded;
+  cfg.queue_capacity = 1 << 16;
+  TelemetrySink sink(out, cfg);
+  const std::uint32_t agent = sink.register_agent("stub", 64512);
+  const std::uint32_t series = sink.series_id(agent, sink.metric_id("k"));
+  constexpr std::uint64_t kSamples = 20'000;
+  for (std::uint64_t i = 0; i < kSamples; ++i) {
+    sink.push(series, SimTime::nanoseconds(static_cast<std::int64_t>(i)),
+              static_cast<double>(i));
+  }
+  sink.finish();
+  const auto stats = sink.stats();
+  ASSERT_EQ(stats.dropped, 0u);
+  EXPECT_EQ(stats.drained, kSamples);
+}
+
+// ------------------------------------------------------- allocation guard
+
+TEST(TelemetryAllocTest, ThreadedPushIsAllocationFree) {
+  std::ostringstream out;
+  TelemetrySinkConfig cfg;
+  cfg.mode = DrainMode::kThreaded;
+  cfg.queue_capacity = 1 << 15;
+  // Block capacity larger than the pushed count: the consumer appends into
+  // preallocated column vectors and never flushes during the window, so
+  // the guard covers the whole pipeline, not just the queue.
+  cfg.block_capacity = 1 << 16;
+  TelemetrySink sink(out, cfg);
+  const std::uint32_t agent = sink.register_agent("stub", 64512);
+  const std::uint32_t series = sink.series_id(agent, sink.metric_id("k"));
+  sink.push(series, SimTime::seconds(20), 1.0);  // warm-up
+
+  syndog::testsupport::AllocGuard guard;
+  for (int i = 0; i < 10'000; ++i) {
+    sink.push(series, SimTime::seconds(20 * (i + 2)),
+              static_cast<double>(i));
+  }
+  const std::size_t allocs = guard.stop();
+  EXPECT_EQ(allocs, 0u);
+  sink.finish();
+  EXPECT_EQ(sink.stats().dropped, 0u);
+}
+
+TEST(TelemetryAllocTest, InlineAppendIsAllocationFreeBetweenFlushes) {
+  std::ostringstream out;
+  TelemetrySinkConfig cfg;
+  cfg.block_capacity = 1 << 16;
+  TelemetrySink sink(out, cfg);
+  const std::uint32_t agent = sink.register_agent("stub", 64512);
+  const std::uint32_t series = sink.series_id(agent, sink.metric_id("k"));
+  sink.push(series, SimTime::seconds(20), 1.0);
+
+  syndog::testsupport::AllocGuard guard;
+  for (int i = 0; i < 10'000; ++i) {
+    sink.push(series, SimTime::seconds(20 * (i + 2)),
+              static_cast<double>(i));
+  }
+  EXPECT_EQ(guard.stop(), 0u);
+  sink.finish();
+}
+
+// --------------------------------------------------------------- rollups
+
+TEST(RollupTest, DriftAndHealthAndCsv) {
+  std::ostringstream out;
+  TelemetrySink sink(out);
+  const std::uint32_t a0 = sink.register_agent("stub-a", 64512);
+  const std::uint32_t a1 = sink.register_agent("stub-b", 64513);
+  const std::uint32_t m_k = sink.metric_id("k");
+  const std::uint32_t m_health = sink.metric_id("health");
+  const std::uint32_t s_k0 = sink.series_id(a0, m_k);
+  const std::uint32_t s_k1 = sink.series_id(a1, m_k);
+  const std::uint32_t s_h1 = sink.series_id(a1, m_health);
+  for (int i = 0; i < 6; ++i) {
+    sink.push(s_k0, SimTime::minutes(i), 100.0 + i);
+    sink.push(s_k1, SimTime::minutes(i), 10.0);
+  }
+  sink.push(s_h1, SimTime::minutes(2), 1.0);  // stub-b degrades
+  sink.finish();
+
+  std::istringstream in(out.str());
+  TsfReader reader(in);
+  ASSERT_EQ(reader.end(), ReadEnd::kEof);
+
+  // Two-minute buckets over six minutes → three points, both agents mixed.
+  const auto drift =
+      syndog::telemetry::metric_drift(reader, "k", SimTime::minutes(2));
+  ASSERT_EQ(drift.size(), 3u);
+  EXPECT_EQ(drift[0].bucket_start, SimTime::zero());
+  EXPECT_EQ(drift[0].samples, 4u);
+  EXPECT_DOUBLE_EQ(drift[0].min, 10.0);
+  EXPECT_DOUBLE_EQ(drift[0].max, 101.0);
+  EXPECT_DOUBLE_EQ(drift[0].mean, (100.0 + 101.0 + 10.0 + 10.0) / 4.0);
+  // Restricted to stub-a's AS.
+  const auto drift_as = syndog::telemetry::metric_drift(
+      reader, "k", SimTime::minutes(2), 64512);
+  ASSERT_EQ(drift_as.size(), 3u);
+  EXPECT_EQ(drift_as[0].samples, 2u);
+
+  const auto health = syndog::telemetry::health_summary(reader, "health");
+  ASSERT_EQ(health.size(), 2u);
+  EXPECT_EQ(health[0].as_number, 64512u);
+  EXPECT_EQ(health[0].healthy, 1u);
+  EXPECT_EQ(health[1].as_number, 64513u);
+  EXPECT_EQ(health[1].degraded, 1u);
+  EXPECT_EQ(health[1].transitions, 1u);
+
+  const std::string csv = syndog::telemetry::drift_csv(drift);
+  EXPECT_EQ(csv.substr(0, csv.find('\n')), "bucket_t_s,mean,min,max,samples");
+  const std::string health_csv = syndog::telemetry::health_csv(health);
+  EXPECT_NE(health_csv.find("64513,1,0,1,0,1"), std::string::npos);
+
+  const std::string json = syndog::telemetry::fleet_summary_json(reader);
+  EXPECT_NE(json.find("\"format\":\"syndog-tsf/1\""), std::string::npos);
+  EXPECT_NE(json.find("\"read_end\":\"eof\""), std::string::npos);
+  EXPECT_NE(json.find("\"64512\":1"), std::string::npos);
+}
+
+TEST(RollupTest, AlarmTimelineOrderedByAsAgentTime) {
+  std::ostringstream out;
+  TelemetrySink sink(out);
+  const std::uint32_t a0 = sink.register_agent("late", 64513);
+  const std::uint32_t a1 = sink.register_agent("early", 64512);
+  const std::uint32_t m_alarm = sink.metric_id("alarm");
+  const std::uint32_t s0 = sink.series_id(a0, m_alarm);
+  const std::uint32_t s1 = sink.series_id(a1, m_alarm);
+  sink.push(s0, SimTime::seconds(100), 1.0);
+  sink.push(s1, SimTime::seconds(500), 1.0);
+  sink.push(s1, SimTime::seconds(600), 0.0);
+  sink.finish();
+
+  std::istringstream in(out.str());
+  TsfReader reader(in);
+  const auto timeline = syndog::telemetry::alarm_timeline(reader, "alarm");
+  ASSERT_EQ(timeline.edges.size(), 3u);
+  EXPECT_EQ(timeline.agents_alarmed, 2u);
+  // AS 64512 (agent "early") sorts first despite alarming later.
+  EXPECT_EQ(timeline.edges[0].as_number, 64512u);
+  EXPECT_EQ(timeline.edges[0].at, SimTime::seconds(500));
+  EXPECT_EQ(timeline.edges[2].as_number, 64513u);
+  const std::string csv =
+      syndog::telemetry::alarm_timeline_csv(reader, timeline);
+  EXPECT_NE(csv.find("64512,early,500,raise"), std::string::npos);
+  EXPECT_NE(csv.find("64512,early,600,clear"), std::string::npos);
+  EXPECT_NE(csv.find("64513,late,100,raise"), std::string::npos);
+}
+
+}  // namespace

@@ -16,7 +16,9 @@ Schema (syndog-bench/1):
     schema   the literal "syndog-bench/1"
     scalars  object: str -> finite number
     text     object: str -> str
-    series   object: str -> list of finite numbers
+    series   object: str -> list of finite numbers; a series named "t_s"
+             or ending in "_t_s" is a timestamp axis and must be
+             monotonically non-decreasing
     metrics  object with counters / gauges / histograms:
                counters    str -> non-negative int
                gauges      str -> finite number
@@ -118,10 +120,26 @@ def check_file(path: Path, errors: list[str]) -> dict | None:
                   "a finite number", local)
     check_str_map(doc.get("text"), "text",
                   lambda v: isinstance(v, str), "a string", local)
+    series = doc.get("series")
     check_str_map(
-        doc.get("series"), "series",
+        series, "series",
         lambda v: isinstance(v, list) and all(is_finite_number(x) for x in v),
         "a list of finite numbers", local)
+    if isinstance(series, dict):
+        for sname, values in series.items():
+            if not (sname == "t_s" or sname.endswith("_t_s")):
+                continue  # not a timestamp axis
+            if not isinstance(values, list) or not all(
+                is_finite_number(x) for x in values
+            ):
+                continue  # already reported above
+            for i, (a, b) in enumerate(zip(values, values[1:])):
+                if b < a:
+                    local.append(
+                        f"series[{sname!r}]: timestamps not monotonically "
+                        f"non-decreasing at index {i + 1} ({b} < {a})"
+                    )
+                    break
 
     metrics = doc.get("metrics")
     if not isinstance(metrics, dict):
@@ -155,9 +173,17 @@ def parse_expectation(spec: str):
             f"expected name:key:lo:hi, got {spec!r}")
     name, key, lo, hi = parts
     try:
-        return name, key, float(lo), float(hi)
+        lo_f, hi_f = float(lo), float(hi)
     except ValueError as e:
         raise argparse.ArgumentTypeError(f"bad bound in {spec!r}: {e}")
+    # float("nan") <= x <= float("inf") comparisons would silently pass
+    # (or never fail) instead of validating anything.
+    if not math.isfinite(lo_f) or not math.isfinite(hi_f):
+        raise argparse.ArgumentTypeError(
+            f"non-finite bound in {spec!r}: bounds must be finite numbers")
+    if lo_f > hi_f:
+        raise argparse.ArgumentTypeError(f"empty range in {spec!r}: lo > hi")
+    return name, key, lo_f, hi_f
 
 
 def main() -> int:
@@ -184,7 +210,12 @@ def main() -> int:
             continue
         value = doc.get("scalars", {}).get(key) if isinstance(
             doc.get("scalars"), dict) else None
-        if not is_finite_number(value):
+        if isinstance(value, float) and not math.isfinite(value):
+            # json.loads accepts bare NaN/Infinity tokens, and any
+            # comparison against NaN is False — call it out explicitly
+            # instead of reporting a confusing range failure.
+            errors.append(f"{name}: scalar {key} = {value} is not finite")
+        elif not is_finite_number(value):
             errors.append(f"{name}: scalar {key!r} missing or non-numeric")
         elif not lo <= value <= hi:
             errors.append(

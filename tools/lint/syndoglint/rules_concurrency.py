@@ -17,10 +17,12 @@ from typing import Iterable, List, Optional
 from .lexer import IDENT, PUNCT, SourceFile, Token
 from .model import ERROR, Finding, Rule, register
 
-# Sanctioned seams: the ingest pipeline's two-thread pump and the util
-# layer (logging level atomics, future worker-pool plumbing). Everything
-# else in the library must stay thread-free / static-mutation-free.
-_SEAM_DIRS = ("src/ingest/", "src/util/")
+# Sanctioned seams: the ingest pipeline's two-thread pump, the telemetry
+# sink's consumer-thread drain (whose inline mode is the deterministic
+# single-thread reference), and the util layer (logging level atomics,
+# future worker-pool plumbing). Everything else in the library must stay
+# thread-free / static-mutation-free.
+_SEAM_DIRS = ("src/ingest/", "src/telemetry/", "src/util/")
 
 # Library-ish trees the rules patrol. tests/ is exempt: tests spin threads
 # and define counting globals (tests/support/alloc_guard.hpp) to *verify*
@@ -54,9 +56,9 @@ def _check_raw_thread(sf: SourceFile, ctx) -> Iterable[Finding]:
                 lineno,
                 "",
                 "thread spawning lives only in the sanctioned seams "
-                "(src/ingest threaded pump, src/util); route parallel work "
-                "through those seams so the deterministic single-thread "
-                "reference stays authoritative",
+                "(src/ingest threaded pump, src/telemetry sink drain, "
+                "src/util); route parallel work through those seams so the "
+                "deterministic single-thread reference stays authoritative",
             )
 
 

@@ -4,8 +4,10 @@ Keep LAYER_DEPS in sync with DESIGN.md §3 and the DEPS lists in
 src/*/CMakeLists.txt:
   util -> obs/stats/net -> pcap/classify -> detect/trace -> sim/attack
        -> fault -> core/traceback
-obs is the telemetry layer: it may depend only on util (it must stay
-embeddable under every other module), while any module may depend on it.
+obs is the in-process observability layer: it may depend only on util
+(it must stay embeddable under every other module), while any module may
+depend on it. telemetry is the fleet aggregation backend on top of obs
+(sink, syndog-tsf/1 format, rollups); core feeds it via FleetRecorder.
 """
 
 from __future__ import annotations
@@ -27,7 +29,9 @@ LAYER_DEPS: Dict[str, Set[str]] = {
     "fault": {"net", "obs", "sim", "util"},
     "attack": {"util"},
     "traceback": {"util"},
-    "core": {"classify", "detect", "net", "obs", "sim", "stats", "util"},
+    "telemetry": {"obs", "util"},
+    "core": {"classify", "detect", "net", "obs", "sim", "stats",
+             "telemetry", "util"},
     "ingest": {"core", "net", "obs", "pcap", "sim", "util"},
 }
 

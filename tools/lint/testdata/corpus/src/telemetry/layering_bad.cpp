@@ -1,0 +1,11 @@
+#include "syndog/core/agent.hpp"  // EXPECT(layering.violation)
+#include "syndog/obs/metrics.hpp"
+
+// telemetry may reach obs/util only (see LAYER_DEPS): core sits *above*
+// it (core::FleetRecorder feeds the sink), so the first include inverts
+// the DAG. The obs include is a negative: that edge is sanctioned.
+namespace syndog::telemetry {
+
+void corpus_layering() {}
+
+}  // namespace syndog::telemetry

@@ -1,0 +1,16 @@
+// Negative fixture: src/telemetry is a sanctioned seam — the real sink
+// runs a dedicated consumer thread draining a bounded MPSC queue, so
+// threads and atomics are allowed here.
+#include <atomic>
+#include <thread>
+
+namespace syndog::telemetry {
+
+std::atomic<long> corpus_drained{0};
+
+void corpus_drain() {
+  std::thread consumer([] { corpus_drained.fetch_add(1); });
+  consumer.join();
+}
+
+}  // namespace syndog::telemetry
