@@ -1,0 +1,260 @@
+// Closed-loop mitigation response: victim goodput before / during / after
+// a first-mile flood under the staged policies of mitigate::
+// MitigationController, plus a chaos-window false alarm proving the
+// controller never throttles on degraded evidence.
+//
+// The topology is bench_victim_goodput's (shared harness, common/
+// victim_load.hpp): 20 stub hosts open legit connections to a classic-
+// stack victim (backlog 128, 75 s half-open lifetime, budget ~1.7
+// spoofed SYN/s) at ~10 conn/s, while stub host 1 floods 200 spoofed
+// SYN/s for 3 minutes. A first-mile SYN-dog on the leaf router alarms
+// within one observation period; the controller then walks the flooding
+// station through rate-limit (token bucket below the victim's budget)
+// into quarantine, and releases it — through a probe period — once the
+// CUSUM decays. The statistic cap (~2.0) bounds how much alarm mass the
+// flood can bank, so release hysteresis is measured in periods, not
+// flood length.
+#include <algorithm>
+#include <cstdio>
+#include <optional>
+
+#include "common/experiment.hpp"
+#include "common/sidecar.hpp"
+#include "common/victim_load.hpp"
+#include "syndog/core/agent.hpp"
+#include "syndog/fault/chaos.hpp"
+#include "syndog/mitigate/controller.hpp"
+#include "syndog/mitigate/recorder.hpp"
+#include "syndog/util/strings.hpp"
+#include "syndog/util/table.hpp"
+
+using namespace syndog;
+using util::SimTime;
+
+namespace {
+
+constexpr double kPreEndS = 120.0;     ///< attack onset
+constexpr double kAttackEndS = 300.0;  ///< flood stops
+constexpr double kEndS = 720.0;        ///< bench window end
+constexpr double kFloodRate = 200.0;   ///< SYN/s, ~118x the victim budget
+
+struct Scenario {
+  const char* label;
+  mitigate::MitigationPolicy policy;
+  bool victim_cookies = false;
+  bool flood = true;
+  bool chaos_window = false;  ///< asymmetric route instead of a flood
+};
+
+struct ScenarioResult {
+  double goodput_pre = 0.0;
+  double goodput_attack = 0.0;
+  double goodput_post = 0.0;
+  mitigate::ControllerStats stats;
+  std::uint64_t victim_backlog_drops = 0;
+  std::uint64_t cookie_engagements = 0;
+  std::optional<double> engaged_at_s;
+  std::optional<double> recovered_at_s;
+  std::vector<double> half_open_series;  ///< victim, per observation period
+};
+
+ScenarioResult run_scenario(const Scenario& sc) {
+  bench::VictimLoadConfig cfg;
+  cfg.seed = 42;
+  cfg.victim_params.backlog = 128;
+  cfg.victim_params.half_open_timeout = SimTime::seconds(75);
+  cfg.victim_params.syn_cookies = sc.victim_cookies;
+  cfg.legit_end_s = kEndS;
+  cfg.flood_rate = sc.flood ? kFloodRate : 0.0;
+  cfg.flood_start = SimTime::from_seconds(kPreEndS);
+  cfg.flood_duration =
+      SimTime::from_seconds(kAttackEndS) - SimTime::from_seconds(kPreEndS);
+  // Background flows to other Internet servers keep the first-mile
+  // SYN/ACK stream alive while the victim's backlog is wedged; without
+  // them every stub connection targets the one victim and its collapse
+  // reads as a dead return path (degraded health -> vetoed alarms). The
+  // false-alarm chaos window still collapses the stream for real: the
+  // asymmetric route diverts *all* inbound SYN/ACKs around the tap.
+  cfg.background_rate = 10.0;
+  bench::VictimLoadHarness harness(cfg);
+
+  core::SynDogParams params;
+  params.statistic_cap = 2.0;  // bound banked alarm mass -> bounded release
+  core::SynDogAgent agent(harness.net().router(), harness.net().scheduler(),
+                          params);
+  mitigate::MitigationController controller(agent, harness.net().router(),
+                                            sc.policy);
+  mitigate::MitigationRecorder recorder(controller);
+
+  fault::FaultSchedule schedule;
+  if (sc.chaos_window) {
+    // Dead return path for the whole would-be attack window: every
+    // SYN/ACK bypasses the inbound tap, so the agent sees its counters
+    // collapse and (after outage_patience) raises *degraded* alarms.
+    schedule.asymmetric_route(SimTime::from_seconds(kPreEndS),
+                              SimTime::from_seconds(kAttackEndS), 1.0);
+  }
+  std::optional<fault::ChaosController> chaos;
+  if (!schedule.empty()) chaos.emplace(harness.net(), schedule, cfg.seed);
+
+  ScenarioResult r;
+  for (double t = 10.0; t < kEndS; t += 20.0) {
+    harness.net().scheduler().schedule_at(
+        SimTime::from_seconds(t), [&harness, &r] {
+          r.half_open_series.push_back(
+              static_cast<double>(harness.victim().half_open_count()));
+        });
+  }
+
+  // Victim-side handshake count: background flows land on other servers,
+  // and the spoofed flood never ACKs, so this isolates legit goodput.
+  const auto established = [&harness] {
+    return harness.victim().stats().established_as_server;
+  };
+  harness.run_until(SimTime::from_seconds(kPreEndS));
+  const std::uint64_t est_pre = established();
+  harness.run_until(SimTime::from_seconds(kAttackEndS));
+  const std::uint64_t est_attack = established();
+  harness.run_until(SimTime::from_seconds(kEndS));
+  const std::uint64_t est_post = established();
+
+  const auto frac = [&harness](std::uint64_t established, double from_s,
+                               double to_s) {
+    const std::size_t attempts = harness.attempts_between(from_s, to_s);
+    return attempts == 0 ? 0.0
+                         : static_cast<double>(established) /
+                               static_cast<double>(attempts);
+  };
+  r.goodput_pre = frac(est_pre, 0.0, kPreEndS);
+  r.goodput_attack = frac(est_attack - est_pre, kPreEndS, kAttackEndS);
+  r.goodput_post = frac(est_post - est_attack, kAttackEndS, kEndS);
+  r.stats = controller.stats();
+  r.victim_backlog_drops = harness.victim().stats().backlog_drops;
+  r.cookie_engagements = harness.victim().stats().cookie_engagements;
+  if (recorder.first_engaged_at()) {
+    r.engaged_at_s = recorder.first_engaged_at()->to_seconds();
+  }
+  if (recorder.fully_released_at()) {
+    r.recovered_at_s = recorder.fully_released_at()->to_seconds();
+  }
+  return r;
+}
+
+std::string pct(double fraction) {
+  return util::format_double(100.0 * fraction, 1) + " %";
+}
+
+}  // namespace
+
+int main() {
+  bench::print_header(
+      "mitigation_response",
+      "Alarm-driven staged mitigation: victim goodput before / during / "
+      "after a 200 SYN/s first-mile flood",
+      "closes the loop on the paper's §4.2.3 response; staged policy = "
+      "rate-limit -> quarantine with hysteresis + probe release");
+
+  const Scenario scenarios[] = {
+      {"none", mitigate::MitigationPolicy{}},
+      {"ratelimit", mitigate::MitigationPolicy::rate_limit_only()},
+      {"quarantine", mitigate::MitigationPolicy::quarantine_only()},
+      {"cookies", mitigate::MitigationPolicy{}, /*victim_cookies=*/true},
+      {"full", mitigate::MitigationPolicy::staged_defaults()},
+      {"false_alarm", mitigate::MitigationPolicy::staged_defaults(),
+       /*victim_cookies=*/false, /*flood=*/false, /*chaos_window=*/true},
+  };
+
+  util::TextTable table({"scenario", "pre", "attack", "post",
+                         "flood SYNs dropped", "legit SYNs dropped",
+                         "throttled", "quarantines"});
+  double attack_none = 0.0;
+  double attack_full = 0.0;
+  double pre_full = 0.0;
+  double post_full = 0.0;
+  for (const Scenario& sc : scenarios) {
+    const ScenarioResult r = run_scenario(sc);
+    table.add_row(
+        {sc.label, pct(r.goodput_pre), pct(r.goodput_attack),
+         pct(r.goodput_post),
+         util::format_count(
+             static_cast<std::int64_t>(r.stats.dropped_attack_syns)),
+         util::format_count(
+             static_cast<std::int64_t>(r.stats.dropped_legit_syns)),
+         util::format_count(
+             static_cast<std::int64_t>(r.stats.throttled_syns)),
+         util::format_count(
+             static_cast<std::int64_t>(r.stats.quarantine_entries))});
+
+    if (bench::Sidecar* sd = bench::sidecar()) {
+      const std::string l = sc.label;
+      sd->scalar("goodput_pre_" + l, r.goodput_pre);
+      sd->scalar("goodput_attack_" + l, r.goodput_attack);
+      sd->scalar("goodput_post_" + l, r.goodput_post);
+      sd->scalar("dropped_attack_syns_" + l,
+                 static_cast<double>(r.stats.dropped_attack_syns));
+      sd->scalar("dropped_legit_syns_" + l,
+                 static_cast<double>(r.stats.dropped_legit_syns));
+      sd->scalar("quarantine_entries_" + l,
+                 static_cast<double>(r.stats.quarantine_entries));
+      sd->scalar("victim_backlog_drops_" + l,
+                 static_cast<double>(r.victim_backlog_drops));
+      if (std::string(sc.label) == "none" ||
+          std::string(sc.label) == "full") {
+        sd->series("victim_half_open_" + l, r.half_open_series);
+      }
+    }
+
+    if (std::string(sc.label) == "none") attack_none = r.goodput_attack;
+    if (std::string(sc.label) == "full") {
+      attack_full = r.goodput_attack;
+      pre_full = r.goodput_pre;
+      post_full = r.goodput_post;
+      if (bench::Sidecar* sd = bench::sidecar()) {
+        if (r.engaged_at_s) {
+          sd->scalar("time_to_mitigate_s", *r.engaged_at_s - kPreEndS);
+        }
+        if (r.recovered_at_s) {
+          sd->scalar("time_to_recover_s", *r.recovered_at_s - kAttackEndS);
+        }
+        sd->scalar("escalations_full",
+                   static_cast<double>(r.stats.escalations));
+        sd->scalar("releases_full", static_cast<double>(r.stats.releases));
+      }
+    }
+    if (std::string(sc.label) == "false_alarm") {
+      if (bench::Sidecar* sd = bench::sidecar()) {
+        sd->scalar("false_alarm_quarantines",
+                   static_cast<double>(r.stats.quarantine_entries));
+        sd->scalar("false_alarm_engagements",
+                   static_cast<double>(r.stats.engagements));
+        sd->scalar("false_alarm_vetoed_periods",
+                   static_cast<double>(r.stats.vetoed_alarm_periods));
+      }
+    }
+  }
+  std::printf("%s", table.to_string().c_str());
+
+  const double attack_ratio = attack_full / std::max(attack_none, 1e-3);
+  const double recovery = pre_full > 0.0 ? post_full / pre_full : 0.0;
+  if (bench::Sidecar* sd = bench::sidecar()) {
+    sd->scalar("attack_ratio_full", attack_ratio);
+    sd->scalar("recovery_full", recovery);
+  }
+  std::printf(
+      "\nattack-window goodput, full staged policy vs none: %.1fx\n"
+      "post-attack recovery vs pre-attack baseline:        %.3f\n",
+      attack_ratio, recovery);
+  std::printf(
+      "\nexpected: unmitigated, the flood (200 SYN/s vs a ~1.7/s budget)\n"
+      "zeroes the attack window and the 75 s half-open tail bleeds into\n"
+      "the post window. The staged policy alarms within one period,\n"
+      "throttles the station below the victim's budget, escalates to\n"
+      "quarantine while the alarm persists, and releases through a probe\n"
+      "once the capped CUSUM decays -- attack-window goodput >= 3x the\n"
+      "unmitigated run and post-window goodput back to >= 95%% of the\n"
+      "pre-attack baseline. SYN cookies recover the victim without any\n"
+      "first-mile help (the victim-side defense the paper contrasts), and\n"
+      "the chaos-window false alarm (dead return path, degraded health)\n"
+      "engages nothing: zero quarantines, every alarm vetoed.\n");
+  return 0;
+}

@@ -13,8 +13,7 @@
 #include <cstdio>
 
 #include "common/experiment.hpp"
-#include "syndog/attack/flood.hpp"
-#include "syndog/sim/network.hpp"
+#include "common/victim_load.hpp"
 #include "syndog/util/strings.hpp"
 #include "syndog/util/table.hpp"
 
@@ -32,50 +31,18 @@ struct GoodputResult {
 /// spoofed flood of `flood_rate` SYN/s hits it for 2 minutes.
 GoodputResult run(double flood_rate, std::size_t backlog,
                   util::SimTime half_open_timeout, std::uint64_t seed) {
-  sim::StubNetworkParams params;
-  params.num_hosts = 20;
-  params.seed = seed;
-  params.cloud.no_answer_probability = 0.0;
-  sim::StubNetworkSim net(params);
+  bench::VictimLoadConfig cfg;
+  cfg.seed = seed;
+  cfg.victim_params.backlog = backlog;
+  cfg.victim_params.half_open_timeout = half_open_timeout;
+  cfg.flood_rate = flood_rate;
+  bench::VictimLoadHarness harness(cfg);
+  harness.run_until(SimTime::minutes(2) + SimTime::seconds(10));
 
-  sim::TcpHostParams victim_params;
-  victim_params.backlog = backlog;
-  victim_params.half_open_timeout = half_open_timeout;
-  sim::TcpHost& victim = net.add_internet_host(
-      "victim", net::Ipv4Address(198, 51, 100, 10), victim_params);
-  victim.listen(80);
-
-  util::Rng rng(seed);
-  std::size_t legit = 0;
-  for (double t = 1.0; t < 120.0; t += rng.exponential_mean(0.1)) {
-    const auto client = static_cast<std::uint32_t>(
-        rng.uniform_int(1, params.num_hosts));
-    net.scheduler().schedule_at(SimTime::from_seconds(t),
-                                [&net, client, ip = victim.ip()] {
-                                  net.host(client).connect(ip, 80);
-                                });
-    ++legit;
-  }
-
-  if (flood_rate > 0.0) {
-    attack::FloodSpec flood;
-    flood.rate = flood_rate;
-    flood.start = SimTime::zero();
-    flood.duration = SimTime::minutes(2);
-    util::Rng frng(seed ^ 0xf);
-    net.launch_flood(1, attack::generate_flood_times(flood, frng),
-                     victim.ip(), 80,
-                     *net::Ipv4Prefix::parse("240.0.0.0/8"));
-  }
-  net.run_until(SimTime::minutes(2) + SimTime::seconds(10));
-
-  std::uint64_t established = 0;
-  for (std::uint32_t h = 1; h <= params.num_hosts; ++h) {
-    established += net.host(h).stats().established_as_client;
-  }
   return GoodputResult{
-      static_cast<double>(established) / static_cast<double>(legit),
-      victim.stats().backlog_drops};
+      static_cast<double>(harness.established_total()) /
+          static_cast<double>(harness.legit_attempts()),
+      harness.victim().stats().backlog_drops};
 }
 
 }  // namespace

@@ -1,0 +1,78 @@
+// Shared victim-load harness (bench_victim_goodput and
+// bench_mitigation_response): a stub network whose hosts open legitimate
+// connections to an Internet-side victim server at exponential
+// interarrivals, optionally while one compromised stub host floods the
+// victim with spoofed-source SYNs.
+//
+// The construction order is part of the contract: the victim host is
+// created (and put in LISTEN) *before* the workload Rng is seeded, and
+// the legit scheduling loop draws interarrival-then-client for every
+// attempt. That pins the draw sequence bench_victim_goodput has always
+// used, so promoting the harness changed no published numbers.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "syndog/attack/flood.hpp"
+#include "syndog/sim/network.hpp"
+
+namespace syndog::bench {
+
+struct VictimLoadConfig {
+  std::uint32_t num_hosts = 20;
+  std::uint64_t seed = 42;
+  net::Ipv4Address victim_ip = net::Ipv4Address(198, 51, 100, 10);
+  sim::TcpHostParams victim_params;  ///< backlog / timeout / SYN cookies
+  /// Legit workload: a random stub host connects to the victim at
+  /// exponential interarrivals over [legit_start_s, legit_end_s).
+  double legit_start_s = 1.0;
+  double legit_end_s = 120.0;
+  double legit_interarrival_mean_s = 0.1;
+  /// Spoofed flood from stub host `flood_host`; rate <= 0 disables.
+  double flood_rate = 0.0;
+  util::SimTime flood_start = util::SimTime::zero();
+  util::SimTime flood_duration = util::SimTime::minutes(2);
+  std::uint32_t flood_host = 1;
+  net::Ipv4Prefix spoof_pool = *net::Ipv4Prefix::parse("240.0.0.0/8");
+  /// Background connections from random stub hosts to random *other*
+  /// Internet servers over the same window as the legit load (rate in
+  /// conn/s; 0 disables). This is the paper's stub traffic model — the
+  /// SYN/ACK stream a first-mile agent calibrates on comes from many
+  /// destinations, so one victim's backlog collapse cannot zero it and
+  /// trip the agent's dead-return-path heuristic. Scheduled after the
+  /// legit loop from an independent Rng stream: enabling it never shifts
+  /// the legit draw sequence.
+  double background_rate = 0.0;
+};
+
+class VictimLoadHarness {
+ public:
+  explicit VictimLoadHarness(const VictimLoadConfig& cfg);
+
+  [[nodiscard]] sim::StubNetworkSim& net() { return net_; }
+  [[nodiscard]] sim::TcpHost& victim() { return *victim_; }
+  void run_until(util::SimTime end) { net_.run_until(end); }
+
+  /// Legit connection attempts scheduled, in time order (seconds).
+  [[nodiscard]] const std::vector<double>& attempt_times() const {
+    return attempt_times_;
+  }
+  [[nodiscard]] std::size_t legit_attempts() const {
+    return attempt_times_.size();
+  }
+  /// Attempts whose start time falls in [from_s, to_s).
+  [[nodiscard]] std::size_t attempts_between(double from_s,
+                                             double to_s) const;
+  /// Sum of established_as_client over every stub host — completed legit
+  /// handshakes (the flood bypasses the TCP stacks, so it never counts).
+  /// Non-const because StubNetworkSim::host() is a mutable accessor.
+  [[nodiscard]] std::uint64_t established_total();
+
+ private:
+  sim::StubNetworkSim net_;
+  sim::TcpHost* victim_ = nullptr;
+  std::vector<double> attempt_times_;
+};
+
+}  // namespace syndog::bench

@@ -42,13 +42,16 @@ int usage(const char* argv0) {
       "       %s kbar <file.tsf> [--bucket-s N] [--as N]\n"
       "       %s drift <file.tsf> <metric> [--bucket-s N] [--as N]\n"
       "       %s health <file.tsf>\n"
+      "       %s mitigation <file.tsf>\n"
       "  gen       write a deterministic demo fleet campaign\n"
       "  summary   whole-file JSON: dictionaries, spans, per-AS fleet\n"
       "  alarms    alarm edge timeline CSV, ordered by (AS, agent, t)\n"
       "  kbar      K-bar drift CSV (bucketed mean/min/max; default 1 h)\n"
       "  drift     same rollup for any metric in the file\n"
-      "  health    per-AS health summary CSV\n",
-      argv0, argv0, argv0, argv0, argv0, argv0);
+      "  health    per-AS health summary CSV\n"
+      "  mitigation  stage edge timeline CSV (observe/rate-limit/"
+      "quarantine)\n",
+      argv0, argv0, argv0, argv0, argv0, argv0, argv0);
   return 2;
 }
 
@@ -103,6 +106,20 @@ void generate_demo(const std::string& path, telemetry::DrainMode mode) {
               util::SimTime::seconds(kT0Seconds * kPeriods), 1.0);
     sink.push(sink.series_id(7, health),
               util::SimTime::seconds(kT0Seconds * kPeriods), 2.0);
+    // Mirror what a mitigate::MitigationRecorder attached to stub 8's
+    // controller would stream during its flood: engage -> quarantine ->
+    // probe back through rate-limit -> release.
+    const std::uint32_t mitigation =
+        sink.metric_id(core::kFleetMetricMitigation);
+    const std::int64_t flood_start = kPeriods - 40;
+    const auto stamp = [&](std::int64_t period, double stage) {
+      sink.push(sink.series_id(8, mitigation),
+                util::SimTime::seconds(kT0Seconds * (period + 1)), stage);
+    };
+    stamp(flood_start + 1, 1.0);   // engage: rate-limit
+    stamp(flood_start + 4, 2.0);   // escalate: quarantine
+    stamp(kPeriods - 4, 1.0);      // staged release: probe at rate-limit
+    stamp(kPeriods - 2, 0.0);      // probe passed: observe
   }
   sink.finish();
 }
@@ -189,6 +206,13 @@ int main(int argc, char** argv) {
                                    drift.as_filter))
               .c_str(),
           stdout);
+      return 0;
+    }
+    if (cmd == "mitigation" && argc == 3) {
+      const auto timeline =
+          telemetry::stage_timeline(reader, core::kFleetMetricMitigation);
+      std::fputs(telemetry::stage_timeline_csv(reader, timeline).c_str(),
+                 stdout);
       return 0;
     }
     if (cmd == "health" && argc == 3) {

@@ -92,7 +92,12 @@ void SynDogAgent::attach_observer(obs::EventTracer* tracer,
 }
 
 void SynDogAgent::set_period_callback(PeriodCallback cb) {
-  on_period_ = std::move(cb);
+  on_period_.clear();
+  add_period_callback(std::move(cb));
+}
+
+void SynDogAgent::add_period_callback(PeriodCallback cb) {
+  if (cb) on_period_.push_back(std::move(cb));
 }
 
 void SynDogAgent::set_health_policy(AgentHealthPolicy policy) {
@@ -184,6 +189,11 @@ void SynDogAgent::on_period_end() {
 
   auto syns = static_cast<std::int64_t>(outbound_.harvest());
   auto syn_acks = static_cast<std::int64_t>(inbound_.harvest());
+  // In-prefix SYNs a downstream policer dropped never left the stub; see
+  // discount_outbound_syns. Applied before the gap rescale so the
+  // correction smears with the harvest it belongs to.
+  syns = std::max<std::int64_t>(0, syns - policed_discount_);
+  policed_discount_ = 0;
 
   // (a) Late rollover (stalled process/timer): the harvest smears over the
   // whole stall. Account the missed rollovers as gaps and rescale the
@@ -267,7 +277,7 @@ void SynDogAgent::on_period_end() {
   }
 
   if (missed == 0 && consecutive_collapsed_ == 0) note_clean_period();
-  if (on_period_) on_period_(report, health_, now);
+  for (const PeriodCallback& cb : on_period_) cb(report, health_, now);
   schedule_next_period();
 }
 

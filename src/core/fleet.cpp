@@ -42,7 +42,7 @@ std::size_t FleetRecorder::add_agent(std::string_view name,
 std::size_t FleetRecorder::attach(SynDogAgent& agent, std::string_view name,
                                   std::uint32_t as_number) {
   const std::size_t slot = new_slot(name, as_number, nullptr);
-  agent.set_period_callback(
+  agent.add_period_callback(
       [this, slot](const PeriodReport& report, AgentHealth health,
                    util::SimTime at) {
         record(slots_[slot], report, static_cast<double>(health), at);

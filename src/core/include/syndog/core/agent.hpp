@@ -130,10 +130,30 @@ class SynDogAgent {
   /// of the period end, and the scheduler clock. Discarded periods (blind
   /// or collapse-absorbed rollovers) do not fire it — they produce no
   /// report. This is the streaming seam the fleet telemetry wiring
-  /// (core::FleetRecorder) hooks; an empty callback detaches.
+  /// (core::FleetRecorder) and the mitigation controller
+  /// (mitigate::MitigationController) hook.
   using PeriodCallback =
       std::function<void(const PeriodReport&, AgentHealth, util::SimTime)>;
+  /// Replaces every registered period callback; an empty one detaches all.
   void set_period_callback(PeriodCallback cb);
+  /// Appends a period callback; callbacks fire in registration order, so
+  /// several consumers (telemetry + mitigation) can share one agent.
+  void add_period_callback(PeriodCallback cb);
+
+  /// Egress-policer correction. A mitigation policer sits *downstream*
+  /// of the outbound tap (the sniffer must keep seeing the wire so a
+  /// throttled flood still banks alarm evidence), which means a SYN the
+  /// policer drops was counted but can never draw a SYN/ACK. For spoofed
+  /// SYNs that is exactly right — the station emitted them and the alarm
+  /// should persist. For *in-prefix* collateral drops it is false
+  /// feedback: the detector would read its own throttle as attack
+  /// evidence and hold the statistic up forever (a quarantined station's
+  /// legitimate SYNs + retransmissions can exceed the decay drift at a
+  /// small site). The controller reports those here; the next rollover
+  /// deducts them from the period's SYN count.
+  void discount_outbound_syns(std::int64_t n = 1) {
+    policed_discount_ += n;
+  }
 
   /// Tells the agent its sniffers are (not) seeing traffic — the DES
   /// analogue of a tap daemon heartbeat. While an outage is active every
@@ -198,7 +218,7 @@ class SynDogAgent {
   Sniffer inbound_{SnifferRole::kInbound};
   SourceLocator locator_;
   AlarmCallback on_alarm_;
-  PeriodCallback on_period_;
+  std::vector<PeriodCallback> on_period_;
   std::vector<PeriodReport> history_;
   bool ever_alarmed_ = false;
   std::int64_t first_alarm_period_ = -1;
@@ -216,6 +236,7 @@ class SynDogAgent {
   std::int64_t clean_streak_ = 0;
   std::int64_t blind_periods_ = 0;
   std::int64_t suppressed_alarm_periods_ = 0;
+  std::int64_t policed_discount_ = 0;  ///< see discount_outbound_syns
   std::int64_t recoveries_ = 0;
 
   // Telemetry (optional; see attach_observer).

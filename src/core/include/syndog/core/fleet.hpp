@@ -39,6 +39,9 @@ inline constexpr std::string_view kFleetMetricK = "k";
 inline constexpr std::string_view kFleetMetricY = "y";
 inline constexpr std::string_view kFleetMetricAlarm = "alarm";
 inline constexpr std::string_view kFleetMetricHealth = "health";
+/// Aggregate mitigation stage of a stub (mitigate::Stage as 0/1/2;
+/// pushed on change by mitigate::MitigationRecorder::attach_sink).
+inline constexpr std::string_view kFleetMetricMitigation = "mitigation";
 
 class FleetRecorder {
  public:
@@ -62,8 +65,9 @@ class FleetRecorder {
   PeriodReport observe(std::size_t slot, std::int64_t syn,
                        std::int64_t syn_ack, util::SimTime at);
 
-  /// Live-DES slot: registers the agent and hooks its period callback.
-  /// Replaces any callback previously set on the agent.
+  /// Live-DES slot: registers the agent and appends to its period
+  /// callbacks (other consumers, e.g. a mitigation controller, keep
+  /// theirs).
   std::size_t attach(SynDogAgent& agent, std::string_view name,
                      std::uint32_t as_number);
 

@@ -1,0 +1,83 @@
+// Mitigation timeline and collateral recorder.
+//
+// Subscribes to a MitigationController's stage edges and keeps the
+// operator-facing accounting: when mitigation first engaged, when the
+// flood's last target was fully released (time-to-mitigate /
+// time-to-full-recovery), and how long the stub spent at each aggregate
+// stage. attach_sink() streams the aggregate stage into the fleet
+// telemetry schema (core::kFleetMetricMitigation), so syndog_fleetctl can
+// roll mitigation timelines up next to the alarm timelines they answer.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <optional>
+#include <string_view>
+#include <vector>
+
+#include "syndog/mitigate/controller.hpp"
+#include "syndog/telemetry/sink.hpp"
+#include "syndog/util/time.hpp"
+
+namespace syndog::mitigate {
+
+class MitigationRecorder {
+ public:
+  /// Subscribes to `controller` (which must outlive the recorder).
+  explicit MitigationRecorder(MitigationController& controller);
+
+  MitigationRecorder(const MitigationRecorder&) = delete;
+  MitigationRecorder& operator=(const MitigationRecorder&) = delete;
+
+  /// Registers `name` with the sink (must outlive the recorder) and
+  /// pushes one sample per aggregate-stage change under the
+  /// core::kFleetMetricMitigation metric.
+  void attach_sink(telemetry::TelemetrySink& sink, std::string_view name,
+                   std::uint32_t as_number);
+
+  /// First observe -> mitigating edge, if any (time-to-mitigate is this
+  /// minus the attack onset the caller knows).
+  [[nodiscard]] std::optional<util::SimTime> first_engaged_at() const {
+    return first_engaged_at_;
+  }
+  [[nodiscard]] std::optional<util::SimTime> first_quarantined_at() const {
+    return first_quarantined_at_;
+  }
+  /// Most recent return of the *aggregate* stage to observe — with all
+  /// targets released, the stub is fully recovered.
+  [[nodiscard]] std::optional<util::SimTime> fully_released_at() const {
+    return fully_released_at_;
+  }
+  /// True while any target sits above observe.
+  [[nodiscard]] bool mitigating() const {
+    return aggregate_ != Stage::kObserve;
+  }
+
+  /// Sim time spent with the aggregate stage at `stage`, evaluated at
+  /// `now` (includes the still-open interval).
+  [[nodiscard]] util::SimTime seconds_in(Stage stage,
+                                         util::SimTime now) const;
+
+  /// Every stage edge seen, in order.
+  [[nodiscard]] const std::vector<MitigationController::StageEdge>& edges()
+      const {
+    return edges_;
+  }
+
+ private:
+  void on_edge(const MitigationController::StageEdge& edge);
+
+  MitigationController& controller_;
+  std::vector<MitigationController::StageEdge> edges_;
+  Stage aggregate_ = Stage::kObserve;
+  util::SimTime aggregate_since_;
+  std::array<util::SimTime, 3> stage_time_{};
+  std::optional<util::SimTime> first_engaged_at_;
+  std::optional<util::SimTime> first_quarantined_at_;
+  std::optional<util::SimTime> fully_released_at_;
+
+  telemetry::TelemetrySink* sink_ = nullptr;
+  std::uint32_t series_ = 0;
+};
+
+}  // namespace syndog::mitigate

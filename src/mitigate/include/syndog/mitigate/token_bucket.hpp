@@ -1,0 +1,43 @@
+// Deterministic token bucket on the DES clock.
+//
+// Refill is computed from elapsed sim time at each consume attempt — no
+// timers, no wall clock — so identical packet arrival sequences make
+// identical pass/drop decisions regardless of host load.
+#pragma once
+
+#include <algorithm>
+
+#include "syndog/util/time.hpp"
+
+namespace syndog::mitigate {
+
+class TokenBucket {
+ public:
+  /// Starts full (burst tokens) at `now`. rate_per_s > 0, burst >= 1 are
+  /// the caller's contract (MitigationPolicy::validate enforces it).
+  TokenBucket(double rate_per_s, double burst, util::SimTime now)
+      : rate_per_s_(rate_per_s), burst_(burst), tokens_(burst), last_(now) {}
+
+  /// Refills for the time elapsed since the last call, then takes one
+  /// token if available. Returns true when the packet may pass.
+  [[nodiscard]] bool try_consume(util::SimTime now) {
+    if (now > last_) {
+      tokens_ = std::min(burst_,
+                         tokens_ + rate_per_s_ * (now - last_).to_seconds());
+      last_ = now;
+    }
+    if (tokens_ < 1.0) return false;
+    tokens_ -= 1.0;
+    return true;
+  }
+
+  [[nodiscard]] double tokens() const { return tokens_; }
+
+ private:
+  double rate_per_s_;
+  double burst_;
+  double tokens_;
+  util::SimTime last_;
+};
+
+}  // namespace syndog::mitigate

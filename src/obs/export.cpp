@@ -61,6 +61,13 @@ struct PayloadJson {
            json_number(static_cast<std::uint64_t>(e.reason)) +
            ",\"period\":" + json_number(e.period);
   }
+  std::string operator()(const MitigationEdge& e) const {
+    return std::string("\"type\":\"mitigation_edge\",\"target\":") +
+           json_number(e.target) + ",\"from\":" +
+           json_number(static_cast<std::uint64_t>(e.from)) + ",\"to\":" +
+           json_number(static_cast<std::uint64_t>(e.to)) + ",\"reason\":" +
+           json_number(static_cast<std::uint64_t>(e.reason));
+  }
 };
 
 }  // namespace

@@ -90,10 +90,20 @@ struct HealthTransition {
   std::int64_t period = 0;
 };
 
+/// A mitigation stage transition for one policed source
+/// (mitigate::Stage / mitigate::EdgeReason as integers; target is the
+/// station MAC packed into the low 48 bits).
+struct MitigationEdge {
+  std::uint64_t target = 0;
+  std::uint8_t from = 0;
+  std::uint8_t to = 0;
+  std::uint8_t reason = 0;
+};
+
 using EventPayload =
     std::variant<PeriodRollover, CusumUpdate, AlarmRaised, AlarmCleared,
                  DetectorStep, ClassifierHit, QueueDepth, FaultEdge,
-                 HealthTransition>;
+                 HealthTransition, MitigationEdge>;
 
 struct Event {
   util::SimTime at;       ///< DES clock, never wall clock

@@ -9,6 +9,7 @@
 #pragma once
 
 #include <cstdint>
+#include <string>
 #include <string_view>
 #include <unordered_map>
 #include <vector>
@@ -25,6 +26,7 @@ struct RouterStats {
   std::uint64_t forwarded_inbound = 0;
   std::uint64_t dropped_no_route = 0;       ///< inbound dst not in host table
   std::uint64_t dropped_ingress_filter = 0; ///< outbound spoofed-src drops
+  std::uint64_t dropped_policer = 0;        ///< outbound egress-policer drops
   std::uint64_t tap_suppressed = 0;         ///< packets unseen: taps disabled
   std::uint64_t inbound_tap_bypassed = 0;   ///< diverted around inbound tap
 };
@@ -69,6 +71,15 @@ class LeafRouter {
     inbound_tap_bypass_ = std::move(bypass);
   }
 
+  /// Alarm-driven response seam (mitigate::MitigationController):
+  /// consulted for every outbound packet after the taps fire (the
+  /// sniffers keep seeing the wire) and before the ingress filter;
+  /// return true to drop. nullptr disables.
+  using EgressPolicer = PacketFilter;
+  void set_egress_policer(EgressPolicer policer) {
+    egress_policer_ = std::move(policer);
+  }
+
   void set_ingress_filtering(bool enabled) { ingress_filtering_ = enabled; }
   [[nodiscard]] bool ingress_filtering() const { return ingress_filtering_; }
   void set_ingress_violation_handler(IngressViolation handler) {
@@ -95,11 +106,17 @@ class LeafRouter {
   std::vector<Tap> inbound_taps_;
   bool taps_enabled_ = true;
   TapBypass inbound_tap_bypass_;
+  EgressPolicer egress_policer_;
   bool ingress_filtering_ = false;
   IngressViolation on_ingress_violation_;
   RouterStats stats_;
 
-  // Telemetry (optional; see attach_observer).
+  // Telemetry (optional; see attach_observer). The policer-drop counter
+  // is created lazily on the first drop: most runs never police, and an
+  // unused registry entry would perturb byte-stable metric exports.
+  obs::Registry* registry_ = nullptr;
+  std::string obs_prefix_;
+  obs::Counter* dropped_policer_counter_ = nullptr;
   obs::Counter* forwarded_outbound_counter_ = nullptr;
   obs::Counter* forwarded_inbound_counter_ = nullptr;
   obs::Counter* dropped_no_route_counter_ = nullptr;

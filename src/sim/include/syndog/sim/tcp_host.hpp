@@ -15,6 +15,7 @@
 #include <unordered_map>
 
 #include "syndog/net/packet.hpp"
+#include "syndog/obs/metrics.hpp"
 #include "syndog/sim/callbacks.hpp"
 #include "syndog/sim/scheduler.hpp"
 #include "syndog/util/rng.hpp"
@@ -39,6 +40,16 @@ struct TcpHostParams {
   /// after it establishes (generates the Fig. 1 teardown traffic in live
   /// simulations). Zero = connections persist.
   util::SimTime auto_close_after = util::SimTime::zero();
+  /// Stateless SYN-cookie fallback (the victim-side countermeasure the
+  /// paper's §4.2.3 response would trigger). When enabled, the server
+  /// answers SYNs with a keyed cookie ISN — no backlog slot — once the
+  /// half-open queue crosses `cookie_high_water` (fraction of backlog),
+  /// and reverts to stateful handshakes below `cookie_low_water`. The
+  /// hysteresis band keeps a bursty-but-benign queue from flapping the
+  /// mode every packet.
+  bool syn_cookies = false;
+  double cookie_high_water = 0.75;
+  double cookie_low_water = 0.25;
 };
 
 struct TcpHostStats {
@@ -56,6 +67,10 @@ struct TcpHostStats {
   std::uint64_t fins_sent = 0;
   std::uint64_t fins_received = 0;
   std::uint64_t closed_gracefully = 0;   ///< full FIN/ACK exchanges
+  std::uint64_t syn_cookies_sent = 0;    ///< stateless SYN/ACKs (cookie ISN)
+  std::uint64_t syn_cookies_validated = 0;  ///< handshake ACKs that decoded
+  std::uint64_t syn_cookies_rejected = 0;   ///< stray/forged handshake ACKs
+  std::uint64_t cookie_engagements = 0;  ///< times cookie mode switched on
 };
 
 /// A simulated end host with client and server roles.
@@ -99,6 +114,14 @@ class TcpHost {
   [[nodiscard]] bool backlog_full() const {
     return half_open_.size() >= params_.backlog;
   }
+  /// True while the server answers SYNs statelessly (cookie ISNs).
+  [[nodiscard]] bool cookie_mode_active() const { return cookie_active_; }
+
+  /// Mirrors drop/cookie stats into "host.<name>.*" counters in
+  /// `registry` (which must outlive the host). Counters are created
+  /// lazily on first occurrence so unaffected runs keep byte-identical
+  /// metric exports.
+  void attach_observer(obs::Registry& registry);
 
  private:
   struct PeerKey {
@@ -151,6 +174,9 @@ class TcpHost {
   void on_fin(const net::Packet& packet);
   void retransmit_syn(PeerKey key);
   void retransmit_syn_ack(PeerKey key);
+  void update_cookie_mode();
+  void maybe_accept_cookie(const net::Packet& packet, PeerKey key);
+  void count(obs::Counter*& slot, const char* name);
 
   std::string name_;
   net::Ipv4Address ip_;
@@ -167,6 +193,19 @@ class TcpHost {
   std::unordered_map<PeerKey, Connecting, PeerKeyHash> connecting_;
   std::unordered_map<PeerKey, Established, PeerKeyHash> established_;
   std::uint16_t next_ephemeral_ = 32768;
+
+  // SYN-cookie state. The secret is derived from the seed without
+  // consuming the rng_ stream, so enabling cookies never shifts the ISN
+  // draw order of the stateful path.
+  std::uint64_t cookie_secret_ = 0;
+  bool cookie_active_ = false;
+
+  // Telemetry (optional; see attach_observer). All lazily created.
+  obs::Registry* registry_ = nullptr;
+  obs::Counter* backlog_dropped_counter_ = nullptr;
+  obs::Counter* cookies_sent_counter_ = nullptr;
+  obs::Counter* cookies_validated_counter_ = nullptr;
+  obs::Counter* cookies_rejected_counter_ = nullptr;
 };
 
 }  // namespace syndog::sim

@@ -59,6 +59,15 @@ void LeafRouter::forward_from_intranet(util::SimTime now,
     bump(tap_suppressed_counter_);
   }
 
+  if (egress_policer_ && egress_policer_(now, packet)) {
+    ++stats_.dropped_policer;
+    if (dropped_policer_counter_ == nullptr && registry_ != nullptr) {
+      dropped_policer_counter_ =
+          &registry_->counter(obs_prefix_ + "dropped_policer");
+    }
+    bump(dropped_policer_counter_);
+    return;
+  }
   if (ingress_filtering_ && !stub_prefix_.contains(packet.ip.src)) {
     ++stats_.dropped_ingress_filter;
     bump(dropped_ingress_counter_);
@@ -102,6 +111,8 @@ void LeafRouter::attach_observer(obs::Registry& registry,
                                  std::string_view name) {
   const std::string prefix =
       name.empty() ? "router." : "router." + std::string(name) + ".";
+  registry_ = &registry;
+  obs_prefix_ = prefix;
   forwarded_outbound_counter_ =
       &registry.counter(prefix + "forwarded_outbound");
   forwarded_inbound_counter_ =

@@ -4,16 +4,65 @@
 
 namespace syndog::sim {
 
+namespace {
+
+// Inline SYN-cookie codec (the sim layer cannot depend on core, so this
+// mirrors core::SynCookieCodec's shape without sharing code): the ISN is
+// a 29-bit keyed tag over the 4-tuple + client ISN, with a 3-bit time
+// counter at 64 s granularity in the low bits. Validation accepts the
+// current and the previous counter window.
+constexpr std::uint32_t kCookieTagBits = 29;
+constexpr std::int64_t kCookieWindowNs = 64'000'000'000;
+
+std::uint32_t cookie_counter(util::SimTime now) {
+  return static_cast<std::uint32_t>((now.ns() / kCookieWindowNs) & 7);
+}
+
+std::uint32_t cookie_isn(std::uint64_t secret, net::Ipv4Address peer_ip,
+                         std::uint16_t peer_port, std::uint16_t local_port,
+                         std::uint32_t peer_isn, std::uint32_t counter) {
+  const std::uint64_t tuple = (std::uint64_t{peer_ip.value()} << 32) |
+                              (std::uint64_t{peer_port} << 16) | local_port;
+  const std::uint64_t hash = util::splitmix64(
+      secret ^ util::splitmix64(tuple) ^
+      util::splitmix64((std::uint64_t{peer_isn} << 3) | counter));
+  const auto tag =
+      static_cast<std::uint32_t>(hash & ((1u << kCookieTagBits) - 1));
+  return (tag << 3) | counter;
+}
+
+}  // namespace
+
 TcpHost::TcpHost(std::string name, net::Ipv4Address ip, net::MacAddress mac,
                  net::MacAddress gateway_mac, Scheduler& scheduler,
                  PacketSink send, TcpHostParams params, std::uint64_t seed)
     : name_(std::move(name)), ip_(ip), mac_(mac), gateway_mac_(gateway_mac),
       scheduler_(scheduler), send_(std::move(send)), params_(params),
-      rng_(seed) {
+      rng_(seed),
+      cookie_secret_(util::splitmix64(seed ^ 0x53594e636f6f6bULL)) {
   if (!send_) throw std::invalid_argument("TcpHost: send callback required");
   if (params_.backlog == 0) {
     throw std::invalid_argument("TcpHost: backlog must be at least 1");
   }
+  if (params_.syn_cookies &&
+      (params_.cookie_low_water < 0.0 ||
+       params_.cookie_high_water <= params_.cookie_low_water ||
+       params_.cookie_high_water > 1.0)) {
+    throw std::invalid_argument(
+        "TcpHost: need 0 <= cookie_low_water < cookie_high_water <= 1");
+  }
+}
+
+void TcpHost::attach_observer(obs::Registry& registry) {
+  registry_ = &registry;
+}
+
+void TcpHost::count(obs::Counter*& slot, const char* name) {
+  if (registry_ == nullptr) return;
+  if (slot == nullptr) {
+    slot = &registry_->counter("host." + name_ + "." + name);
+  }
+  slot->add();
 }
 
 TcpHost::PeerKey TcpHost::key_of(net::Ipv4Address peer_ip,
@@ -116,9 +165,25 @@ void TcpHost::on_syn(const net::Packet& packet) {
              packet.tcp->seq + 1);
     return;
   }
+  update_cookie_mode();
+  if (cookie_active_) {
+    // Stateless handshake: the cookie ISN carries everything needed to
+    // reconstruct the connection from the final ACK, so no backlog slot
+    // is consumed and no retransmission timer runs.
+    const std::uint32_t isn =
+        cookie_isn(cookie_secret_, packet.ip.src, packet.tcp->src_port,
+                   port, packet.tcp->seq, cookie_counter(scheduler_.now()));
+    ++stats_.syn_acks_sent;
+    ++stats_.syn_cookies_sent;
+    count(cookies_sent_counter_, "syn_cookies_sent");
+    send_tcp(packet.ip.src, port, packet.tcp->src_port,
+             net::TcpFlags::syn_ack(), isn, packet.tcp->seq + 1);
+    return;
+  }
   if (backlog_full()) {
     // The SYN-flood failure mode: silently drop the request.
     ++stats_.backlog_drops;
+    count(backlog_dropped_counter_, "backlog_dropped");
     return;
   }
 
@@ -202,11 +267,54 @@ void TcpHost::on_ack(const net::Packet& packet) {
     }
   }
   const auto it = half_open_.find(key);
-  if (it == half_open_.end()) return;  // data/late ACK: not handshake state
+  if (it == half_open_.end()) {
+    // No SYN_RCVD state: either a data/late ACK, or the third leg of a
+    // stateless cookie handshake.
+    maybe_accept_cookie(packet, key);
+    return;
+  }
   if (packet.tcp->ack != it->second.our_isn + 1) return;  // wrong ack no.
   scheduler_.cancel(it->second.timeout_event);
   scheduler_.cancel(it->second.retx_event);
   half_open_.erase(it);
+  ++stats_.established_as_server;
+  established_[key] = Established{packet.ip.src, packet.tcp->src_port,
+                                  packet.tcp->dst_port, false, false};
+}
+
+void TcpHost::update_cookie_mode() {
+  if (!params_.syn_cookies) return;
+  const double fill = static_cast<double>(half_open_.size()) /
+                      static_cast<double>(params_.backlog);
+  if (!cookie_active_ && fill >= params_.cookie_high_water) {
+    cookie_active_ = true;
+    ++stats_.cookie_engagements;
+  } else if (cookie_active_ && fill <= params_.cookie_low_water) {
+    cookie_active_ = false;
+  }
+}
+
+void TcpHost::maybe_accept_cookie(const net::Packet& packet, PeerKey key) {
+  if (!params_.syn_cookies) return;
+  if (!listening_.contains(packet.tcp->dst_port)) return;
+  if (established_.contains(key)) return;  // ordinary in-connection ACK
+  const std::uint32_t presented = packet.tcp->ack - 1;
+  const std::uint32_t peer_isn = packet.tcp->seq - 1;
+  const std::uint32_t current = cookie_counter(scheduler_.now());
+  bool valid = false;
+  for (const std::uint32_t counter : {current, (current + 7) & 7}) {
+    valid = valid || presented == cookie_isn(cookie_secret_, packet.ip.src,
+                                             packet.tcp->src_port,
+                                             packet.tcp->dst_port, peer_isn,
+                                             counter);
+  }
+  if (!valid) {
+    ++stats_.syn_cookies_rejected;
+    count(cookies_rejected_counter_, "syn_cookies_rejected");
+    return;
+  }
+  ++stats_.syn_cookies_validated;
+  count(cookies_validated_counter_, "syn_cookies_validated");
   ++stats_.established_as_server;
   established_[key] = Established{packet.ip.src, packet.tcp->src_port,
                                   packet.tcp->dst_port, false, false};

@@ -43,6 +43,29 @@ struct AlarmTimeline {
 [[nodiscard]] std::optional<util::SimTime> first_alarm(
     const AlarmTimeline& timeline, std::uint32_t agent);
 
+/// One mitigation stage transition (samples of a "mitigation" metric
+/// carry mitigate::Stage values: 0 observe, 1 rate-limit, 2 quarantine).
+struct StageEdge {
+  std::uint32_t as_number = 0;
+  std::uint32_t agent = 0;  ///< index into reader.agents()
+  util::SimTime at;
+  double from = 0.0;
+  double to = 0.0;
+};
+
+/// Fleet-wide mitigation history, ordered by (AS, agent, time).
+struct StageTimeline {
+  std::vector<StageEdge> edges;
+  std::uint64_t agents_mitigating = 0;  ///< agents that ever left observe
+  std::uint64_t engagements = 0;        ///< edges out of stage 0
+  std::uint64_t quarantines = 0;        ///< edges into stage 2
+};
+
+/// Extracts the stage timeline for `metric` (stage-valued series; samples
+/// equal to the previous value are not edges). Agents start at observe.
+[[nodiscard]] StageTimeline stage_timeline(const TsfReader& reader,
+                                           std::string_view metric);
+
 /// One time bucket of a drift rollup.
 struct DriftPoint {
   util::SimTime bucket_start;
@@ -77,6 +100,8 @@ struct HealthSummary {
 /// CSV renderers (header row + one line per record, '\n' line ends).
 [[nodiscard]] std::string alarm_timeline_csv(const TsfReader& reader,
                                              const AlarmTimeline& timeline);
+[[nodiscard]] std::string stage_timeline_csv(const TsfReader& reader,
+                                             const StageTimeline& timeline);
 [[nodiscard]] std::string drift_csv(const std::vector<DriftPoint>& points);
 [[nodiscard]] std::string health_csv(
     const std::vector<HealthSummary>& summaries);

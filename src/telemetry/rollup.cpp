@@ -50,6 +50,37 @@ AlarmTimeline alarm_timeline(const TsfReader& reader,
   return out;
 }
 
+StageTimeline stage_timeline(const TsfReader& reader,
+                             std::string_view metric) {
+  StageTimeline out;
+  const std::int64_t metric_idx = reader.find_metric(metric);
+  if (metric_idx < 0) return out;
+  for (std::uint32_t sid = 0; sid < reader.series().size(); ++sid) {
+    const TsfSeries& s = reader.series()[sid];
+    if (s.metric != static_cast<std::uint32_t>(metric_idx)) continue;
+    double state = 0.0;
+    bool mitigated = false;
+    for (const TsfSample& sample : reader.samples(sid)) {
+      if (sample.value == state) continue;
+      out.edges.push_back(StageEdge{as_of(reader, s.agent), s.agent,
+                                    sample.at, state, sample.value});
+      if (state == 0.0) {
+        ++out.engagements;
+        mitigated = true;
+      }
+      if (sample.value == 2.0) ++out.quarantines;
+      state = sample.value;
+    }
+    if (mitigated) ++out.agents_mitigating;
+  }
+  std::sort(out.edges.begin(), out.edges.end(),
+            [](const StageEdge& a, const StageEdge& b) {
+              return std::tuple(a.as_number, a.agent, a.at.ns(), a.to) <
+                     std::tuple(b.as_number, b.agent, b.at.ns(), b.to);
+            });
+  return out;
+}
+
 std::optional<util::SimTime> first_alarm(const AlarmTimeline& timeline,
                                          std::uint32_t agent) {
   std::optional<util::SimTime> best;
@@ -154,6 +185,37 @@ std::string alarm_timeline_csv(const TsfReader& reader,
     out += obs::json_number(e.at.to_seconds());
     out.push_back(',');
     out += e.raised ? "raise" : "clear";
+    out.push_back('\n');
+  }
+  return out;
+}
+
+std::string stage_timeline_csv(const TsfReader& reader,
+                               const StageTimeline& timeline) {
+  // Stage names match mitigate::to_string(Stage); telemetry sits below
+  // mitigate in the layering DAG, so the mapping is duplicated here and
+  // unexpected values fall back to their numeric form.
+  const auto stage_name = [](double stage) -> std::string {
+    if (stage == 0.0) return "observe";
+    if (stage == 1.0) return "rate-limit";
+    if (stage == 2.0) return "quarantine";
+    return obs::json_number(stage);
+  };
+  std::string out = "as,agent,t_s,from,to\n";
+  for (const StageEdge& e : timeline.edges) {
+    out += obs::json_number(std::uint64_t{e.as_number});
+    out.push_back(',');
+    if (e.agent < reader.agents().size()) {
+      out += reader.agents()[e.agent].name;
+    } else {
+      out += "agent#" + obs::json_number(std::uint64_t{e.agent});
+    }
+    out.push_back(',');
+    out += obs::json_number(e.at.to_seconds());
+    out.push_back(',');
+    out += stage_name(e.from);
+    out.push_back(',');
+    out += stage_name(e.to);
     out.push_back('\n');
   }
   return out;

@@ -1,7 +1,7 @@
 # Runs `syndog_fleetctl gen` three times — twice inline, once with the
 # threaded drain — and requires all three syndog-tsf/1 files to be
-# byte-identical, then runs the summary and alarms rollups twice each and
-# requires byte-identical text. Guards the two determinism contracts of
+# byte-identical, then runs the summary, alarms, and mitigation rollups
+# twice each and requires byte-identical text. Guards the two determinism contracts of
 # the telemetry layer: a campaign is a pure function of its seed, and the
 # consumer-thread drain never reaches the bytes (docs/OBSERVABILITY.md).
 #
@@ -41,7 +41,7 @@ foreach(other b c)
   endif()
 endforeach()
 
-foreach(cmd summary alarms)
+foreach(cmd summary alarms mitigation)
   set(texts "")
   foreach(run 1 2)
     execute_process(

@@ -8,6 +8,8 @@ obs is the in-process observability layer: it may depend only on util
 (it must stay embeddable under every other module), while any module may
 depend on it. telemetry is the fleet aggregation backend on top of obs
 (sink, syndog-tsf/1 format, rollups); core feeds it via FleetRecorder.
+mitigate closes the loop on top of core (alarm edges in, router policers
+out); nothing below it may depend on it.
 """
 
 from __future__ import annotations
@@ -33,6 +35,7 @@ LAYER_DEPS: Dict[str, Set[str]] = {
     "core": {"classify", "detect", "net", "obs", "sim", "stats",
              "telemetry", "util"},
     "ingest": {"core", "net", "obs", "pcap", "sim", "util"},
+    "mitigate": {"core", "net", "obs", "sim", "telemetry", "util"},
 }
 
 

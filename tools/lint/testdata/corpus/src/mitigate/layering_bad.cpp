@@ -1,0 +1,13 @@
+#include "syndog/fault/chaos.hpp"  // EXPECT(layering.violation)
+#include "syndog/sim/router.hpp"
+
+// mitigate sits above core and sim but must stay ignorant of the fault
+// layer: chaos schedules *cause* the alarms the controller reacts to, and
+// an include edge here would let the response subsystem peek at the
+// injected ground truth. The sim include is a negative: policing the leaf
+// router is exactly mitigate's job.
+namespace syndog::mitigate {
+
+void corpus_layering() {}
+
+}  // namespace syndog::mitigate
