@@ -1,0 +1,69 @@
+// Symmetric RSS-style flow hashing for the sharded ingest datapath.
+//
+// A NIC's RSS indirection spreads flows across queues by hashing the
+// 5-tuple; SYN-dog needs the *symmetric* variant (as in symmetric RSS /
+// Toeplitz-key folding): the SYN of a flow and the SYN-ACK coming back
+// swap source and destination, and both must land on the same shard so
+// each consumer thread owns complete flows and no cross-thread counter
+// state exists. Canonicalizing the two endpoints by value order before
+// mixing makes the hash invariant under direction reversal; the
+// splitmix64 finalizer then spreads adjacent endpoint pairs across the
+// whole 64-bit range so shard loads stay balanced even for the regular
+// address patterns synthetic traces use.
+//
+// Fragments past the first and non-TCP/UDP frames hash with ports 0 —
+// they carry no flag byte to count, so which shard sees them only needs
+// to be deterministic, not flow-aligned.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "syndog/net/digest.hpp"
+
+namespace syndog::ingest {
+
+/// splitmix64 finalizer: full-avalanche 64-bit mixer.
+[[nodiscard]] constexpr std::uint64_t mix64(std::uint64_t x) {
+  x ^= x >> 30;
+  x *= 0xbf58476d1ce4e5b9ULL;
+  x ^= x >> 27;
+  x *= 0x94d049bb133111ebULL;
+  x ^= x >> 31;
+  return x;
+}
+
+/// Symmetric hash over the IPv4 5-tuple: swapping (src, src_port) with
+/// (dst, dst_port) yields the same value.
+[[nodiscard]] constexpr std::uint64_t flow_hash(std::uint32_t src,
+                                                std::uint16_t src_port,
+                                                std::uint32_t dst,
+                                                std::uint16_t dst_port,
+                                                std::uint8_t protocol) {
+  const std::uint64_t a = (std::uint64_t{src} << 16) | src_port;
+  const std::uint64_t b = (std::uint64_t{dst} << 16) | dst_port;
+  const std::uint64_t lo = a < b ? a : b;
+  const std::uint64_t hi = a < b ? b : a;
+  // Endpoints are canonically ordered, so any mixer is direction-safe;
+  // chain two rounds so both endpoints avalanche into every output bit.
+  return mix64(lo ^ mix64(hi ^ (std::uint64_t{protocol} << 48)));
+}
+
+[[nodiscard]] constexpr std::uint64_t flow_hash(const net::FlowDigest& d) {
+  return flow_hash(d.src, d.src_port, d.dst, d.dst_port, d.protocol);
+}
+
+/// Shard index for `hash` among `shards` rings (shards >= 1). A pure
+/// function of (hash, shards): the same flow maps to the same ring on
+/// every run with the same thread count.
+[[nodiscard]] constexpr std::size_t shard_of(std::uint64_t hash,
+                                             std::size_t shards) {
+  // Power-of-two counts (the common 1/2/4/8) mask; others take the
+  // general modulo.
+  if ((shards & (shards - 1)) == 0) {
+    return static_cast<std::size_t>(hash) & (shards - 1);
+  }
+  return static_cast<std::size_t>(hash % shards);
+}
+
+}  // namespace syndog::ingest

@@ -1,12 +1,13 @@
-// Bounded single-producer / single-consumer ring of decoded frames.
+// Bounded single-producer / single-consumer slot ring.
 //
-// The ring is the pipeline's only buffer between the capture decoder and
-// the sinks: a fixed number of `Frame` slots allocated once at
-// construction and recycled forever, so streaming an arbitrarily large
-// capture runs in O(capacity) memory with no steady-state allocation
-// (the same slot-arena discipline as sim::PacketPool, applied to the
-// ingest side). `net::Packet` is a fixed-footprint value type, so reusing
-// a slot is a plain overwrite.
+// SlotRing<Slot> is the ingest side's only buffer between a producer and
+// a consumer: a fixed number of slots allocated once at construction and
+// recycled forever, so streaming an arbitrarily large capture runs in
+// O(capacity) memory with no steady-state allocation (the same
+// slot-arena discipline as sim::PacketPool). Slots are fixed-footprint
+// value types, so reusing one is a plain overwrite. Two instantiations
+// exist today: FrameRing (decoded net::Packet frames, the reference
+// pipeline) and the sharded datapath's net::FlowDigest rings.
 //
 // Concurrency contract: exactly one producer thread calls try_claim() /
 // publish(); exactly one consumer thread calls readable() / release().
@@ -38,13 +39,16 @@ struct Frame {
   std::uint32_t captured_bytes = 0;  ///< bytes present in the capture
 };
 
-class FrameRing {
+template <class Slot>
+class SlotRing {
  public:
   /// Rounds `capacity` up to a power of two (minimum 2) and allocates all
   /// slots up front. This is the only allocation the ring ever performs.
-  explicit FrameRing(std::size_t capacity) {
+  explicit SlotRing(std::size_t capacity) {
     if (capacity == 0) {
-      throw std::invalid_argument("FrameRing: capacity must be positive");
+      throw std::invalid_argument(
+          "SlotRing: capacity must be positive (a zero-capacity ring could "
+          "never publish a slot)");
     }
     std::size_t pow2 = 2;
     while (pow2 < capacity) pow2 <<= 1;
@@ -64,11 +68,14 @@ class FrameRing {
   // -- producer side ------------------------------------------------------
 
   /// Slot to fill next, or nullptr when the ring is full. The slot is not
-  /// visible to the consumer until publish().
-  [[nodiscard]] Frame* try_claim() {
+  /// visible to the consumer until publish(). The consumer's cursor is
+  /// re-read only when the cached copy says the ring is full, so steady
+  /// state costs no shared-cache-line traffic per claim.
+  [[nodiscard]] Slot* try_claim() {
     const std::uint64_t head = head_.load(std::memory_order_relaxed);
-    if (head - tail_.load(std::memory_order_acquire) == slots_.size()) {
-      return nullptr;
+    if (head - cached_tail_ == slots_.size()) {
+      cached_tail_ = tail_.load(std::memory_order_acquire);
+      if (head - cached_tail_ == slots_.size()) return nullptr;
     }
     return &slots_[static_cast<std::size_t>(head) & mask_];
   }
@@ -83,7 +90,7 @@ class FrameRing {
 
   /// Longest contiguous run of published frames (the run stops at the
   /// array wrap point; call again after release() for the rest).
-  [[nodiscard]] std::span<const Frame> readable() const {
+  [[nodiscard]] std::span<const Slot> readable() const {
     const std::uint64_t tail = tail_.load(std::memory_order_relaxed);
     const std::uint64_t head = head_.load(std::memory_order_acquire);
     const std::size_t n = static_cast<std::size_t>(head - tail);
@@ -96,18 +103,26 @@ class FrameRing {
     const std::uint64_t tail = tail_.load(std::memory_order_relaxed);
     if (n > static_cast<std::size_t>(
                 head_.load(std::memory_order_acquire) - tail)) {
-      throw std::logic_error("FrameRing: releasing more than readable");
+      throw std::logic_error(
+          "SlotRing: releasing more slots than are readable (release(n) "
+          "must not exceed the published count)");
     }
     tail_.store(tail + n, std::memory_order_release);
   }
 
  private:
-  std::vector<Frame> slots_;
+  std::vector<Slot> slots_;
   std::size_t mask_ = 0;
   /// Producer and consumer cursors on separate cache lines so the
-  /// two-thread mode does not false-share.
+  /// two-thread mode does not false-share. `cached_tail_` is
+  /// producer-owned (a conservative, monotonic snapshot of `tail_`) and
+  /// shares the producer's line deliberately.
   alignas(64) std::atomic<std::uint64_t> head_{0};  ///< next slot to write
+  std::uint64_t cached_tail_ = 0;                   ///< producer's tail view
   alignas(64) std::atomic<std::uint64_t> tail_{0};  ///< next slot to read
 };
+
+/// The reference pipeline's ring of decoded frames.
+using FrameRing = SlotRing<Frame>;
 
 }  // namespace syndog::ingest

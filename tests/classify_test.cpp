@@ -1,8 +1,13 @@
 #include <gtest/gtest.h>
 
+#include <cstdint>
+#include <vector>
+
+#include "syndog/classify/batch.hpp"
 #include "syndog/classify/engines.hpp"
 #include "syndog/classify/rule.hpp"
 #include "syndog/classify/segment.hpp"
+#include "syndog/net/digest.hpp"
 #include "syndog/net/packet.hpp"
 #include "syndog/util/rng.hpp"
 
@@ -294,6 +299,64 @@ TEST(EnginesTest, TrieReportsNodesAndTupleSpaceReportsTuples) {
   EXPECT_GT(trie.node_count(), 32u);
   EXPECT_GE(tuples.tuple_count(), 1u);
   EXPECT_LE(tuples.tuple_count(), 32u);
+}
+
+// --- batched flag sweep ------------------------------------------------------
+
+TEST(BatchSweepTest, AgreesWithPerFlagClassification) {
+  // The sweep's two mask tests must reproduce classify_flags' kSyn /
+  // kSynAck decisions for every six-bit flag byte and for the no-TCP
+  // sentinel, so batch counting is a pure refactor of the §2 sniffers.
+  util::Rng rng(101);
+  for (int round = 0; round < 50; ++round) {
+    const auto n = static_cast<std::size_t>(rng.uniform_int(0, 300));
+    std::vector<std::uint8_t> flags(n);
+    FlagSweep expected;
+    for (std::uint8_t& b : flags) {
+      if (rng.uniform() < 0.1) {
+        b = net::FlowDigest::kNoTcpFlags;  // counts as neither kind
+        continue;
+      }
+      b = static_cast<std::uint8_t>(rng.uniform_int(0, 63));
+      const SegmentKind kind = classify_flags(net::TcpFlags{b});
+      expected.syn += kind == SegmentKind::kSyn ? 1 : 0;
+      expected.syn_ack += kind == SegmentKind::kSynAck ? 1 : 0;
+    }
+    EXPECT_EQ(sweep_flags_scalar(flags), expected) << "round " << round;
+  }
+}
+
+TEST(BatchSweepTest, SimdKernelMatchesScalarOnRandomBuffers) {
+  // Bit-for-bit equivalence of the dispatched kernel and the portable
+  // loop, across sizes straddling the 16-byte vector width and across
+  // arbitrary byte values (not just well-formed flag bytes).
+  util::Rng rng(202);
+  for (int round = 0; round < 200; ++round) {
+    const auto n = static_cast<std::size_t>(rng.uniform_int(0, 1000));
+    std::vector<std::uint8_t> flags(n);
+    for (std::uint8_t& b : flags) {
+      b = static_cast<std::uint8_t>(rng.uniform_int(0, 255));
+    }
+    EXPECT_EQ(sweep_flags(flags), sweep_flags_scalar(flags))
+        << "n=" << n << " backend=" << sweep_flags_backend();
+  }
+  EXPECT_FALSE(sweep_flags_backend().empty());
+}
+
+TEST(BatchSweepTest, KnownCountsEmptySpanAndVectorTails) {
+  for (const std::size_t pad : {0u, 1u, 15u, 16u, 17u, 33u}) {
+    std::vector<std::uint8_t> flags;
+    flags.insert(flags.end(), 20, net::TcpFlags::kSyn);
+    flags.insert(flags.end(), 7,
+                 net::TcpFlags::kSyn | net::TcpFlags::kAck);
+    flags.insert(flags.end(), 5, net::FlowDigest::kNoTcpFlags);
+    flags.insert(flags.end(), pad, net::TcpFlags::kAck);  // pure ACKs
+    const FlagSweep got = sweep_flags(flags);
+    EXPECT_EQ(got.syn, 20u) << "pad " << pad;
+    EXPECT_EQ(got.syn_ack, 7u) << "pad " << pad;
+  }
+  EXPECT_EQ(sweep_flags({}), (FlagSweep{}));
+  EXPECT_EQ(sweep_flags_scalar({}), (FlagSweep{}));
 }
 
 }  // namespace

@@ -7,7 +7,9 @@
 #include "support/alloc_guard.hpp"
 
 #include <algorithm>
+#include <array>
 #include <cstdint>
+#include <limits>
 #include <sstream>
 #include <string>
 #include <tuple>
@@ -17,9 +19,12 @@
 #include "syndog/core/syndog.hpp"
 #include "syndog/ingest/agent_demux.hpp"
 #include "syndog/ingest/capture_source.hpp"
+#include "syndog/ingest/flow_hash.hpp"
 #include "syndog/ingest/frame_ring.hpp"
 #include "syndog/ingest/pipeline.hpp"
 #include "syndog/ingest/replay.hpp"
+#include "syndog/ingest/sharded.hpp"
+#include "syndog/net/digest.hpp"
 #include "syndog/net/packet.hpp"
 #include "syndog/obs/metrics.hpp"
 #include "syndog/pcap/pcap.hpp"
@@ -155,6 +160,107 @@ TEST(FrameRingTest, FullRingRefusesClaim) {
 TEST(FrameRingTest, OverReleaseThrows) {
   FrameRing ring(4);
   EXPECT_THROW(ring.release(1), std::logic_error);
+}
+
+TEST(FrameRingTest, CapacityErrorMessageExplainsConstraint) {
+  try {
+    FrameRing ring(0);
+    FAIL() << "zero capacity must throw";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_STREQ(e.what(),
+                 "SlotRing: capacity must be positive (a zero-capacity "
+                 "ring could never publish a slot)");
+  }
+}
+
+TEST(FrameRingTest, ReleaseOverflowMessageAndPartialOverflow) {
+  FrameRing ring(4);
+  ASSERT_NE(ring.try_claim(), nullptr);
+  ring.publish();
+  ASSERT_NE(ring.try_claim(), nullptr);
+  ring.publish();
+  // Releasing more than the published count must throw without moving
+  // the tail cursor: the two published slots stay readable afterwards.
+  try {
+    ring.release(3);
+    FAIL() << "over-release must throw";
+  } catch (const std::logic_error& e) {
+    EXPECT_STREQ(e.what(),
+                 "SlotRing: releasing more slots than are readable "
+                 "(release(n) must not exceed the published count)");
+  }
+  EXPECT_EQ(ring.size(), 2u);
+  ring.release(2);
+  EXPECT_TRUE(ring.empty());
+  // The boundary is exact: an empty ring rejects release(1) but a
+  // same-size release succeeds.
+  EXPECT_THROW(ring.release(1), std::logic_error);
+}
+
+// ---------------------------------------------------------------------
+// Symmetric flow hash
+
+TEST(FlowHashTest, SymmetricUnderDirectionReversal) {
+  util::Rng rng(31);
+  for (int i = 0; i < 2000; ++i) {
+    const auto src = static_cast<std::uint32_t>(
+        rng.uniform_int(0, std::numeric_limits<std::int32_t>::max()));
+    const auto dst = static_cast<std::uint32_t>(
+        rng.uniform_int(0, std::numeric_limits<std::int32_t>::max()));
+    const auto sport = static_cast<std::uint16_t>(rng.uniform_int(0, 65535));
+    const auto dport = static_cast<std::uint16_t>(rng.uniform_int(0, 65535));
+    const auto proto = static_cast<std::uint8_t>(rng.uniform_int(0, 255));
+    EXPECT_EQ(flow_hash(src, sport, dst, dport, proto),
+              flow_hash(dst, dport, src, sport, proto));
+  }
+}
+
+TEST(FlowHashTest, SynAndSynAckOfOneFlowNeverSplitShards) {
+  // A flow's SYN and the SYN-ACK coming back swap src/dst; for every
+  // shard count the two must land on the same ring, or a consumer
+  // thread would see half a flow.
+  util::Rng rng(32);
+  for (int i = 0; i < 500; ++i) {
+    net::TcpPacketSpec spec;
+    spec.src_mac = net::MacAddress::for_host(1);
+    spec.dst_mac = net::MacAddress::for_host(2);
+    spec.src_ip = net::Ipv4Address(
+        static_cast<std::uint32_t>(rng.uniform_int(1, 1 << 30)));
+    spec.dst_ip = net::Ipv4Address(
+        static_cast<std::uint32_t>(rng.uniform_int(1, 1 << 30)));
+    spec.src_port = static_cast<std::uint16_t>(rng.uniform_int(1, 65535));
+    spec.dst_port = static_cast<std::uint16_t>(rng.uniform_int(1, 65535));
+    const net::ByteBuffer syn = net::encode_frame(net::make_syn(spec));
+    std::swap(spec.src_ip, spec.dst_ip);
+    std::swap(spec.src_port, spec.dst_port);
+    const net::ByteBuffer syn_ack =
+        net::encode_frame(net::make_syn_ack(spec));
+
+    net::FlowDigest d_syn;
+    net::FlowDigest d_syn_ack;
+    ASSERT_TRUE(net::extract_flow_digest(syn, d_syn));
+    ASSERT_TRUE(net::extract_flow_digest(syn_ack, d_syn_ack));
+    const std::uint64_t h_syn = flow_hash(d_syn);
+    const std::uint64_t h_syn_ack = flow_hash(d_syn_ack);
+    EXPECT_EQ(h_syn, h_syn_ack);
+    for (std::size_t shards = 1; shards <= 8; ++shards) {
+      EXPECT_EQ(shard_of(h_syn, shards), shard_of(h_syn_ack, shards));
+      EXPECT_LT(shard_of(h_syn, shards), shards);
+    }
+  }
+}
+
+TEST(FlowHashTest, DistinctFlowsSpreadAcrossShards) {
+  // Not a distribution guarantee, but the mixer must not collapse the
+  // regular address patterns synthetic traces use onto one shard.
+  std::array<int, 4> load{};
+  for (std::uint32_t host = 1; host <= 64; ++host) {
+    const std::uint64_t h = flow_hash(
+        0x0a010000U | host, static_cast<std::uint16_t>(30000 + host),
+        0xc0000201U, 80, 6);
+    ++load[shard_of(h, load.size())];
+  }
+  for (const int l : load) EXPECT_GT(l, 0) << "a shard got no flows";
 }
 
 // ---------------------------------------------------------------------
@@ -565,6 +671,464 @@ TEST(IngestThreadedTest, ThreadedStalledSinkStillThrows) {
   CountingSink stalled(0);
   pipeline.add_sink("stalled", stalled, BackpressurePolicy::kBlock);
   EXPECT_THROW(pipeline.run(), std::runtime_error);
+}
+
+// ---------------------------------------------------------------------
+// Sharded datapath vs the single-threaded oracle (suite name is matched
+// by the CI tsan job)
+
+struct OracleResult {
+  std::vector<std::vector<core::PeriodReport>> histories;
+  std::uint64_t local = 0;
+  std::uint64_t unroutable = 0;
+  PipelineStats stats;
+  SimTime last_at;
+};
+
+/// The deterministic reference pump: ReplayEngine + AgentDemux.
+OracleResult run_oracle(const std::string& capture,
+                        const std::vector<StubSpec>& stubs,
+                        const core::SynDogParams& params,
+                        DemuxOptions options = {}) {
+  std::istringstream in(capture, std::ios::binary);
+  ReplayEngine engine(in, {});
+  AgentDemux demux(engine.scheduler(), stubs, params, options);
+  engine.add_sink(demux);
+  OracleResult out;
+  out.stats = engine.run();
+  demux.close_final_period();
+  for (std::size_t i = 0; i < demux.stub_count(); ++i) {
+    out.histories.push_back(demux.agent(i).history());
+  }
+  out.local = demux.local_frames();
+  out.unroutable = demux.unroutable_frames();
+  out.last_at = engine.last_frame_at();
+  return out;
+}
+
+/// Runs the sharded datapath at 1..max_threads threads and asserts its
+/// stats, routing tallies, and every PeriodReport field (doubles
+/// compared exactly) match the oracle.
+void expect_sharded_matches_oracle(const std::string& capture,
+                                   const std::vector<StubSpec>& stubs,
+                                   const core::SynDogParams& params,
+                                   DemuxOptions options = {},
+                                   std::size_t max_threads = 4) {
+  const OracleResult oracle = run_oracle(capture, stubs, params, options);
+  for (std::size_t threads = 1; threads <= max_threads; ++threads) {
+    SCOPED_TRACE("threads=" + std::to_string(threads));
+    std::istringstream in(capture, std::ios::binary);
+    ShardedConfig cfg;
+    cfg.threads = threads;
+    cfg.params = params;
+    cfg.mode = options.mode;
+    cfg.default_stub = options.default_stub;
+    ShardedReplay sharded(in, stubs, cfg);
+    sharded.run();
+
+    EXPECT_EQ(sharded.stats().records, oracle.stats.records);
+    EXPECT_EQ(sharded.stats().frames, oracle.stats.frames);
+    EXPECT_EQ(sharded.stats().bytes, oracle.stats.bytes);
+    EXPECT_EQ(sharded.stats().decode_failures,
+              oracle.stats.decode_failures);
+    EXPECT_EQ(sharded.stats().truncated, oracle.stats.truncated);
+    EXPECT_EQ(sharded.local_frames(), oracle.local);
+    EXPECT_EQ(sharded.unroutable_frames(), oracle.unroutable);
+    EXPECT_EQ(sharded.last_frame_at().ns(), oracle.last_at.ns());
+
+    ASSERT_EQ(sharded.shard_count(), threads);
+    std::uint64_t delivered = 0;
+    for (std::size_t i = 0; i < sharded.shard_count(); ++i) {
+      delivered += sharded.shard(i).delivered;
+      EXPECT_EQ(sharded.shard(i).dropped, 0u);
+    }
+    EXPECT_EQ(delivered, sharded.stats().frames);
+
+    ASSERT_EQ(sharded.stub_count(), oracle.histories.size());
+    for (std::size_t s = 0; s < oracle.histories.size(); ++s) {
+      SCOPED_TRACE("stub=" + std::to_string(s));
+      const std::vector<core::PeriodReport>& got = sharded.history(s);
+      const std::vector<core::PeriodReport>& want = oracle.histories[s];
+      ASSERT_EQ(got.size(), want.size());
+      for (std::size_t p = 0; p < want.size(); ++p) {
+        SCOPED_TRACE("period=" + std::to_string(p));
+        EXPECT_EQ(got[p].period_index, want[p].period_index);
+        EXPECT_EQ(got[p].syn_count, want[p].syn_count);
+        EXPECT_EQ(got[p].syn_ack_count, want[p].syn_ack_count);
+        EXPECT_EQ(got[p].k_estimate, want[p].k_estimate);
+        EXPECT_EQ(got[p].delta, want[p].delta);
+        EXPECT_EQ(got[p].x, want[p].x);
+        EXPECT_EQ(got[p].y, want[p].y);
+        EXPECT_EQ(got[p].alarm, want[p].alarm);
+        EXPECT_EQ(got[p].x_clamped, want[p].x_clamped);
+      }
+    }
+  }
+}
+
+TEST(IngestShardedTest, MatchesOracleSingleStub) {
+  expect_sharded_matches_oracle(
+      make_capture(2000, SimTime::seconds(130), 77),
+      {{*net::Ipv4Prefix::parse("10.1.0.0/16"), "stub"}},
+      core::SynDogParams::paper_defaults());
+}
+
+TEST(IngestShardedTest, MatchesOracleMultiStubBothDirections) {
+  // Stub A floods an external victim (alarms); stub B only answers
+  // handshakes (quiet). Cross-checks outbound and inbound counting and
+  // the alarm bit through the merge.
+  std::ostringstream out(std::ios::binary);
+  pcap::Writer writer(out);
+  std::int64_t ns = 0;
+  for (int i = 0; i < 400; ++i) {
+    net::TcpPacketSpec spec;
+    spec.src_mac = net::MacAddress::for_host(1);
+    spec.dst_mac = net::MacAddress::for_host(0);
+    spec.src_ip = net::Ipv4Address(10, 1, 0,
+                                   static_cast<std::uint8_t>(i % 200 + 1));
+    spec.dst_ip = net::Ipv4Address(192, 0, 2, 9);
+    spec.src_port = static_cast<std::uint16_t>(1024 + i);
+    spec.dst_port = 80;
+    writer.write(SimTime::nanoseconds(ns += 100'000'000),
+                 net::encode_frame(net::make_syn(spec)));
+    if (i % 4 == 0) {
+      net::TcpPacketSpec reply;
+      reply.src_mac = net::MacAddress::for_host(0);
+      reply.dst_mac = net::MacAddress::for_host(2);
+      reply.src_ip = net::Ipv4Address(192, 0, 2, 9);
+      reply.dst_ip = net::Ipv4Address(10, 2, 0,
+                                      static_cast<std::uint8_t>(i % 99 + 1));
+      reply.src_port = 80;
+      reply.dst_port = static_cast<std::uint16_t>(999 + i);
+      writer.write(SimTime::nanoseconds(ns),
+                   net::encode_frame(net::make_syn_ack(reply)));
+    }
+  }
+  const std::string capture = std::move(out).str();
+  const std::vector<StubSpec> stubs = {
+      {*net::Ipv4Prefix::parse("10.1.0.0/16"), "a"},
+      {*net::Ipv4Prefix::parse("10.2.0.0/16"), "b"}};
+  expect_sharded_matches_oracle(capture, stubs,
+                                core::SynDogParams::paper_defaults());
+  // Last-mile mode swaps which direction feeds which counter.
+  DemuxOptions last_mile;
+  last_mile.mode = core::AgentMode::kLastMile;
+  expect_sharded_matches_oracle(capture, stubs,
+                                core::SynDogParams::paper_defaults(),
+                                last_mile);
+}
+
+TEST(IngestShardedTest, MatchesOracleLocalAndUnroutableFrames) {
+  // LAN-local frames (src and dst in one stub), frames matching no stub
+  // with default_stub = -1 (unroutable) and with default_stub = 0
+  // (credited outbound).
+  std::ostringstream out(std::ios::binary);
+  pcap::Writer writer(out);
+  std::int64_t ns = 0;
+  for (int i = 0; i < 300; ++i) {
+    net::TcpPacketSpec spec;
+    spec.src_mac = net::MacAddress::for_host(1);
+    spec.dst_mac = net::MacAddress::for_host(2);
+    spec.src_port = static_cast<std::uint16_t>(2000 + i);
+    spec.dst_port = 80;
+    switch (i % 3) {
+      case 0:  // LAN-local: both endpoints inside the stub
+        spec.src_ip = net::Ipv4Address(10, 1, 0, 1);
+        spec.dst_ip = net::Ipv4Address(10, 1, 7, 2);
+        break;
+      case 1:  // external-to-external: matches no stub
+        spec.src_ip = net::Ipv4Address(192, 0, 2, 1);
+        spec.dst_ip = net::Ipv4Address(198, 51, 100, 7);
+        break;
+      default:  // ordinary outbound
+        spec.src_ip = net::Ipv4Address(10, 1, 0,
+                                       static_cast<std::uint8_t>(i % 250));
+        spec.dst_ip = net::Ipv4Address(192, 0, 2, 9);
+        break;
+    }
+    writer.write(SimTime::nanoseconds(ns += 50'000'000),
+                 net::encode_frame(net::make_syn(spec)));
+  }
+  const std::string capture = std::move(out).str();
+  const std::vector<StubSpec> stubs = {
+      {*net::Ipv4Prefix::parse("10.1.0.0/16"), "stub"}};
+  DemuxOptions drop_unmatched;
+  drop_unmatched.default_stub = -1;
+  expect_sharded_matches_oracle(capture, stubs,
+                                core::SynDogParams::paper_defaults(),
+                                drop_unmatched);
+  expect_sharded_matches_oracle(capture, stubs,
+                                core::SynDogParams::paper_defaults());
+}
+
+TEST(IngestShardedTest, MatchesOracleMixedProtocolTraffic) {
+  // Fragments, ICMP, non-IPv4 ethertypes, and runt records must take
+  // the same accept/reject/no-flags decisions on both datapaths.
+  std::ostringstream out(std::ios::binary);
+  pcap::Writer writer(out);
+  util::Rng rng(55);
+  std::int64_t ns = 0;
+  for (int i = 0; i < 600; ++i) {
+    const auto host = static_cast<std::uint32_t>(rng.uniform_int(1, 40));
+    net::ByteBuffer frame = net::encode_frame(
+        sample_packet(host, rng.uniform() < 0.5));
+    switch (i % 5) {
+      case 1:  // non-first fragment: offset 1, no transport header
+        frame[14 + 6] = 0x00;
+        frame[14 + 7] = 0x01;
+        break;
+      case 2:  // ICMP: transport bytes reinterpreted, no flags
+        frame[14 + 9] = 1;
+        break;
+      case 3:  // non-IPv4 ethertype: decode failure on both paths
+        frame[12] = 0x86;
+        frame[13] = 0xdd;
+        break;
+      case 4:  // runt record: Ethernet header only
+        frame.resize(14);
+        break;
+      default:
+        break;
+    }
+    writer.write(SimTime::nanoseconds(ns += 40'000'000), frame);
+  }
+  expect_sharded_matches_oracle(
+      std::move(out).str(),
+      {{*net::Ipv4Prefix::parse("10.1.0.0/16"), "stub"}},
+      core::SynDogParams::paper_defaults());
+}
+
+TEST(IngestShardedTest, MatchesOracleAbsoluteEpochTimestamps) {
+  // 2024-style absolute stamps: both datapaths must rebase to the first
+  // decoded frame under TimeOrigin::kAuto.
+  const std::int64_t epoch_ns = 1'700'000'000LL * 1'000'000'000LL;
+  std::ostringstream out(std::ios::binary);
+  pcap::Writer writer(out);
+  util::Rng rng(66);
+  for (int i = 0; i < 500; ++i) {
+    const auto host = static_cast<std::uint32_t>(rng.uniform_int(1, 40));
+    writer.write(
+        SimTime::nanoseconds(epoch_ns + i * 90'000'000LL),
+        net::encode_frame(sample_packet(host, rng.uniform() < 0.4)));
+  }
+  expect_sharded_matches_oracle(
+      std::move(out).str(),
+      {{*net::Ipv4Prefix::parse("10.1.0.0/16"), "stub"}},
+      core::SynDogParams::paper_defaults());
+}
+
+TEST(IngestShardedTest, MatchesOracleTruncatedCapture) {
+  const std::string whole = make_capture(800, SimTime::seconds(50), 88);
+  // Chop mid-record: both datapaths must stop at the same record and
+  // flag the capture truncated.
+  expect_sharded_matches_oracle(
+      whole.substr(0, whole.size() - 7),
+      {{*net::Ipv4Prefix::parse("10.1.0.0/16"), "stub"}},
+      core::SynDogParams::paper_defaults());
+}
+
+TEST(IngestShardedTest, MatchesOraclePcapng) {
+  std::stringstream buf;
+  pcap::PcapngWriter writer(buf);
+  util::Rng rng(99);
+  for (int i = 0; i < 400; ++i) {
+    const auto host = static_cast<std::uint32_t>(rng.uniform_int(1, 40));
+    writer.write(
+        SimTime::nanoseconds(1 + i * 120'000'000LL),
+        net::encode_frame(sample_packet(host, rng.uniform() < 0.5)));
+  }
+  expect_sharded_matches_oracle(
+      buf.str(), {{*net::Ipv4Prefix::parse("10.1.0.0/16"), "stub"}},
+      core::SynDogParams::paper_defaults());
+}
+
+TEST(IngestShardedTest, MatchesOracleThroughSynAckCollapse) {
+  // Several healthy periods grow K past collapse_min_k, then SYN/ACKs
+  // vanish for longer than outage_patience, then traffic recovers: the
+  // merge must reproduce the agent's gap absorption, the patience
+  // overflow (raw counts fed without resetting the streak), and the
+  // recovery reset, byte for byte.
+  std::ostringstream out(std::ios::binary);
+  pcap::Writer writer(out);
+  const std::int64_t t0_ns = SimTime::seconds(20).ns();
+  std::uint16_t port = 1000;
+  const auto write_period = [&](int period, int syns, int syn_acks) {
+    const std::int64_t base = period * t0_ns;
+    const int total = syns + syn_acks;
+    for (int i = 0; i < total; ++i) {
+      const auto host = static_cast<std::uint32_t>(i % 120 + 1);
+      net::TcpPacketSpec spec;
+      spec.src_mac = net::MacAddress::for_host(host);
+      spec.dst_mac = net::MacAddress::for_host(0);
+      spec.src_port = ++port;
+      spec.dst_port = 80;
+      const auto at = SimTime::nanoseconds(
+          base + 1 + (i * (t0_ns - 2)) / total);
+      if (i < syns) {
+        spec.src_ip = net::Ipv4Address(10, 1, 0,
+                                       static_cast<std::uint8_t>(host));
+        spec.dst_ip = net::Ipv4Address(192, 0, 2, 1);
+        writer.write(at, net::encode_frame(net::make_syn(spec)));
+      } else {
+        std::swap(spec.src_port, spec.dst_port);
+        spec.src_ip = net::Ipv4Address(192, 0, 2, 1);
+        spec.dst_ip = net::Ipv4Address(10, 1, 0,
+                                       static_cast<std::uint8_t>(host));
+        writer.write(at, net::encode_frame(net::make_syn_ack(spec)));
+      }
+    }
+  };
+  int period = 0;
+  for (; period < 6; ++period) write_period(period, 40, 40);  // grow K
+  for (; period < 13; ++period) write_period(period, 40, 0);  // collapse
+  for (; period < 16; ++period) write_period(period, 40, 40);  // recover
+  expect_sharded_matches_oracle(
+      std::move(out).str(),
+      {{*net::Ipv4Prefix::parse("10.1.0.0/16"), "stub"}},
+      core::SynDogParams::paper_defaults());
+}
+
+/// Runs `capture` through the ByteSpan (zero-copy) constructor and
+/// asserts stats, end state, routing tallies, and every history field
+/// match the stream-constructed run — the span producer re-implements
+/// the pcap record walk, so framing equivalence is its own contract.
+void expect_span_matches_stream(const std::string& capture,
+                                std::size_t threads) {
+  SCOPED_TRACE("threads=" + std::to_string(threads));
+  const std::vector<StubSpec> stubs = {
+      {*net::Ipv4Prefix::parse("10.1.0.0/16"), "stub"}};
+  ShardedConfig cfg;
+  cfg.threads = threads;
+  cfg.params = core::SynDogParams::paper_defaults();
+
+  std::istringstream in(capture, std::ios::binary);
+  ShardedReplay from_stream(in, stubs, cfg);
+  from_stream.run();
+
+  ShardedReplay from_span(
+      net::ByteSpan{reinterpret_cast<const std::uint8_t*>(capture.data()),
+                    capture.size()},
+      stubs, cfg);
+  EXPECT_EQ(from_span.format(), from_stream.format());
+  from_span.run();
+
+  EXPECT_EQ(from_span.stats().records, from_stream.stats().records);
+  EXPECT_EQ(from_span.stats().frames, from_stream.stats().frames);
+  EXPECT_EQ(from_span.stats().bytes, from_stream.stats().bytes);
+  EXPECT_EQ(from_span.stats().decode_failures,
+            from_stream.stats().decode_failures);
+  EXPECT_EQ(from_span.stats().truncated, from_stream.stats().truncated);
+  EXPECT_EQ(from_span.end_state(), from_stream.end_state());
+  EXPECT_EQ(from_span.local_frames(), from_stream.local_frames());
+  EXPECT_EQ(from_span.unroutable_frames(),
+            from_stream.unroutable_frames());
+  EXPECT_EQ(from_span.last_frame_at().ns(),
+            from_stream.last_frame_at().ns());
+  ASSERT_EQ(from_span.stub_count(), from_stream.stub_count());
+  for (std::size_t s = 0; s < from_span.stub_count(); ++s) {
+    SCOPED_TRACE("stub=" + std::to_string(s));
+    const std::vector<core::PeriodReport>& got = from_span.history(s);
+    const std::vector<core::PeriodReport>& want = from_stream.history(s);
+    ASSERT_EQ(got.size(), want.size());
+    for (std::size_t p = 0; p < want.size(); ++p) {
+      SCOPED_TRACE("period=" + std::to_string(p));
+      EXPECT_EQ(got[p].period_index, want[p].period_index);
+      EXPECT_EQ(got[p].syn_count, want[p].syn_count);
+      EXPECT_EQ(got[p].syn_ack_count, want[p].syn_ack_count);
+      EXPECT_EQ(got[p].k_estimate, want[p].k_estimate);
+      EXPECT_EQ(got[p].x, want[p].x);
+      EXPECT_EQ(got[p].y, want[p].y);
+      EXPECT_EQ(got[p].alarm, want[p].alarm);
+    }
+  }
+}
+
+TEST(IngestShardedTest, SpanSourceMatchesStreamSourcePcap) {
+  const std::string capture = make_capture(1200, SimTime::seconds(70), 31);
+  expect_span_matches_stream(capture, 1);
+  expect_span_matches_stream(capture, 3);
+}
+
+TEST(IngestShardedTest, SpanSourceMatchesStreamSourceTruncated) {
+  // Chop mid-record: the span walk must stop at the same record and
+  // report the same kTruncated end state as the stream reader.
+  const std::string whole = make_capture(600, SimTime::seconds(40), 32);
+  expect_span_matches_stream(whole.substr(0, whole.size() - 9), 2);
+}
+
+TEST(IngestShardedTest, SpanSourceMatchesStreamSourcePcapng) {
+  std::stringstream buf;
+  pcap::PcapngWriter writer(buf);
+  util::Rng rng(33);
+  for (int i = 0; i < 300; ++i) {
+    const auto host = static_cast<std::uint32_t>(rng.uniform_int(1, 40));
+    writer.write(
+        SimTime::nanoseconds(1 + i * 150'000'000LL),
+        net::encode_frame(sample_packet(host, rng.uniform() < 0.5)));
+  }
+  const std::string capture = buf.str();
+  expect_span_matches_stream(capture, 2);
+}
+
+TEST(IngestShardedTest, SpanSourceRejectsGarbage) {
+  const std::vector<StubSpec> stubs = {
+      {*net::Ipv4Prefix::parse("10.1.0.0/16"), "s"}};
+  const auto span_of = [](const std::string& bytes) {
+    return net::ByteSpan{
+        reinterpret_cast<const std::uint8_t*>(bytes.data()), bytes.size()};
+  };
+  const std::string tiny = "abc";  // shorter than the 4-byte magic sniff
+  EXPECT_THROW(ShardedReplay(span_of(tiny), stubs, {}),
+               std::runtime_error);
+  const std::string garbage = "definitely not a capture";
+  EXPECT_THROW(ShardedReplay(span_of(garbage), stubs, {}),
+               std::runtime_error);
+}
+
+TEST(IngestShardedTest, RejectsGarbageAndSecondRun) {
+  {
+    std::istringstream in("definitely not a capture", std::ios::binary);
+    EXPECT_THROW(
+        ShardedReplay(in, {{*net::Ipv4Prefix::parse("10.1.0.0/16"), "s"}},
+                      {}),
+        std::runtime_error);
+  }
+  const std::string capture = make_capture(20, SimTime::seconds(1), 3);
+  std::istringstream in(capture, std::ios::binary);
+  ShardedReplay sharded(
+      in, {{*net::Ipv4Prefix::parse("10.1.0.0/16"), "s"}}, {});
+  sharded.run();
+  EXPECT_THROW(sharded.run(), std::logic_error);
+}
+
+TEST(IngestShardedTest, ConfigValidation) {
+  const std::string capture = make_capture(5, SimTime::seconds(1), 4);
+  const std::vector<StubSpec> stubs = {
+      {*net::Ipv4Prefix::parse("10.1.0.0/16"), "s"}};
+  const auto expect_rejects = [&](ShardedConfig cfg) {
+    std::istringstream in(capture, std::ios::binary);
+    EXPECT_THROW(ShardedReplay(in, stubs, cfg), std::invalid_argument);
+  };
+  ShardedConfig cfg;
+  cfg.threads = 0;
+  expect_rejects(cfg);
+  cfg = ShardedConfig{};
+  cfg.ring_capacity = 0;
+  expect_rejects(cfg);
+  cfg = ShardedConfig{};
+  cfg.flush_threshold = 0;
+  expect_rejects(cfg);
+  cfg = ShardedConfig{};
+  cfg.default_stub = 1;  // only one stub
+  expect_rejects(cfg);
+  cfg = ShardedConfig{};
+  cfg.default_stub = -2;
+  expect_rejects(cfg);
+  {
+    std::istringstream in(capture, std::ios::binary);
+    EXPECT_THROW(ShardedReplay(in, {}, ShardedConfig{}),
+                 std::invalid_argument);
+  }
 }
 
 }  // namespace

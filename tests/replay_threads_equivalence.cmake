@@ -1,0 +1,52 @@
+# Generates the demo capture once, replays it with --threads 1 (the
+# single-threaded reference pump) and --threads 4 (the sharded parallel
+# datapath), and requires the --dump-periods exports to be byte-identical.
+# The dump carries every stub's per-period table at full double precision,
+# so this guards the sharded ingest equivalence contract end to end through
+# the example binary: same capture, same per-period detector trajectory,
+# regardless of thread count (see docs/INGEST.md).
+#
+# Usage: cmake -DREPLAY=<path-to-syndog_replay> -DWORK=<dir>
+#              -P replay_threads_equivalence.cmake
+if(NOT REPLAY OR NOT WORK)
+  message(FATAL_ERROR
+          "replay_threads_equivalence.cmake needs -DREPLAY= and -DWORK=")
+endif()
+
+file(REMOVE_RECURSE "${WORK}")
+file(MAKE_DIRECTORY "${WORK}")
+
+execute_process(
+  COMMAND ${REPLAY} --gen "${WORK}/demo.pcap"
+  RESULT_VARIABLE status
+  OUTPUT_VARIABLE out
+  ERROR_VARIABLE out)
+if(NOT status EQUAL 0)
+  message(FATAL_ERROR "--gen failed (${status}):\n${out}")
+endif()
+
+foreach(threads 1 4)
+  execute_process(
+    COMMAND ${REPLAY} "${WORK}/demo.pcap"
+            --stubs 10.1.0.0/16,10.9.0.0/16
+            --threads ${threads}
+            --dump-periods "${WORK}/periods_t${threads}.txt"
+    RESULT_VARIABLE status
+    OUTPUT_VARIABLE out
+    ERROR_VARIABLE out)
+  if(NOT status EQUAL 0)
+    message(FATAL_ERROR "--threads ${threads} run failed (${status}):\n${out}")
+  endif()
+endforeach()
+
+execute_process(
+  COMMAND ${CMAKE_COMMAND} -E compare_files
+          "${WORK}/periods_t1.txt" "${WORK}/periods_t4.txt"
+  RESULT_VARIABLE same)
+if(NOT same EQUAL 0)
+  file(READ "${WORK}/periods_t1.txt" t1)
+  file(READ "${WORK}/periods_t4.txt" t4)
+  message(FATAL_ERROR "sharded replay diverges from the reference pump:\n"
+                      "--- --threads 1 ---\n${t1}"
+                      "--- --threads 4 ---\n${t4}")
+endif()

@@ -1,12 +1,18 @@
 """concurrency.* — threads and shared mutable state live only in seams.
 
-ROADMAP items 1–2 (sharded parallel DES, multi-ring ingest) are about to
-multiply the number of threads in the tree. These rules pin down where the
-concurrency may live *before* that happens: thread spawning and mutable
-namespace-scope state are confined to sanctioned seams — the ingest
-threaded pump and src/util — so every other module stays trivially
+ROADMAP items 1–2 (sharded parallel DES, multi-ring ingest) multiplied
+the number of threads in the tree. These rules pin down where that
+concurrency may live: thread spawning and mutable namespace-scope state
+are confined to sanctioned seams, so every other file stays trivially
 data-race-free and the deterministic single-thread reference stays the
 semantic ground truth.
+
+The seam list is *file-granular*: now that src/ingest mixes threaded
+datapaths (pipeline's two-thread pump, ShardedReplay's producer +
+consumers) with purely sequential ones (ReplayEngine, CaptureSource,
+framer, demux), a directory-wide waiver would silently bless a stray
+thread in the sequential files. Each entry is a path prefix, so a seam
+covers its .cpp, its header, and any `_test`/`_seam` corpus siblings.
 """
 
 from __future__ import annotations
@@ -17,12 +23,23 @@ from typing import Iterable, List, Optional
 from .lexer import IDENT, PUNCT, SourceFile, Token
 from .model import ERROR, Finding, Rule, register
 
-# Sanctioned seams: the ingest pipeline's two-thread pump, the telemetry
-# sink's consumer-thread drain (whose inline mode is the deterministic
-# single-thread reference), and the util layer (logging level atomics,
-# future worker-pool plumbing). Everything else in the library must stay
-# thread-free / static-mutation-free.
-_SEAM_DIRS = ("src/ingest/", "src/telemetry/", "src/util/")
+# Sanctioned seams (path prefixes). In src/ingest only the files that
+# *are* the threading machinery qualify: the capture pipeline's
+# two-thread pump, the sharded replay's producer/consumer fan-out, and
+# the SPSC ring primitive their handoff rides on. The rest of the module
+# (ReplayEngine, CaptureSource, framer, AgentDemux) is sequential by
+# contract and patrolled like any other code. src/telemetry (sink drain
+# thread) and src/util (logging level atomics, worker plumbing) stay
+# module-wide seams — their concurrency is not confined to one file.
+_SEAM_DIRS = (
+    "src/ingest/pipeline",
+    "src/ingest/sharded",
+    "src/ingest/include/syndog/ingest/pipeline",
+    "src/ingest/include/syndog/ingest/sharded",
+    "src/ingest/include/syndog/ingest/frame_ring",
+    "src/telemetry/",
+    "src/util/",
+)
 
 # Library-ish trees the rules patrol. tests/ is exempt: tests spin threads
 # and define counting globals (tests/support/alloc_guard.hpp) to *verify*
@@ -55,10 +72,11 @@ def _check_raw_thread(sf: SourceFile, ctx) -> Iterable[Finding]:
                 sf.rel,
                 lineno,
                 "",
-                "thread spawning lives only in the sanctioned seams "
-                "(src/ingest threaded pump, src/telemetry sink drain, "
-                "src/util); route parallel work through those seams so the "
-                "deterministic single-thread reference stays authoritative",
+                "thread spawning lives only in the sanctioned seam files "
+                "(src/ingest pipeline/sharded/frame_ring, src/telemetry "
+                "sink drain, src/util); route parallel work through those "
+                "seams so the deterministic single-thread reference stays "
+                "authoritative",
             )
 
 
@@ -74,15 +92,17 @@ register(
             "ingest must match the single-thread pump exactly; sharded DES "
             "must merge to byte-identical sidecars) is only checkable if "
             "thread creation is confined to seams built for it: the ingest "
-            "pipeline's producer/consumer pump and util's worker plumbing. "
-            "A thread spawned elsewhere bypasses the barriers, mailboxes, "
-            "and deterministic-merge machinery those seams provide."
+            "pipeline's producer/consumer pump, ShardedReplay's fan-out, "
+            "and util's worker plumbing. A thread spawned elsewhere "
+            "bypasses the barriers, mailboxes, and deterministic-merge "
+            "machinery those seams provide."
         ),
         fix_hint=(
-            "Move the parallel section behind the ingest pump or a util "
-            "worker seam; if a new seam is genuinely needed, add its "
-            "directory to the sanctioned list in rules_concurrency.py in "
-            "the same PR that adds its determinism-equivalence test."
+            "Move the parallel section behind the ingest pump, the sharded "
+            "replay, or a util worker seam; if a new seam is genuinely "
+            "needed, add its file prefix to the sanctioned list in "
+            "rules_concurrency.py in the same PR that adds its "
+            "determinism-equivalence test."
         ),
         targets=_targets,
         check=_check_raw_thread,
@@ -295,7 +315,8 @@ def _scan_scope(
                         name_tok.line,
                         "",
                         f"{where} mutable object '{name_tok.text}' is shared "
-                        "state outside the sanctioned seams (src/ingest, "
+                        "state outside the sanctioned seam files (src/ingest "
+                        "pipeline/sharded/frame_ring, src/telemetry, "
                         "src/util); pass state explicitly or move the seam",
                     )
                 )
@@ -336,9 +357,9 @@ register(
             "consumer, can touch it without any seam mediating — a data "
             "race at worst and hidden cross-run coupling at best. The tree "
             "keeps all such state behind src/util (e.g. the logging level "
-            "atomics) and src/ingest, where the threading contracts are "
-            "tested under TSan. Constants (const/constexpr/constinit) are "
-            "fine anywhere."
+            "atomics) and the ingest seam files, where the threading "
+            "contracts are tested under TSan. Constants "
+            "(const/constexpr/constinit) are fine anywhere."
         ),
         fix_hint=(
             "Pass the state through constructor/function parameters, hang "

@@ -34,7 +34,7 @@ LAYER_DEPS: Dict[str, Set[str]] = {
     "telemetry": {"obs", "util"},
     "core": {"classify", "detect", "net", "obs", "sim", "stats",
              "telemetry", "util"},
-    "ingest": {"core", "net", "obs", "pcap", "sim", "util"},
+    "ingest": {"classify", "core", "net", "obs", "pcap", "sim", "util"},
     "mitigate": {"core", "net", "obs", "sim", "telemetry", "util"},
 }
 

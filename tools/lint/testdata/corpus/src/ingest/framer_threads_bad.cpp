@@ -1,0 +1,16 @@
+// Positive fixture: src/ingest is no longer a directory-wide seam. A
+// sequential ingest file (framer, demux, replay engine) that spawns a
+// thread or grows namespace-scope mutable state must be flagged exactly
+// like any other module.
+#include <thread>
+
+namespace syndog::ingest {
+
+int corpus_frames_seen = 0;  // EXPECT(concurrency.shared_mutable_static)
+
+void corpus_frame_async() {
+  std::thread framer([] {});  // EXPECT(concurrency.raw_thread)
+  framer.join();
+}
+
+}  // namespace syndog::ingest

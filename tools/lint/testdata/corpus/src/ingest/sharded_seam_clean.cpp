@@ -1,0 +1,17 @@
+// Negative fixture: the `src/ingest/sharded` prefix is a sanctioned
+// seam file — threads and mutable module state are allowed in the
+// sharded replay's producer/consumer fan-out (and, by the same prefix,
+// in this corpus sibling).
+#include <atomic>
+#include <thread>
+
+namespace syndog::ingest {
+
+std::atomic<int> corpus_pump_state{0};
+
+void corpus_pump() {
+  std::thread pump([] { corpus_pump_state.store(1); });
+  pump.join();
+}
+
+}  // namespace syndog::ingest
