@@ -4,10 +4,18 @@
 //
 // Compared against the universal parameters and the paper's hand-tuned
 // UNC values (a=0.2, N=0.6) on sub-universal-floor floods.
+#include <algorithm>
+#include <cmath>
 #include <cstdio>
+#include <limits>
+#include <string>
+#include <vector>
 
 #include "common/experiment.hpp"
 #include "syndog/core/adaptive.hpp"
+#include "syndog/detect/arl.hpp"
+#include "syndog/detect/arl_bins.hpp"
+#include "syndog/stats/online.hpp"
 #include "syndog/trace/periods.hpp"
 #include "syndog/util/strings.hpp"
 #include "syndog/util/table.hpp"
@@ -78,6 +86,25 @@ struct AdaptiveDetector {
   }
 };
 
+/// Smallest threshold N (on a 0.05 grid) whose scaled-Poisson ARL0 at
+/// per-period rate `lambda` meets `target_periods` — the quietest-bin
+/// sizing rule from docs: pick N for q1, not for the mean.
+double min_threshold_for_budget(double lambda, double c, double a,
+                                double target_periods) {
+  for (double n = 0.05; n <= 3.0001; n += 0.05) {
+    detect::PoissonArlSpec spec;
+    spec.rate = c * lambda;
+    spec.scale = 1.0 / lambda;
+    spec.offset = a;
+    spec.threshold = n;
+    spec.states = 400;
+    if (detect::cusum_average_run_length(spec) >= target_periods) {
+      return n;
+    }
+  }
+  return std::numeric_limits<double>::infinity();
+}
+
 }  // namespace
 
 int main() {
@@ -107,6 +134,105 @@ int main() {
         "hand-tuned ~15)\n\n",
         dog.learned_c(), dog.learned_sigma(), dog.active_params().a,
         dog.active_params().threshold, dog.min_detectable_rate());
+
+    // Does the learned (a, N) hold a false-alarm budget? Same
+    // lambda-binned scaled-Poisson analysis as `syndog_tool
+    // sensitivity` (detect/arl_bins.hpp): the site's diurnal swing
+    // makes the quietest quartile, not the mean rate, set the realized
+    // ARL0 — so the table below is evaluated per quantile bin.
+    const double c = dog.learned_c();
+    stats::OnlineStats k;
+    std::vector<double> counts;
+    counts.reserve(ps.size());
+    for (std::size_t n = 0; n < ps.size(); ++n) {
+      k.add(static_cast<double>(ps.in_syn_ack[n]));
+      counts.push_back(static_cast<double>(ps.in_syn_ack[n]));
+    }
+    detect::BinnedArlSpec bins_spec;
+    bins_spec.c = c;
+    bins_spec.offset = dog.active_params().a;
+    bins_spec.threshold = dog.active_params().threshold;
+    const detect::BinnedArlResult budget =
+        detect::binned_poisson_arl(counts, k.mean(), bins_spec);
+    const double t0_s =
+        trace::kObservationPeriod.to_seconds();
+    util::TextTable arl_table({"lambda bin", "mean SYN/ACK per t0",
+                               "ARL0 (periods)", "ARL0 (days)"});
+    for (std::size_t b = 0; b < budget.bins.size(); ++b) {
+      arl_table.add_row(
+          {"q" + std::to_string(b + 1),
+           util::format_double(budget.bins[b].lambda, 1),
+           util::format_double(budget.bins[b].arl0, 0),
+           util::format_double(budget.bins[b].arl0 * t0_s / 86400.0, 1)});
+    }
+    std::printf("false-alarm budget of the learned parameters "
+                "(a=%.3f, N=%.3f):\n%s",
+                bins_spec.offset, bins_spec.threshold,
+                arl_table.to_string().c_str());
+    std::printf("rate-averaged ARL0 over bins: %.0f periods; at the "
+                "mean rate: %.0f\n\n",
+                budget.combined_arl0, budget.mean_rate_arl0);
+
+  }
+
+  // Quietest-bin N sizing: for a range of sigma margins, the design
+  // rule gives a = c + margin*sigma and N = 3a; the budget requires
+  // the smallest N whose q1-bin ARL0 covers >= 30 days. The learned
+  // detector is budget-safe iff its design N clears that floor, and
+  // the sweep shows how much detection floor a tighter margin buys
+  // before the quiet-hour budget gives out. At UNC volumes the Poisson
+  // tail is invisible (any N holds the budget); at Auckland's small
+  // lambda the q1 bin genuinely constrains N.
+  {
+    const double t0_s = trace::kObservationPeriod.to_seconds();
+    const double target_periods = 30.0 * 86400.0 / t0_s;  // 30 days
+    util::TextTable sizing({"site", "sigma margin", "a", "design N = 3a",
+                            "min N for 30-day q1 ARL0",
+                            "f_min (SYN/s)"});
+    for (const trace::SiteId site :
+         {trace::SiteId::kUnc, trace::SiteId::kAuckland}) {
+      const trace::SiteSpec site_spec = trace::site_spec(site);
+      const trace::PeriodSeries ps = trace::extract_periods(
+          trace::generate_site_trace(site_spec, 3000),
+          trace::kObservationPeriod);
+      core::AdaptiveSynDog dog{core::AdaptiveParams{}};
+      for (std::size_t n = 0; n < ps.size(); ++n) {
+        (void)dog.observe_period(ps.out_syn[n], ps.in_syn_ack[n]);
+      }
+      const double c = dog.learned_c();
+      const double sigma = dog.learned_sigma();
+      stats::OnlineStats k;
+      std::vector<double> counts;
+      counts.reserve(ps.size());
+      for (std::size_t n = 0; n < ps.size(); ++n) {
+        k.add(static_cast<double>(ps.in_syn_ack[n]));
+        counts.push_back(static_cast<double>(ps.in_syn_ack[n]));
+      }
+      detect::BinnedArlSpec bins_spec;
+      bins_spec.c = c;
+      bins_spec.offset = dog.active_params().a;
+      bins_spec.threshold = dog.active_params().threshold;
+      const detect::BinnedArlResult site_bins =
+          detect::binned_poisson_arl(counts, k.mean(), bins_spec);
+      const double q1_lambda = site_bins.bins.empty()
+                                   ? k.mean()
+                                   : site_bins.bins.front().lambda;
+      for (const double margin : {1.0, 2.0, 3.0, 6.0}) {
+        const double a = std::clamp(c + margin * sigma, 0.05, 0.35);
+        const double n_min =
+            min_threshold_for_budget(q1_lambda, c, a, target_periods);
+        sizing.add_row(
+            {site_spec.name, util::format_double(margin, 0),
+             util::format_double(a, 3), util::format_double(3.0 * a, 3),
+             util::format_double(n_min, 2),
+             util::format_double(
+                 core::SynDog::min_detectable_rate(
+                     a, c, k.mean(), trace::kObservationPeriod),
+                 1)});
+      }
+    }
+    std::printf("%s", sizing.to_string().c_str());
+    std::printf("\n");
   }
 
   util::TextTable table({"detector", "fi (SYN/s)", "detect prob",
@@ -142,6 +268,8 @@ int main() {
       "\nexpected: universal parameters miss fi < 37 entirely; both tuned\n"
       "variants catch fi >= 15-20 with zero false alarms, with the\n"
       "adaptive detector matching the hand-tuned one without any manual\n"
-      "analysis of the site.\n");
+      "analysis of the site. The design N = 3a clears the quietest-bin\n"
+      "30-day budget at every margin; only small-lambda sites (Auckland)\n"
+      "see the budget constrain N at all.\n");
   return 0;
 }

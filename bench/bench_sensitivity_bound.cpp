@@ -8,6 +8,7 @@
 #include <cstdio>
 
 #include "common/experiment.hpp"
+#include "common/sidecar.hpp"
 #include "syndog/attack/campaign.hpp"
 #include "syndog/stats/online.hpp"
 #include "syndog/trace/periods.hpp"
@@ -52,6 +53,24 @@ int main() {
                        util::format_double(ref.paper_fmin, 2) + ")",
                    util::format_count(stubs) + "  (" + ref.paper_stubs +
                        ")"});
+    if (ref.site == trace::SiteId::kUnc) {
+      // Cross-link with bench_campaign_scale: the realized per-stub share
+      // f_i = V / A_s exactly at the hiding bound (>= f_min: every stub
+      // still detects) and one stub past it (< f_min by construction of
+      // floor(V / f_min): the campaign disappears below the radar). The
+      // scale bench drives a sharded thousand-stub campaign at exactly
+      // these ratios.
+      const double v = attack::kFirewalledServerRate;
+      const double fi_bound = v / static_cast<double>(stubs);
+      const double fi_hiding = v / static_cast<double>(stubs + 1);
+      bench::sidecar()->scalar("unc_f_min", fmin);
+      bench::sidecar()->scalar("max_hiding_stubs_unc",
+                               static_cast<double>(stubs));
+      bench::sidecar()->scalar("per_stub_fi_at_bound", fi_bound);
+      bench::sidecar()->scalar("per_stub_fi_hiding", fi_hiding);
+      bench::sidecar()->scalar("bound_fi_over_fmin", fi_bound / fmin);
+      bench::sidecar()->scalar("hiding_fi_over_fmin", fi_hiding / fmin);
+    }
   }
   std::printf("%s", table.to_string().c_str());
 

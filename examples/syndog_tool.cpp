@@ -34,7 +34,7 @@
 #include "syndog/core/locator.hpp"
 #include "syndog/core/sniffer.hpp"
 #include "syndog/core/syndog.hpp"
-#include "syndog/detect/arl.hpp"
+#include "syndog/detect/arl_bins.hpp"
 #include "syndog/pcap/pcap.hpp"
 #include "syndog/pcap/pcapng.hpp"
 #include "syndog/stats/online.hpp"
@@ -245,49 +245,35 @@ int cmd_sensitivity(const util::Config& cfg) {
         counts.push_back(static_cast<double>(ps.in_syn_ack[i]));
       }
     }
-    std::sort(counts.begin(), counts.end());
-    if (counts.size() >= 4) {
+    detect::BinnedArlSpec bins_spec;
+    bins_spec.c = c;
+    bins_spec.offset = params.a;
+    bins_spec.threshold = params.threshold;
+    const detect::BinnedArlResult budget =
+        detect::binned_poisson_arl(std::move(counts), k.mean(), bins_spec);
+    if (!budget.bins.empty()) {
       const double t0_s = params.observation_period.to_seconds();
-      const auto arl_at = [&](double lambda) {
-        detect::PoissonArlSpec arl_spec;
-        arl_spec.rate = c * lambda;
-        arl_spec.scale = 1.0 / lambda;
-        arl_spec.offset = params.a;
-        arl_spec.threshold = params.threshold;
-        arl_spec.states = 400;
-        return detect::cusum_average_run_length(arl_spec);
-      };
       util::TextTable arl_table(
           {"lambda bin", "mean SYN/ACK per t0", "ARL0 (periods)",
            "ARL0 (days)"});
-      double fa_rate_sum = 0.0;  // per-period false-alarm rate, averaged
-      constexpr int kBins = 4;
-      for (int b = 0; b < kBins; ++b) {
-        const std::size_t lo = counts.size() * b / kBins;
-        const std::size_t hi = counts.size() * (b + 1) / kBins;
-        double lambda = 0.0;
-        for (std::size_t i = lo; i < hi; ++i) lambda += counts[i];
-        lambda /= static_cast<double>(hi - lo);
-        const double arl = arl_at(lambda);
-        fa_rate_sum += 1.0 / arl;
+      for (std::size_t b = 0; b < budget.bins.size(); ++b) {
+        const detect::LambdaBinArl& bin = budget.bins[b];
         arl_table.add_row(
-            {"q" + std::to_string(b + 1), util::format_double(lambda, 1),
-             util::format_double(arl, 0),
-             util::format_double(arl * t0_s / 86400.0, 1)});
+            {"q" + std::to_string(b + 1),
+             util::format_double(bin.lambda, 1),
+             util::format_double(bin.arl0, 0),
+             util::format_double(bin.arl0 * t0_s / 86400.0, 1)});
       }
       std::printf("\nscaled-Poisson CUSUM false-alarm budget (a=%.2f, "
                   "N=%.2f):\n%s",
                   params.a, params.threshold, arl_table.to_string().c_str());
-      const double arl_mean_rate = arl_at(k.mean());
-      const double arl_combined =
-          static_cast<double>(kBins) / fa_rate_sum;
       std::printf(
           "mean-rate ARL0: %.0f periods (%.1f days); rate-averaged over "
           "bins: %.0f periods (%.1f days)\n"
           "the quiet-hour bins dominate the realized false-alarm rate -- "
           "size N for q1, not for the mean\n",
-          arl_mean_rate, arl_mean_rate * t0_s / 86400.0, arl_combined,
-          arl_combined * t0_s / 86400.0);
+          budget.mean_rate_arl0, budget.mean_rate_arl0 * t0_s / 86400.0,
+          budget.combined_arl0, budget.combined_arl0 * t0_s / 86400.0);
     }
   }
   return 0;

@@ -1,0 +1,63 @@
+// Cross-shard mailbox records for the sharded campaign DES.
+//
+// Stubs are causally independent except at the shared victim, so the
+// only traffic that ever crosses a shard boundary is (a) a stub-emitted
+// packet addressed to the victim and (b) a victim reply addressed back
+// into some stub prefix. Both directions travel as MailboxRecords:
+// the sender computes the receiver-side arrival time analytically
+// (emission time + the fixed cross-shard link latency) and appends the
+// record to its shard-local outbox. At each window barrier the engine
+// merges all outboxes in the canonical order below and injects every
+// record into the destination shard's scheduler.
+//
+// Determinism contract: the canonical order — (arrival time, global stub
+// id, per-origin emission sequence) — is a strict total order that
+// depends only on simulation content, never on worker count or cell
+// decomposition. Two records can share an arrival time (ties then fall
+// to stub id, then to the origin's own monotonic counter), so the
+// injection order, and therefore the destination scheduler's tie-break
+// sequence numbers, are reproducible bit for bit.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "syndog/net/packet.hpp"
+#include "syndog/util/time.hpp"
+
+namespace syndog::campaign {
+
+struct MailboxRecord {
+  /// Receiver-side arrival time. The conservative window protocol
+  /// guarantees arrive_at > the exchanging barrier's time (lookahead).
+  util::SimTime arrive_at;
+  /// Global stub index: the origin for victim-bound records, the
+  /// destination for stub-bound records. Part of the canonical order
+  /// either way.
+  std::uint32_t stub = 0;
+  /// Per-origin monotonic emission counter (final tie-break).
+  std::uint64_t seq = 0;
+  net::Packet packet;
+};
+
+/// Canonical merge order: (arrive_at, stub, seq). Strict weak ordering;
+/// total over any record set produced by one origin per (stub, seq).
+[[nodiscard]] inline bool canonical_before(const MailboxRecord& a,
+                                           const MailboxRecord& b) {
+  if (a.arrive_at != b.arrive_at) return a.arrive_at < b.arrive_at;
+  if (a.stub != b.stub) return a.stub < b.stub;
+  return a.seq < b.seq;
+}
+
+/// Counters for everything that crosses (or dies at) the shard boundary
+/// and the victim-side Internet edge. Mirrors the single-loop oracle's
+/// sim::CloudStats split so the bench tables read the same.
+struct CrossStats {
+  std::uint64_t to_victim = 0;          ///< mailbox records stub -> victim
+  std::uint64_t to_stubs = 0;           ///< mailbox records victim -> stub
+  std::uint64_t dropped_unreachable = 0;  ///< victim replies to spoof pool
+  std::uint64_t absorbed_elsewhere = 0;   ///< victim output off-path
+  std::uint64_t barriers = 0;           ///< window barriers executed
+};
+
+}  // namespace syndog::campaign

@@ -1,0 +1,73 @@
+// Threaded window driver for CampaignSim (concurrency seam).
+//
+// CampaignRunner owns a persistent pool of worker threads and drives one
+// CampaignSim through its window/barrier protocol: each window, workers
+// claim cell indices off a shared atomic counter and call
+// run_cell_until(cell, barrier) — safe for distinct cells because cells
+// share no mutable state — then the coordinating thread performs the
+// single-threaded exchange_and_advance(barrier). The worker count only
+// changes which thread executes a cell, never the cell decomposition or
+// any event ordering, so results are byte-identical to the inline
+// CampaignSim::run_until(end) reference at any worker count.
+//
+// All cross-thread coordination lives in this header's .cpp: a
+// generation-counted mutex/condvar start barrier and an atomic
+// completion count. Workers never touch two cells at once and never run
+// while the exchange is in progress.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "syndog/campaign/campaign_sim.hpp"
+#include "syndog/util/time.hpp"
+
+namespace syndog::campaign {
+
+class CampaignRunner {
+ public:
+  /// Spawns `workers - 1` pool threads (the calling thread is worker 0).
+  /// workers <= 1 spawns nothing and run() degenerates to the inline
+  /// reference loop.
+  CampaignRunner(CampaignSim& sim, int workers);
+  ~CampaignRunner();
+
+  CampaignRunner(const CampaignRunner&) = delete;
+  CampaignRunner& operator=(const CampaignRunner&) = delete;
+
+  [[nodiscard]] int workers() const { return workers_; }
+
+  /// Advances the campaign to `end` window by window. May be called
+  /// repeatedly (e.g. per flood wave) from the constructing thread.
+  void run(util::SimTime end);
+
+ private:
+  void worker_loop();
+  void run_window();
+  /// Claims and executes cells until the shared index is exhausted.
+  void drain_cells();
+
+  CampaignSim& sim_;
+  int workers_;
+
+  std::vector<std::thread> threads_;
+  std::mutex mutex_;
+  std::condition_variable start_cv_;
+  std::condition_variable done_cv_;
+  /// Incremented (under mutex_) to release the pool for one window.
+  std::uint64_t generation_ = 0;
+  /// Barrier the released generation must run its cells to.
+  util::SimTime barrier_;
+  bool shutdown_ = false;
+
+  /// Next unclaimed cell index for the current window.
+  std::atomic<int> next_cell_{0};
+  /// Pool threads that have finished their share of the window.
+  int idle_workers_ = 0;
+};
+
+}  // namespace syndog::campaign

@@ -1,0 +1,94 @@
+#include "syndog/campaign/runner.hpp"
+
+#include <algorithm>
+
+namespace syndog::campaign {
+
+CampaignRunner::CampaignRunner(CampaignSim& sim, int workers)
+    : sim_(sim), workers_(std::max(workers, 1)) {
+  threads_.reserve(static_cast<std::size_t>(workers_ - 1));
+  for (int w = 1; w < workers_; ++w) {
+    threads_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+CampaignRunner::~CampaignRunner() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    shutdown_ = true;
+    ++generation_;
+  }
+  start_cv_.notify_all();
+  for (std::thread& t : threads_) {
+    t.join();
+  }
+}
+
+void CampaignRunner::drain_cells() {
+  const int cells = sim_.cell_count();
+  for (int cell = next_cell_.fetch_add(1, std::memory_order_relaxed);
+       cell < cells;
+       cell = next_cell_.fetch_add(1, std::memory_order_relaxed)) {
+    sim_.run_cell_until(cell, barrier_);
+  }
+}
+
+void CampaignRunner::worker_loop() {
+  std::uint64_t seen = 0;
+  for (;;) {
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      start_cv_.wait(lock, [this, seen] { return generation_ != seen; });
+      seen = generation_;
+      if (shutdown_) return;
+    }
+    drain_cells();
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      ++idle_workers_;
+    }
+    done_cv_.notify_one();
+  }
+}
+
+void CampaignRunner::run_window() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    idle_workers_ = 0;
+    next_cell_.store(0, std::memory_order_relaxed);
+    ++generation_;
+  }
+  start_cv_.notify_all();
+  drain_cells();  // the coordinator is worker 0
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    done_cv_.wait(lock, [this] {
+      return idle_workers_ == static_cast<int>(threads_.size());
+    });
+  }
+}
+
+void CampaignRunner::run(util::SimTime end) {
+  if (threads_.empty()) {
+    sim_.run_until(end);
+    return;
+  }
+  while (sim_.now() < end) {
+    barrier_ = std::min(sim_.now() + sim_.window(), end);
+    run_window();
+    // All cells are quiescent and the pool is parked: the exchange is
+    // the only code touching any scheduler here.
+    sim_.exchange_and_advance(barrier_);
+  }
+}
+
+void CampaignSim::run_until(util::SimTime end, int workers) {
+  if (workers <= 1) {
+    run_until(end);
+    return;
+  }
+  CampaignRunner runner(*this, workers);
+  runner.run(end);
+}
+
+}  // namespace syndog::campaign

@@ -71,6 +71,10 @@ struct PeriodReport {
   double y = 0.0;                  ///< CUSUM statistic yn
   bool alarm = false;              ///< yn > N
   bool x_clamped = false;          ///< Xn hit the negative clamp
+
+  /// Exact (bitwise on the doubles) comparison; the campaign
+  /// oracle-equivalence tests compare whole period tables with this.
+  [[nodiscard]] bool operator==(const PeriodReport&) const = default;
 };
 
 class SynDog {

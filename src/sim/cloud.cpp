@@ -82,7 +82,10 @@ void InternetCloud::receive(const net::Packet& packet) {
     spec.ack = packet.tcp->seq + 1;
     net::Packet ack = net::make_tcp_packet(spec);
     const double rtt =
-        rng_.lognormal(std::log(params_.rtt_median_s), params_.rtt_sigma);
+        params_.rtt_sigma > 0
+            ? rng_.lognormal(std::log(params_.rtt_median_s),
+                             params_.rtt_sigma)
+            : params_.rtt_median_s;
     scheduler_.schedule_after(
         util::SimTime::from_seconds(rtt),
         [this, h = scheduler_.packets().acquire(std::move(ack))] {
@@ -105,7 +108,10 @@ void InternetCloud::receive(const net::Packet& packet) {
     spec.ack = packet.tcp->seq + 1;
     net::Packet fin = net::make_tcp_packet(spec);
     const double rtt =
-        rng_.lognormal(std::log(params_.rtt_median_s), params_.rtt_sigma);
+        params_.rtt_sigma > 0
+            ? rng_.lognormal(std::log(params_.rtt_median_s),
+                             params_.rtt_sigma)
+            : params_.rtt_median_s;
     scheduler_.schedule_after(
         util::SimTime::from_seconds(rtt),
         [this, h = scheduler_.packets().acquire(std::move(fin))] {
@@ -155,7 +161,9 @@ void InternetCloud::synthesize_syn_ack(const net::Packet& syn) {
   net::Packet reply = net::make_syn_ack(spec);
 
   const double rtt =
-      rng_.lognormal(std::log(params_.rtt_median_s), params_.rtt_sigma);
+      params_.rtt_sigma > 0
+          ? rng_.lognormal(std::log(params_.rtt_median_s), params_.rtt_sigma)
+          : params_.rtt_median_s;
   ++stats_.syn_acks_generated;
   scheduler_.schedule_after(
       util::SimTime::from_seconds(rtt),

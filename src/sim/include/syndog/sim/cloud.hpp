@@ -23,7 +23,11 @@ struct CloudParams {
   /// Probability a generic remote server fails to answer a SYN.
   double no_answer_probability = 0.05;
   /// Median/dispersion of the lognormal wide-area RTT contributed by the
-  /// far side (the uplink adds its own delay).
+  /// far side (the uplink adds its own delay). rtt_sigma == 0 selects a
+  /// deterministic RTT of exactly rtt_median_s with no rng draw — the
+  /// seam the campaign oracle-equivalence tests rely on (lognormal with
+  /// zero sigma is undefined, and skipping the draw keeps the rng stream
+  /// comparable across engines).
   double rtt_median_s = 0.080;
   double rtt_sigma = 0.35;
   /// Source addresses in this prefix are unreachable (spoof pool).

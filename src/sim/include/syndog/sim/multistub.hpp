@@ -45,7 +45,11 @@ class MultiStubSim {
   /// Stub `s` occupies 10.(s+1).0.0/16.
   [[nodiscard]] net::Ipv4Prefix stub_prefix(int stub) const;
   [[nodiscard]] LeafRouter& router(int stub);
-  /// Host `index` in [1, hosts_per_stub] of stub `stub`.
+  /// Host `index` of stub `stub`. Indices are **1-based**: valid range
+  /// [1, hosts_per_stub], because offset 0 of the stub prefix is the
+  /// (unaddressable) base address. Throws std::out_of_range naming the
+  /// violated range on either a bad stub or a bad host index — index 0
+  /// is always rejected, it never aliases host 1.
   [[nodiscard]] TcpHost& host(int stub, std::uint32_t index);
 
   /// Attaches a shared Internet-side host (e.g. the campaign's victim).

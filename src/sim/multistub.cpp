@@ -1,6 +1,7 @@
 #include "syndog/sim/multistub.hpp"
 
 #include <stdexcept>
+#include <string>
 
 namespace syndog::sim {
 
@@ -107,9 +108,16 @@ LeafRouter& MultiStubSim::router(int stub) {
 }
 
 TcpHost& MultiStubSim::host(int stub, std::uint32_t index) {
-  if (stub < 0 || stub >= params_.stub_count || index == 0 ||
-      index > params_.hosts_per_stub) {
-    throw std::out_of_range("MultiStubSim: host index");
+  if (stub < 0 || stub >= params_.stub_count) {
+    throw std::out_of_range("MultiStubSim: stub index " +
+                            std::to_string(stub) + " outside [0, " +
+                            std::to_string(params_.stub_count - 1) + "]");
+  }
+  if (index == 0 || index > params_.hosts_per_stub) {
+    throw std::out_of_range(
+        "MultiStubSim: host index " + std::to_string(index) +
+        " outside [1, " + std::to_string(params_.hosts_per_stub) +
+        "] (host indices are 1-based; offset 0 is the prefix base)");
   }
   return *stubs_[static_cast<std::size_t>(stub)].hosts[index - 1];
 }

@@ -1,0 +1,41 @@
+# Runs the syndog_campaign example with --workers 1 and --workers 8 on
+# the same campaign (same stubs/seed/minutes) and requires the complete
+# stdout — alarm counts, cross-shard stats, victim stats, and the full
+# state digest with every per-period CUSUM table at %.17g — to be
+# byte-identical. This is the ISSUE-10 acceptance pin: the sharded
+# engine's merged output must not depend on the worker count, enforced
+# by ctest through the example binary (see docs/CAMPAIGN.md).
+#
+# Usage: cmake -DCAMPAIGN=<path-to-syndog_campaign> -DWORK=<dir>
+#              -P campaign_workers_equivalence.cmake
+if(NOT CAMPAIGN OR NOT WORK)
+  message(FATAL_ERROR
+          "campaign_workers_equivalence.cmake needs -DCAMPAIGN= and -DWORK=")
+endif()
+
+file(REMOVE_RECURSE "${WORK}")
+file(MAKE_DIRECTORY "${WORK}")
+
+foreach(workers 1 8)
+  execute_process(
+    COMMAND ${CAMPAIGN} --stubs 1000 --hosts 200 --minutes 2 --seed 5
+            --workers ${workers}
+    RESULT_VARIABLE status
+    OUTPUT_FILE "${WORK}/campaign_w${workers}.txt"
+    ERROR_VARIABLE err)
+  if(NOT status EQUAL 0)
+    message(FATAL_ERROR "--workers ${workers} run failed (${status}):\n${err}")
+  endif()
+endforeach()
+
+execute_process(
+  COMMAND ${CMAKE_COMMAND} -E compare_files
+          "${WORK}/campaign_w1.txt" "${WORK}/campaign_w8.txt"
+  RESULT_VARIABLE same)
+if(NOT same EQUAL 0)
+  file(READ "${WORK}/campaign_w1.txt" w1)
+  file(READ "${WORK}/campaign_w8.txt" w8)
+  message(FATAL_ERROR "sharded campaign diverges across worker counts:\n"
+                      "--- --workers 1 ---\n${w1}"
+                      "--- --workers 8 ---\n${w8}")
+endif()

@@ -3,6 +3,9 @@
 // paper's distributed DDoS setting in a single event loop.
 #include <gtest/gtest.h>
 
+#include <stdexcept>
+#include <string>
+
 #include "syndog/attack/campaign.hpp"
 #include "syndog/attack/flood.hpp"
 #include "syndog/core/agent.hpp"
@@ -31,6 +34,36 @@ TEST(MultiStubTest, PrefixesAndHostsAreDisjoint) {
   EXPECT_THROW(
       (void)net.add_internet_host("bad", net.stub_prefix(2).host(1), {}),
       std::invalid_argument);
+}
+
+TEST(MultiStubTest, HostIndexIsOneBasedAndRangeChecked) {
+  sim::MultiStubParams params;
+  params.stub_count = 2;
+  params.hosts_per_stub = 5;
+  sim::MultiStubSim net(params);
+  // Boundaries of the documented [1, hosts_per_stub] range.
+  EXPECT_EQ(net.host(0, 1).ip(), net.stub_prefix(0).host(1));
+  EXPECT_EQ(net.host(1, 5).ip(), net.stub_prefix(1).host(5));
+  // Index 0 is the prefix base, never host 1 — it must throw, not alias.
+  EXPECT_THROW((void)net.host(0, 0), std::out_of_range);
+  EXPECT_THROW((void)net.host(0, 6), std::out_of_range);
+  EXPECT_THROW((void)net.host(-1, 1), std::out_of_range);
+  EXPECT_THROW((void)net.host(2, 1), std::out_of_range);
+  try {
+    (void)net.host(0, 0);
+    FAIL() << "host(0, 0) must throw";
+  } catch (const std::out_of_range& e) {
+    EXPECT_NE(std::string(e.what()).find("[1, 5]"), std::string::npos)
+        << e.what();
+  }
+  try {
+    (void)net.host(7, 1);
+    FAIL() << "host(7, 1) must throw";
+  } catch (const std::out_of_range& e) {
+    EXPECT_NE(std::string(e.what()).find("stub index 7"),
+              std::string::npos)
+        << e.what();
+  }
 }
 
 TEST(MultiStubTest, CrossStubConnectionsComplete) {

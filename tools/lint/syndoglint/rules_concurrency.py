@@ -28,15 +28,21 @@ from .model import ERROR, Finding, Rule, register
 # two-thread pump, the sharded replay's producer/consumer fan-out, and
 # the SPSC ring primitive their handoff rides on. The rest of the module
 # (ReplayEngine, CaptureSource, framer, AgentDemux) is sequential by
-# contract and patrolled like any other code. src/telemetry (sink drain
-# thread) and src/util (logging level atomics, worker plumbing) stay
-# module-wide seams — their concurrency is not confined to one file.
+# contract and patrolled like any other code. Likewise src/campaign:
+# only runner.cpp/runner.hpp (the worker pool driving run_cell_until /
+# exchange_and_advance through generation barriers) spawn threads;
+# CampaignSim itself is sequential per cell and patrolled. src/telemetry
+# (sink drain thread) and src/util (logging level atomics, worker
+# plumbing) stay module-wide seams — their concurrency is not confined
+# to one file.
 _SEAM_DIRS = (
     "src/ingest/pipeline",
     "src/ingest/sharded",
     "src/ingest/include/syndog/ingest/pipeline",
     "src/ingest/include/syndog/ingest/sharded",
     "src/ingest/include/syndog/ingest/frame_ring",
+    "src/campaign/runner",
+    "src/campaign/include/syndog/campaign/runner",
     "src/telemetry/",
     "src/util/",
 )
@@ -73,10 +79,10 @@ def _check_raw_thread(sf: SourceFile, ctx) -> Iterable[Finding]:
                 lineno,
                 "",
                 "thread spawning lives only in the sanctioned seam files "
-                "(src/ingest pipeline/sharded/frame_ring, src/telemetry "
-                "sink drain, src/util); route parallel work through those "
-                "seams so the deterministic single-thread reference stays "
-                "authoritative",
+                "(src/ingest pipeline/sharded/frame_ring, src/campaign "
+                "runner, src/telemetry sink drain, src/util); route "
+                "parallel work through those seams so the deterministic "
+                "single-thread reference stays authoritative",
             )
 
 
@@ -99,7 +105,8 @@ register(
         ),
         fix_hint=(
             "Move the parallel section behind the ingest pump, the sharded "
-            "replay, or a util worker seam; if a new seam is genuinely "
+            "replay, the campaign runner, or a util worker seam; if a new "
+            "seam is genuinely "
             "needed, add its file prefix to the sanctioned list in "
             "rules_concurrency.py in the same PR that adds its "
             "determinism-equivalence test."
@@ -316,8 +323,9 @@ def _scan_scope(
                         "",
                         f"{where} mutable object '{name_tok.text}' is shared "
                         "state outside the sanctioned seam files (src/ingest "
-                        "pipeline/sharded/frame_ring, src/telemetry, "
-                        "src/util); pass state explicitly or move the seam",
+                        "pipeline/sharded/frame_ring, src/campaign/runner, "
+                        "src/telemetry, src/util); pass state explicitly or "
+                        "move the seam",
                     )
                 )
         elif not mutable_decl and _is_function_decl(tokens, i, decl_end):

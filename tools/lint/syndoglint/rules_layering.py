@@ -9,7 +9,9 @@ obs is the in-process observability layer: it may depend only on util
 depend on it. telemetry is the fleet aggregation backend on top of obs
 (sink, syndog-tsf/1 format, rollups); core feeds it via FleetRecorder.
 mitigate closes the loop on top of core (alarm edges in, router policers
-out); nothing below it may depend on it.
+out); nothing below it may depend on it. campaign is the sharded
+parallel DES runner on top of core + sim (per-cell schedulers, mailbox
+barriers); like mitigate/ingest, nothing may depend on it.
 """
 
 from __future__ import annotations
@@ -36,6 +38,7 @@ LAYER_DEPS: Dict[str, Set[str]] = {
              "telemetry", "util"},
     "ingest": {"classify", "core", "net", "obs", "pcap", "sim", "util"},
     "mitigate": {"core", "net", "obs", "sim", "telemetry", "util"},
+    "campaign": {"core", "net", "obs", "sim", "util"},
 }
 
 

@@ -1,0 +1,11 @@
+#include "syndog/mitigate/policy.hpp"  // EXPECT(layering.violation)
+#include "syndog/sim/scheduler.hpp"
+
+// campaign sits on top of core + sim (see LAYER_DEPS); mitigate is a
+// sibling top-layer module, so the first include above is a DAG
+// violation. The sim include is a negative: it is a declared dep.
+namespace syndog::campaign {
+
+void corpus_layering() {}
+
+}  // namespace syndog::campaign

@@ -1,0 +1,17 @@
+// Negative fixture: the `src/campaign/runner` prefix is a sanctioned
+// seam file — the campaign worker pool spawns threads and keeps the
+// generation/barrier state that drives run_cell_until across cells (and,
+// by the same prefix, this corpus sibling is covered too).
+#include <atomic>
+#include <thread>
+
+namespace syndog::campaign {
+
+std::atomic<int> corpus_generation{0};
+
+void corpus_run_window() {
+  std::thread worker([] { corpus_generation.fetch_add(1); });
+  worker.join();
+}
+
+}  // namespace syndog::campaign
